@@ -1,0 +1,153 @@
+"""E12 (ablation) — What the cache vs the Bloom filter each contribute.
+
+Section 4.4 proposes two load-shedding mechanisms at the proxy: result
+caching and the OR-of-ledger-filters front.  This ablation runs the
+same Zipf trace through all four on/off combinations and attributes the
+ledger-load reduction (and the staleness cost) to each mechanism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.filters.sizing import bloom_bits_for_fpr, bloom_optimal_hashes
+from repro.ledger.export import FilterExporter
+from repro.metrics.reporting import Table
+from repro.netsim.simulator import ManualClock
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+from repro.proxy.proxy import IrsProxy
+from repro.workload.population import populate_ledger
+from repro.workload.traces import BrowsingTraceGenerator
+
+POPULATION = 20_000
+VIEWS = 10_000
+REVOKED_FRACTION = 0.5
+
+
+@pytest.fixture(scope="module")
+def env():
+    irs = IrsDeployment.create(seed=120)
+    population = populate_ledger(
+        irs.ledger, POPULATION, REVOKED_FRACTION, np.random.default_rng(120)
+    )
+    nbits = bloom_bits_for_fpr(population.num_revoked, 0.02)
+    k = bloom_optimal_hashes(nbits, population.num_revoked)
+    exporter = FilterExporter(irs.ledger, nbits=nbits, num_hashes=k)
+    exporter.publish()
+    return irs, population, exporter
+
+
+def _run(env, use_filter: bool, use_cache: bool, seed: int):
+    irs, population, exporter = env
+    filterset = None
+    if use_filter:
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporter)
+        filterset.refresh()
+    clock = ManualClock()
+    cache = TtlLruCache(100_000, ttl=3600, clock=clock.now) if use_cache else None
+    proxy = IrsProxy(
+        "proxy", irs.registry, filterset=filterset, cache=cache, clock=clock.now
+    )
+    generator = BrowsingTraceGenerator(
+        population,
+        num_users=50,
+        rng=np.random.default_rng(seed),
+        zipf_exponent=1.0,
+        revoked_view_fraction=0.01,
+    )
+    for event in generator.stream(VIEWS):
+        clock.advance(0.05)
+        proxy.status(population.identifiers[event.photo_index])
+    return proxy.stats
+
+
+def test_e12_mechanism_attribution(env, report, benchmark):
+    table = Table(
+        headers=[
+            "filter",
+            "cache",
+            "ledger queries",
+            "reduction",
+            "filter short-circuits",
+            "cache hits",
+        ],
+        title="E12: cache x filter ablation (10k Zipf views, 1% revoked views)",
+    )
+    results = {}
+    for use_filter in (False, True):
+        for use_cache in (False, True):
+            stats = _run(env, use_filter, use_cache, seed=7)
+            results[(use_filter, use_cache)] = stats
+            table.add(
+                "on" if use_filter else "off",
+                "on" if use_cache else "off",
+                stats.ledger_queries,
+                f"{stats.load_reduction_factor:.1f}x",
+                stats.filter_short_circuits,
+                stats.cache_hits,
+            )
+    report(table)
+
+    none = results[(False, False)]
+    cache_only = results[(False, True)]
+    filter_only = results[(True, False)]
+    both = results[(True, True)]
+
+    # Baseline: every view is a ledger query.
+    assert none.ledger_queries == none.queries
+    # Each mechanism alone helps.
+    assert cache_only.ledger_queries < none.ledger_queries / 2
+    assert filter_only.ledger_queries < none.ledger_queries / 2
+    # Combined beats either alone: the filter removes the unrevoked
+    # mass; the cache absorbs repeat hits on popular maybe-revoked
+    # photos (including false positives).
+    assert both.ledger_queries <= filter_only.ledger_queries
+    assert both.ledger_queries <= cache_only.ledger_queries
+    assert both.load_reduction_factor > 40
+
+    benchmark(lambda: _run(env, True, True, seed=8))
+
+
+def test_e12_cache_staleness_cost(env, report, benchmark):
+    """The cache's price: revocations propagate only after TTL expiry
+    (Nongoal #4's bounded staleness), while the filter path picks up
+    new revocations at the next hourly publish."""
+    irs, population, exporter = env
+    from repro.ledger.records import RevocationState
+
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    filterset.refresh()
+    clock = ManualClock()
+    proxy = IrsProxy(
+        "proxy",
+        irs.registry,
+        filterset=filterset,
+        cache=TtlLruCache(100_000, ttl=3600, clock=clock.now),
+        clock=clock.now,
+    )
+    # Pick a revoked photo (in the filter) and view it: cached verdict.
+    idx = int(np.nonzero(population.revoked_mask)[0][0])
+    identifier = population.identifiers[idx]
+    assert proxy.status(identifier).revoked
+
+    # Owner unrevokes: cached answer stays "revoked" until TTL.
+    record = irs.ledger.record(identifier)
+    record.state = RevocationState.NOT_REVOKED
+    stale = proxy.status(identifier)
+    clock.advance(3601.0)
+    fresh = proxy.status(identifier)
+
+    table = Table(
+        headers=["phase", "answer", "source"],
+        title="E12b: staleness window of a cached verdict (TTL 3600s)",
+    )
+    table.add("within TTL", "revoked" if stale.revoked else "not revoked", stale.source)
+    table.add("after TTL", "revoked" if fresh.revoked else "not revoked", fresh.source)
+    report(table)
+    assert stale.revoked and stale.source == "cache"
+    assert not fresh.revoked and fresh.source == "ledger"
+
+    benchmark(lambda: proxy.status(identifier))

@@ -1,0 +1,227 @@
+"""E1 — Viewing latency vs the render budget (paper section 4.3).
+
+Claim: "The HTTP Archive Web Almanac study ... categorizes any website
+that fully renders in under 1.8s as having 'good performance' ... over
+60% of studied sites take over 2.5s.  Any reasonably responsive ledger
+would produce delays that would be a small fraction of this (say, under
+100ms)."
+
+We load pinterest-like pages of 10-100 images with pipelined revocation
+checks at several check-latency levels and report the added page time,
+absolute and as a fraction of the 1.8 s budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.browser.loader import CheckMode, PageLoadModel
+from repro.metrics.reporting import Table
+from repro.netsim.latency import LogNormalLatency, dns_like_latency
+from repro.workload.pages import pinterest_like_page
+
+GOOD_PERFORMANCE_BUDGET = 1.8  # seconds, Web Almanac "good"
+MEDIAN_SITE_RENDER = 2.5  # seconds, the paper's 60%-of-sites figure
+
+IMAGE_COUNTS = [10, 30, 60, 100]
+CHECK_MEDIANS_MS = [10, 25, 50, 100, 200, 400]
+TRIALS = 30
+
+
+def _added_time(num_images: int, check_median_s: float, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    page = pinterest_like_page(rng, num_images=num_images)
+    model = PageLoadModel(
+        rtt=LogNormalLatency(median=0.03, sigma=0.4, cap=0.3),
+        check_latency=LogNormalLatency(median=check_median_s, sigma=0.5, cap=1.0),
+        mode=CheckMode.PIPELINED,
+    )
+    _, _, added = model.compare_against_baseline(page, seed)
+    return added
+
+
+def test_e1_added_latency_small_fraction_of_budget(report, benchmark):
+    table = Table(
+        headers=[
+            "images",
+            "check median (ms)",
+            "mean added (ms)",
+            "p90 added (ms)",
+            "added / 1.8s budget",
+        ],
+        title="E1: page-render time added by pipelined revocation checks",
+    )
+    results = {}
+    for num_images in IMAGE_COUNTS:
+        for check_ms in CHECK_MEDIANS_MS:
+            added = [
+                _added_time(num_images, check_ms / 1000.0, seed)
+                for seed in range(TRIALS)
+            ]
+            mean_added = float(np.mean(added))
+            p90_added = float(np.percentile(added, 90))
+            results[(num_images, check_ms)] = mean_added
+            table.add(
+                num_images,
+                check_ms,
+                f"{mean_added * 1000:.1f}",
+                f"{p90_added * 1000:.1f}",
+                f"{mean_added / GOOD_PERFORMANCE_BUDGET:.1%}",
+            )
+    report(table)
+
+    # The paper's claim: a responsive (<100 ms) ledger adds only a small
+    # fraction of the 1.8 s budget, at every page size.
+    for num_images in IMAGE_COUNTS:
+        for check_ms in (10, 25, 50, 100):
+            assert results[(num_images, check_ms)] < 0.10 * GOOD_PERFORMANCE_BUDGET, (
+                f"{check_ms} ms checks added "
+                f"{results[(num_images, check_ms)]:.3f}s on a "
+                f"{num_images}-image page"
+            )
+    # And added time grows with check latency (sanity of the model).
+    assert results[(60, 400)] >= results[(60, 10)]
+
+    # Timed kernel: one full page-load comparison.
+    benchmark(lambda: _added_time(60, 0.05, 12345))
+
+
+def test_e1_dns_like_ledger_meets_budget(report, benchmark):
+    """With the DNSPerf-shaped latency the paper cites, a fully loaded
+    100-image page stays comfortably inside the median-site render
+    envelope."""
+    rng = np.random.default_rng(7)
+    page = pinterest_like_page(rng, num_images=100)
+    model = PageLoadModel(
+        rtt=LogNormalLatency(median=0.03, sigma=0.4, cap=0.3),
+        check_latency=dns_like_latency(),
+        mode=CheckMode.PIPELINED,
+    )
+
+    def run():
+        totals = []
+        for seed in range(20):
+            with_checks, baseline, added = model.compare_against_baseline(page, seed)
+            totals.append((with_checks.page_complete, added))
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    pages = [t for t, _ in totals]
+    added = [a for _, a in totals]
+    table = Table(
+        headers=["metric", "value"],
+        title="E1b: 100-image page with DNS-like (sub-100ms) ledger checks",
+    )
+    table.add("mean page-complete (s)", f"{np.mean(pages):.2f}")
+    table.add("mean added by checks (ms)", f"{np.mean(added) * 1000:.1f}")
+    table.add("max added (ms)", f"{np.max(added) * 1000:.1f}")
+    report(table)
+    assert float(np.mean(added)) < 0.2
+
+
+def _measure_rpc_check_latencies(num_samples: int) -> np.ndarray:
+    """End-to-end check RTTs from the discrete-event RPC stack:
+    browser -> proxy (Bloom filter) -> ledger, with realistic link
+    latencies.  Most checks short-circuit at the filter; false
+    positives pay the extra ledger leg."""
+    from repro.core import IrsDeployment
+    from repro.core.identifiers import PhotoIdentifier
+    from repro.filters.sizing import bloom_bits_for_fpr, bloom_optimal_hashes
+    from repro.ledger.export import FilterExporter
+    from repro.netsim.latency import ConstantLatency
+    from repro.netsim.link import Network
+    from repro.netsim.node import Node
+    from repro.netsim.simulator import Simulator
+    from repro.netsim.transport import RpcEndpoint
+    from repro.proxy.filterset import ProxyFilterSet
+    from repro.workload.population import populate_ledger
+
+    irs = IrsDeployment.create(seed=314)
+    rng = np.random.default_rng(314)
+    population = populate_ledger(irs.ledger, 4000, 0.5, rng)
+
+    sim = Simulator()
+    net = Network(sim, rng)
+    browser = net.add_node(Node("browser", sim))
+    proxy_node = net.add_node(Node("proxy", sim))
+    ledger_node = net.add_node(Node("ledger", sim))
+    net.connect("browser", "proxy", LogNormalLatency(median=0.008, sigma=0.3))
+    net.connect("proxy", "ledger", LogNormalLatency(median=0.012, sigma=0.3))
+
+    ledger_endpoint = RpcEndpoint(ledger_node, net, service_time=ConstantLatency(0.001))
+    ledger_endpoint.register(
+        "status",
+        lambda s: irs.registry.status(PhotoIdentifier.from_string(s)).revoked,
+    )
+    nbits = bloom_bits_for_fpr(population.num_revoked, 0.02)
+    k = bloom_optimal_hashes(nbits, population.num_revoked)
+    exporter = FilterExporter(irs.ledger, nbits=nbits, num_hashes=k)
+    exporter.publish()
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    filterset.refresh()
+
+    rtts: list[float] = []
+    viewable = [
+        identifier
+        for i, identifier in enumerate(population.identifiers)
+        if not population.revoked_mask[i]
+    ]
+
+    def issue_check(identifier):
+        start = sim.now
+
+        def at_proxy():
+            if not filterset.might_be_revoked(identifier.to_compact()):
+                net.deliver("proxy", "browser", lambda: rtts.append(sim.now - start))
+                return
+            ledger_endpoint.call(
+                "proxy",
+                "status",
+                identifier.to_string(),
+                lambda result: net.deliver(
+                    "proxy", "browser", lambda: rtts.append(sim.now - start)
+                ),
+            )
+
+        net.deliver("browser", "proxy", at_proxy)
+
+    for i in range(num_samples):
+        issue_check(viewable[i % len(viewable)])
+    sim.run()
+    return np.asarray(rtts)
+
+
+def test_e1_rpc_measured_check_distribution(report, benchmark):
+    """Close the loop: check latencies come from the *simulated RPC
+    stack* (not an assumed distribution) and feed the page-load model."""
+    samples = _measure_rpc_check_latencies(600)
+    quantile_points = [(q, float(np.quantile(samples, q))) for q in
+                       (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)]
+    from repro.netsim.latency import EmpiricalLatency
+
+    check_model = EmpiricalLatency(quantile_points)
+    rng = np.random.default_rng(314)
+    page = pinterest_like_page(rng, num_images=60)
+    model = PageLoadModel(
+        rtt=LogNormalLatency(median=0.03, sigma=0.4, cap=0.3),
+        bandwidth_bps=25e6 / 6,
+        check_latency=check_model,
+        mode=CheckMode.PIPELINED,
+    )
+    added = [model.compare_against_baseline(page, seed)[2] for seed in range(20)]
+    table = Table(
+        headers=["metric", "value"],
+        title="E1c: page delay with RPC-sim-measured check latencies",
+    )
+    table.add("check p50 (ms)", f"{np.quantile(samples, 0.5) * 1000:.1f}")
+    table.add("check p99 (ms)", f"{np.quantile(samples, 0.99) * 1000:.1f}")
+    table.add("mean added page time (ms)", f"{np.mean(added) * 1000:.2f}")
+    report(table)
+    # The measured distribution sits deep inside the hiding window:
+    # effectively zero added render time.
+    assert float(np.quantile(samples, 0.99)) < 0.25
+    assert float(np.mean(added)) < 0.02
+
+    benchmark.pedantic(
+        lambda: _measure_rpc_check_latencies(200), rounds=1, iterations=1
+    )

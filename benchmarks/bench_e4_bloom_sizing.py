@@ -1,0 +1,107 @@
+"""E4 — Bloom filter sizing (paper section 4.4).
+
+Claim: "a 1GB filter would provide a 2% false-hit rate with a
+population of 1 billion photos, thereby lessening the load on ledgers
+by a factor of fifty.  Similarly, a 100GB Bloom filter would provide a
+similar error rate for a population of 100 billion photos."
+
+Method: validate the analytic FPR model against real measured filters
+at laptop scale (10^4-10^5 keys at the paper's 8 bits/key), then
+evaluate the analytic model at the paper's 1 GB / 100 GB points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.sizing import (
+    bloom_false_positive_rate,
+    bloom_optimal_hashes,
+    paper_scaling_table,
+)
+from repro.metrics.reporting import Table
+
+BITS_PER_KEY = 8  # the paper's geometry: 1 GB per billion photos
+MEASURE_SIZES = [10_000, 50_000, 200_000]
+PROBES = 50_000
+
+
+def _measured_fpr(num_keys: int, seed: int) -> tuple[float, float]:
+    nbits = num_keys * BITS_PER_KEY
+    k = bloom_optimal_hashes(nbits, num_keys)
+    bloom = BloomFilter(nbits, k)
+    bloom.add_many(f"photo-{i}".encode() for i in range(num_keys))
+    measured = bloom.measure_fpr(PROBES, np.random.default_rng(seed))
+    analytic = bloom_false_positive_rate(nbits, num_keys, k)
+    return measured, analytic
+
+
+def test_e4_analytic_model_matches_measured_filters(report, benchmark):
+    table = Table(
+        headers=["keys", "bits/key", "measured FPR", "analytic FPR"],
+        title="E4: analytic Bloom model vs real filters (8 bits/key)",
+    )
+    for num_keys in MEASURE_SIZES:
+        measured, analytic = _measured_fpr(num_keys, seed=num_keys)
+        table.add(num_keys, BITS_PER_KEY, f"{measured:.4f}", f"{analytic:.4f}")
+        assert measured == pytest.approx(analytic, abs=0.006), (
+            f"analytic model off at n={num_keys}: "
+            f"measured {measured:.4f} vs analytic {analytic:.4f}"
+        )
+    report(table)
+    benchmark(lambda: _measured_fpr(10_000, seed=1))
+
+
+def test_e4_paper_scale_claims(report, benchmark):
+    rows = benchmark(paper_scaling_table)
+    table = Table(
+        headers=["filter (GB)", "photos", "optimal k", "FPR", "load reduction"],
+        title="E4b: the paper's 1 GB / 100 GB scaling points (analytic)",
+    )
+    by_population = {}
+    for row in rows:
+        by_population[row.population] = row
+        table.add(
+            row.filter_gb,
+            f"{row.population:.0e}",
+            row.optimal_hashes,
+            f"{row.false_positive_rate:.4f}",
+            f"{row.load_reduction:.1f}x",
+        )
+    report(table)
+
+    one_gb = by_population[10**9]
+    hundred_gb = by_population[10**11]
+    # "1GB ... 2% false-hit rate with a population of 1 billion photos"
+    assert one_gb.filter_gb == 1.0
+    assert one_gb.false_positive_rate == pytest.approx(0.02, abs=0.005)
+    # "lessening the load on ledgers by a factor of fifty"
+    assert 40 <= one_gb.load_reduction <= 55
+    # "a 100GB Bloom filter would provide a similar error rate for a
+    # population of 100 billion photos"
+    assert hundred_gb.filter_gb == 100.0
+    assert hundred_gb.false_positive_rate == pytest.approx(
+        one_gb.false_positive_rate, rel=0.02
+    )
+
+
+def test_e4_query_throughput(report, benchmark):
+    """Proxy-side query cost of a browser/proxy-resident filter."""
+    num_keys = 100_000
+    bloom = BloomFilter.for_capacity(num_keys, 0.02)
+    bloom.add_many(f"photo-{i}".encode() for i in range(num_keys))
+    probes = [f"probe-{i}".encode() for i in range(1000)]
+
+    def query_all():
+        return sum(1 for p in probes if p in bloom)
+
+    hits = benchmark(query_all)
+    per_query = benchmark.stats["mean"] / len(probes)
+    table = Table(
+        headers=["metric", "value"],
+        title="E4c: filter query cost (the proxy hot path)",
+    )
+    table.add("per-query time (µs)", f"{per_query * 1e6:.1f}")
+    table.add("false hits / 1000 probes", hits)
+    report(table)
+    assert per_query < 1e-3  # well under any network time

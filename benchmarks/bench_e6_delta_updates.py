@@ -1,0 +1,124 @@
+"""E6 — Hourly delta-encoded filter updates (paper section 4.4).
+
+Claim: filters are "updated regularly (perhaps hourly), and transferred
+with a delta encoding such that the update traffic will be low."
+
+Method: a claim/revoke churn model runs for a simulated day.  Each hour
+the ledger republishes its revoked-set filter and a subscribed proxy
+pulls the delta; we compare per-hour delta bytes against re-downloading
+the full filter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.filters.sizing import bloom_bits_for_fpr, bloom_optimal_hashes
+from repro.ledger.export import FilterExporter
+from repro.ledger.records import RevocationState
+from repro.metrics.reporting import Table
+from repro.proxy.filterset import ProxyFilterSet
+from repro.workload.population import populate_ledger
+
+INITIAL_POPULATION = 50_000
+REVOKED_FRACTION = 0.5
+HOURS = 24
+HOURLY_NEW_CLAIMS = 300  # ~0.6%/hour population growth
+HOURLY_FLIPS = 100  # owners revoking/unrevoking existing photos
+
+
+def _simulate_day(seed: int):
+    irs = IrsDeployment.create(seed=seed)
+    rng = np.random.default_rng(seed)
+    population = populate_ledger(
+        irs.ledger, INITIAL_POPULATION, REVOKED_FRACTION, rng
+    )
+    # Size for expected end-of-day revoked count.
+    expected_revoked = int(
+        INITIAL_POPULATION * REVOKED_FRACTION + HOURS * HOURLY_NEW_CLAIMS
+    )
+    nbits = bloom_bits_for_fpr(expected_revoked, 0.02)
+    k = bloom_optimal_hashes(nbits, expected_revoked)
+    exporter = FilterExporter(irs.ledger, nbits=nbits, num_hashes=k)
+    exporter.publish()
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    initial_bytes = filterset.refresh()
+
+    hourly_bytes = []
+    for _ in range(HOURS):
+        populate_ledger(irs.ledger, HOURLY_NEW_CLAIMS, REVOKED_FRACTION, rng)
+        # Owners flip revocation state on random existing photos.
+        flips = rng.choice(population.size, size=HOURLY_FLIPS, replace=False)
+        for index in flips:
+            record = irs.ledger.record(population.identifiers[int(index)])
+            if record.state is RevocationState.REVOKED:
+                record.state = RevocationState.NOT_REVOKED
+            else:
+                record.state = RevocationState.REVOKED
+        exporter.publish()
+        hourly_bytes.append(filterset.refresh())
+    full_size = exporter.current.filter.nbytes
+    return initial_bytes, hourly_bytes, full_size, filterset
+
+
+def test_e6_hourly_deltas_are_small(report, benchmark):
+    initial_bytes, hourly_bytes, full_size, filterset = _simulate_day(seed=55)
+    mean_delta = float(np.mean(hourly_bytes))
+    table = Table(
+        headers=["metric", "value"],
+        title="E6: a day of hourly delta-encoded filter updates",
+    )
+    table.add("initial full download (bytes)", f"{initial_bytes:,}")
+    table.add("full filter size (bytes)", f"{full_size:,}")
+    table.add("mean hourly delta (bytes)", f"{mean_delta:,.0f}")
+    table.add("max hourly delta (bytes)", f"{max(hourly_bytes):,}")
+    table.add("delta / full ratio", f"{mean_delta / full_size:.2%}")
+    table.add(
+        "day total vs re-downloading",
+        f"{sum(hourly_bytes):,} vs {HOURS * full_size:,}",
+    )
+    report(table)
+
+    # "Update traffic will be low": hourly deltas are a small fraction
+    # of a full transfer.
+    assert mean_delta < 0.15 * full_size
+    # And the subscription stayed exact (no drift).
+    sub = next(iter(filterset._subscriptions.values()))
+    assert sub.local_filter.bits == sub.exporter.current.filter.bits
+    assert sub.delta_transfers == HOURS
+
+    benchmark.pedantic(lambda: _simulate_day(seed=77), rounds=1, iterations=1)
+
+
+def test_e6_delta_scales_with_churn(report, benchmark):
+    """Delta size tracks churn, not population size — the property that
+    makes hourly updates cheap at the paper's 100 B scale."""
+    irs = IrsDeployment.create(seed=66)
+    rng = np.random.default_rng(66)
+    population = populate_ledger(irs.ledger, 50_000, 0.5, rng)
+    nbits = bloom_bits_for_fpr(30_000, 0.02)
+    k = bloom_optimal_hashes(nbits, 30_000)
+    exporter = FilterExporter(irs.ledger, nbits=nbits, num_hashes=k)
+    exporter.publish()
+
+    table = Table(
+        headers=["new claims in the hour", "delta bytes", "bytes per claim"],
+        title="E6b: delta size vs hourly churn",
+    )
+    sizes = {}
+    for churn in (10, 100, 1000):
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporter)
+        filterset.refresh()
+        populate_ledger(irs.ledger, churn, 1.0, rng)
+        exporter.publish()
+        delta_bytes = filterset.refresh()
+        sizes[churn] = delta_bytes
+        table.add(churn, f"{delta_bytes:,}", f"{delta_bytes / churn:.1f}")
+    report(table)
+    assert sizes[10] < sizes[100] < sizes[1000]
+    # Cost per claimed photo is tens of bytes (k bit positions, gap coded).
+    assert sizes[1000] / 1000 < 40
+
+    benchmark(lambda: exporter.publish())

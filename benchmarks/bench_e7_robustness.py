@@ -1,0 +1,158 @@
+"""E7 — Label robustness to benign manipulations (Goal #5, section 3.2).
+
+Claim: "Because the identifier has relatively few bits, the watermark
+can be made robust to many benign picture manipulations (e.g.,
+compression, cropping, tinting)" — and when pixel-domain labels die,
+the appeals path falls back to robust hashing ("using robust hashing
+(as in PhotoDNA)").
+
+Method: a transform sweep over watermarked synthetic photos measures,
+per manipulation, (a) the watermark extraction success rate and (b) the
+perceptual-hash match rate — the two recovery channels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.media.image import generate_photo
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.perceptual import robust_hash
+from repro.media.transforms import (
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    crop,
+    flip_horizontal,
+    overlay_caption,
+    resize,
+    tint,
+)
+from repro.media.watermark import WatermarkCodec, WatermarkError
+from repro.metrics.reporting import Table
+
+NUM_PHOTOS = 12
+PAYLOAD = bytes(range(12))
+
+
+def _transforms(rng):
+    return [
+        ("identity", lambda p: p),
+        ("jpeg q=75", lambda p: jpeg_roundtrip(p, 75)),
+        ("jpeg q=50", lambda p: jpeg_roundtrip(p, 50)),
+        ("jpeg q=30", lambda p: jpeg_roundtrip(p, 30)),
+        ("tint warm 10%", lambda p: tint(p, (1.1, 1.0, 0.9))),
+        ("brightness +0.08", lambda p: adjust_brightness(p, 0.08)),
+        ("contrast x1.15", lambda p: adjust_contrast(p, 1.15)),
+        ("noise sigma=0.01", lambda p: add_noise(p, 0.01, rng)),
+        ("crop 80% (unaligned)", lambda p: crop(p, 13, 21, 200, 208)),
+        ("caption band", lambda p: overlay_caption(p)),
+        ("flip horizontal", lambda p: flip_horizontal(p)),
+        ("resize 90%", lambda p: resize(p, 230, 230)),
+        ("jpeg q=50 + tint", lambda p: jpeg_roundtrip(tint(p, (1.08, 1.0, 0.92)), 50)),
+    ]
+
+
+def test_e7_robustness_matrix(report, benchmark):
+    codec = WatermarkCodec(payload_len=12)
+    rng = np.random.default_rng(77)
+    photos = [
+        generate_photo(seed=700 + i, height=256, width=256)
+        for i in range(NUM_PHOTOS)
+    ]
+    marked = [codec.embed(photo, PAYLOAD) for photo in photos]
+    hashes = [robust_hash(photo) for photo in photos]
+
+    table = Table(
+        headers=[
+            "manipulation",
+            "watermark recovered",
+            "perceptual match",
+            "either channel",
+        ],
+        title="E7: label survival per manipulation (12 photos each)",
+    )
+    rates = {}
+    for name, transform in _transforms(rng):
+        wm_ok = 0
+        hash_ok = 0
+        either = 0
+        for original_hash, photo in zip(hashes, marked):
+            transformed = transform(photo)
+            try:
+                result = codec.extract(transformed, try_flip=True)
+                wm = result.payload == PAYLOAD
+            except WatermarkError:
+                wm = False
+            ph = original_hash.matches(robust_hash(transformed))
+            wm_ok += wm
+            hash_ok += ph
+            either += wm or ph
+        rates[name] = (wm_ok / NUM_PHOTOS, hash_ok / NUM_PHOTOS, either / NUM_PHOTOS)
+        table.add(
+            name,
+            f"{wm_ok}/{NUM_PHOTOS}",
+            f"{hash_ok}/{NUM_PHOTOS}",
+            f"{either}/{NUM_PHOTOS}",
+        )
+    report(table)
+
+    # Goal #5's named manipulations: compression, cropping, tinting all
+    # keep the watermark alive.
+    for name in ("jpeg q=75", "jpeg q=50", "tint warm 10%", "crop 80% (unaligned)"):
+        assert rates[name][0] >= 0.9, f"watermark died under {name}"
+    # Resize kills the watermark but the perceptual channel holds — the
+    # division of labour the design relies on.
+    assert rates["resize 90%"][0] <= 0.2
+    assert rates["resize 90%"][1] >= 0.9
+    # Every benign manipulation is recoverable through *some* channel.
+    for name, (_, _, either_rate) in rates.items():
+        assert either_rate >= 0.9, f"no recovery channel under {name}"
+
+    benchmark(
+        lambda: codec.extract(jpeg_roundtrip(marked[0], 60), search_offsets=False)
+    )
+
+
+def test_e7_embedding_imperceptible(report, benchmark):
+    """The watermark must cause "little or no perceptible distortion"."""
+    codec = WatermarkCodec(payload_len=12)
+    psnrs = []
+    for i in range(NUM_PHOTOS):
+        photo = generate_photo(seed=900 + i, height=256, width=256)
+        marked = codec.embed(photo, PAYLOAD)
+        psnrs.append(marked.psnr_against(photo))
+    table = Table(
+        headers=["metric", "value"],
+        title="E7b: watermark perceptibility",
+    )
+    table.add("mean PSNR (dB)", f"{np.mean(psnrs):.1f}")
+    table.add("min PSNR (dB)", f"{np.min(psnrs):.1f}")
+    report(table)
+    assert float(np.min(psnrs)) > 34.0  # comfortably imperceptible
+
+    photo = generate_photo(seed=999, height=256, width=256)
+    benchmark(lambda: codec.embed(photo, PAYLOAD))
+
+
+def test_e7_unmarked_photos_never_decode(report, benchmark):
+    """False-positive control: the CRC keeps unwatermarked photos from
+    producing identifiers."""
+    codec = WatermarkCodec(payload_len=12)
+    false_positives = 0
+    for i in range(NUM_PHOTOS):
+        photo = generate_photo(seed=1100 + i, height=256, width=256)
+        try:
+            codec.extract(photo)
+            false_positives += 1
+        except WatermarkError:
+            pass
+    table = Table(
+        headers=["metric", "value"],
+        title="E7c: extraction false positives on unmarked photos",
+    )
+    table.add("false positives", f"{false_positives}/{NUM_PHOTOS}")
+    report(table)
+    assert false_positives == 0
+
+    photo = generate_photo(seed=1199, height=256, width=256)
+    benchmark(lambda: codec.has_watermark(photo, search_offsets=False))

@@ -1,0 +1,43 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` file regenerates one experiment from EXPERIMENTS.md
+(the paper's quantitative claims).  Files both *measure* (via
+pytest-benchmark), *report* (tables printed to the terminal), and
+*assert* the claim's shape, so a silent run is still a verification.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collects experiment tables and prints them at session end.
+
+    Printing happens with capture disabled, so the tables appear in the
+    terminal even without ``-s``.
+    """
+    tables = []
+    yield tables.append
+    if not tables:
+        return
+    # Dump machine-readable CSVs next to the benchmarks for plotting.
+    from pathlib import Path
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    for t in tables:
+        if hasattr(t, "to_csv"):
+            (results_dir / f"{t.slug()}.csv").write_text(t.to_csv())
+    text = "\n".join(
+        t.render() if hasattr(t, "render") else str(t) for t in tables
+    )
+    banner = (
+        "\n" + "=" * 72 + "\n"
+        "EXPERIMENT TABLES (paper-claim reproductions)\n" + "=" * 72 + "\n"
+    )
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+    if capman is not None:
+        with capman.global_and_fixture_disabled():
+            print(banner + text)
+    else:  # pragma: no cover - capture always present under pytest
+        print(banner + text)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""TET adoption dynamics (paper sections 1, 4, 6).
+
+Runs the four canned ecosystem scenarios and prints adoption
+trajectories: does the bootstrap phase change incumbent incentives, and
+at what registered-photo scale does the ecosystem tip?  The paper
+predicts tipping "anywhere close to 100 billion photos" for plausible
+parameters — and no transformation at all without a first mover.
+
+    python examples/adoption_dynamics.py
+"""
+
+from repro.ecosystem import (
+    baseline_scenario,
+    engagement_incumbents_scenario,
+    no_first_mover_scenario,
+    strong_liability_scenario,
+)
+from repro.metrics.reporting import Table
+
+MONTHS = 240
+
+
+def sparkline(values, width=48) -> str:
+    """Cheap terminal sparkline for a 0..1 series."""
+    marks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    points = values[::step][:width]
+    return "".join(marks[min(int(v * (len(marks) - 1)), len(marks) - 1)] for v in points)
+
+
+def main() -> None:
+    scenarios = [
+        baseline_scenario(),
+        no_first_mover_scenario(),
+        strong_liability_scenario(),
+        engagement_incumbents_scenario(),
+    ]
+    table = Table(
+        headers=[
+            "scenario",
+            "tip month",
+            "photos at tip",
+            "final user adoption",
+            "final aggregator share",
+        ],
+        title="TET scenarios (240 months)",
+    )
+    traces = {}
+    for scenario in scenarios:
+        model = scenario.build(seed=2022)
+        trace = model.run(MONTHS)
+        traces[scenario.name] = trace
+        tip = trace.tipping_month(0.5)
+        photos = trace.photos_at_tipping(0.5)
+        final = trace.final()
+        table.add(
+            scenario.name,
+            tip if tip is not None else "never",
+            f"{photos:.2e}" if photos is not None else "—",
+            f"{final.user_adoption:.2f}",
+            f"{final.aggregator_share_adopted:.2f}",
+        )
+    table.print()
+
+    print("\nAggregator adoption over time (market-share weighted):")
+    for name, trace in traces.items():
+        print(f"  {name:24s} |{sparkline(trace.aggregator_share())}|")
+
+    print("\nUser adoption over time:")
+    for name, trace in traces.items():
+        print(f"  {name:24s} |{sparkline(trace.user_adoption())}|")
+
+    baseline = traces["baseline"]
+    print(
+        "\nReading: the baseline tips at "
+        f"{baseline.photos_at_tipping(0.5):.2e} registered photos — the "
+        "paper's 'close to 100 billion' threshold — while the "
+        "no-first-mover counterfactual never moves: the bootstrap *is* "
+        "the transformation mechanism."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Section 5 walkthrough: attacks, misbehaving ledgers, censorship.
+
+Demonstrates every adversarial scenario the paper discusses and the
+corresponding defence:
+
+* naive attacks are self-defeating;
+* the sophisticated re-claim attack beats automation but loses appeals;
+* lying ledgers are caught by honesty probes and bleed market share;
+* coerced revocation fails against nonprofit archive ledgers.
+
+    python examples/attack_and_appeal.py
+"""
+
+import numpy as np
+
+from repro.attacks.attackers import NaiveAttacker, SophisticatedAttacker
+from repro.attacks.censorship import ArchiveLedger, attempt_coerced_revocation
+from repro.attacks.malicious_ledger import LyingLedger
+from repro.attacks.reputation import LedgerMarket
+from repro.core import IrsDeployment
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.owner import OwnerToolkit
+from repro.core.validation import ValidationPolicy, Validator
+from repro.ledger.appeals import AppealsProcess
+from repro.ledger.ledger import Ledger
+from repro.ledger.probes import HonestyProber
+
+
+def naive_attacks(irs, labeled):
+    print("=== Naive attacks (self-defeating) ===")
+    validator = Validator.for_registry(
+        irs.registry, policy=ValidationPolicy.upload(),
+        watermark_codec=irs.watermark_codec,
+    )
+    attacker = NaiveAttacker(np.random.default_rng(1))
+
+    stripped = attacker.strip_metadata_only(labeled)
+    print(f"  strip metadata only      -> "
+          f"{validator.validate(stripped.photo).decision.value}")
+
+    forged = attacker.forge_metadata(
+        labeled, PhotoIdentifier(ledger_id=irs.ledger.ledger_id, serial=9999)
+    )
+    print(f"  forge metadata           -> "
+          f"{validator.validate(forged.photo).decision.value}")
+
+    mangled = attacker.strip_and_mangle(labeled)
+    print(f"  destroy watermark        -> "
+          f"{validator.validate(mangled.photo).decision.value} "
+          f"(PSNR {mangled.photo.psnr_against(labeled):.1f} dB — the copy is trash)")
+
+
+def sophisticated_attack(irs, photo, receipt, labeled):
+    print("\n=== Sophisticated attack: re-claim the copy ===")
+    attacker = SophisticatedAttacker(
+        irs.ledger, rng=np.random.default_rng(2),
+        watermark_codec=irs.watermark_codec,
+    )
+    attack = attacker.reclaim_copy(labeled)
+    validator = Validator.for_registry(
+        irs.registry, policy=ValidationPolicy.upload(),
+        watermark_codec=irs.watermark_codec,
+    )
+    print(f"  attacker's claim: {attack.identifier}")
+    print(f"  upload validation of the copy: "
+          f"{validator.validate(attack.photo).decision.value} "
+          "(automation cannot tell)")
+
+    process = AppealsProcess(irs.ledger, [irs.timestamp_authority])
+    appeal = irs.owner_toolkit.prepare_appeal(
+        receipt, photo, process, attack.identifier, attack.photo
+    )
+    decision = process.adjudicate(appeal)
+    print(f"  appeal: {decision.verdict.value} — {decision.reason}")
+    print(f"  copy validation now: "
+          f"{validator.validate(attack.photo).decision.value}")
+
+    print("  …and the attacker appealing against the original:")
+    counter = AppealsProcess(irs.ledger, [irs.timestamp_authority])
+    attacker_toolkit = attacker._toolkit
+    counter_appeal = attacker_toolkit.prepare_appeal(
+        attack.receipt, attack.claimed_photo, counter, receipt.identifier, photo
+    )
+    counter_decision = counter.adjudicate(counter_appeal)
+    print(f"  counter-appeal: {counter_decision.verdict.value} — "
+          f"{counter_decision.reason}")
+
+
+def lying_ledger_market():
+    print("\n=== Malicious ledgers vs probes + reputation ===")
+    from repro.crypto.timestamp import TimestampAuthority
+
+    tsa = TimestampAuthority()
+    honest = Ledger("honest-ledger", tsa)
+    liar = LyingLedger(
+        "lying-ledger", tsa, lie_probability=0.3,
+        lie_rng=np.random.default_rng(3),
+    )
+    probers = {
+        "honest-ledger": HonestyProber(honest, np.random.default_rng(4)),
+        "lying-ledger": HonestyProber(liar, np.random.default_rng(5)),
+    }
+    for prober in probers.values():
+        prober.plant_canaries(12)
+    market = LedgerMarket(["honest-ledger", "lying-ledger"])
+    for month in range(8):
+        reports = {name: p.run_round() for name, p in probers.items()}
+        shares = market.round(reports)
+        caught = len(reports["lying-ledger"].violations)
+        print(f"  month {month}: liar caught {caught:2d}x, market share "
+              f"honest={shares['honest-ledger']:.2f} "
+              f"liar={shares['lying-ledger']:.2f}")
+    print(f"  lies told in total: {liar.lies_told} — every one signed, "
+          "every detection portable evidence.")
+
+
+def censorship():
+    print("\n=== Censorship pressure vs archive ledgers ===")
+    from repro.crypto.timestamp import TimestampAuthority
+    from repro.media.image import generate_photo
+
+    tsa = TimestampAuthority()
+    commercial = Ledger("commercial", tsa)
+    archive = ArchiveLedger("rights-archive", tsa)
+    toolkit = OwnerToolkit(rng=np.random.default_rng(6))
+    evidence = generate_photo(seed=99)
+
+    for ledger in (commercial, archive):
+        receipt = toolkit.claim(evidence, ledger)
+        attempt = attempt_coerced_revocation(toolkit, receipt, ledger)
+        print(f"  coerced revocation on {ledger.ledger_id!r}: "
+              f"{attempt.outcome.value}")
+        print(f"    {attempt.detail}")
+
+
+def main() -> None:
+    irs = IrsDeployment.create(seed=55)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    irs.owner_toolkit.revoke(receipt, irs.ledger)
+
+    naive_attacks(irs, labeled)
+    sophisticated_attack(irs, photo, receipt, labeled)
+    lying_ledger_market()
+    censorship()
+
+
+if __name__ == "__main__":
+    main()

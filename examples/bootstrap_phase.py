@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The bootstrap phase (paper section 4), end to end.
+
+Stands up three commercial ledgers holding a claimed-photo population,
+an anonymizing proxy with a TTL cache and the OR of all ledger Bloom
+filters, and a population of browsers running the IRS extension.  A
+Zipf browsing trace then drives the stack, and the script reports the
+quantities section 4 argues about: ledger load reduction, what ledgers
+can observe about viewers, and filter update traffic.
+
+    python examples/bootstrap_phase.py
+"""
+
+import numpy as np
+
+from repro.browser.extension import IrsBrowserExtension
+from repro.core import IrsDeployment
+from repro.ledger.export import FilterExporter
+from repro.metrics.reporting import Table
+from repro.netsim.simulator import ManualClock
+from repro.proxy.anonymity import ObservationLog, anonymity_report
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+from repro.proxy.proxy import IrsProxy
+from repro.workload.population import populate_ledger
+from repro.workload.traces import BrowsingTraceGenerator
+
+NUM_LEDGERS = 3
+PHOTOS_PER_LEDGER = 5_000
+REVOKED_FRACTION = 0.6  # most photos auto-registered-and-revoked (sec 4.4)
+NUM_USERS = 40
+VIEWS_PER_USER = 150
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    irs = IrsDeployment.create(seed=42, num_ledgers=NUM_LEDGERS)
+
+    print("Populating ledgers…")
+    populations = [
+        populate_ledger(ledger, PHOTOS_PER_LEDGER, REVOKED_FRACTION, rng)
+        for ledger in irs.ledgers
+    ]
+    for ledger, population in zip(irs.ledgers, populations):
+        print(f"  {ledger.ledger_id}: {population.size} claims, "
+              f"{population.num_revoked} revoked")
+
+    print("\nPublishing Bloom filters (one per ledger) and merging at the proxy…")
+    filterset = ProxyFilterSet()
+    for ledger in irs.ledgers:
+        exporter = FilterExporter(ledger, nbits=1 << 17, num_hashes=5)
+        exporter.publish()
+        filterset.subscribe(exporter)
+    first_transfer = filterset.refresh()
+    print(f"  initial filter download: {first_transfer:,} bytes")
+
+    clock = ManualClock()
+    observations = ObservationLog()
+    proxy = IrsProxy(
+        "irs-proxy",
+        irs.registry,
+        filterset=filterset,
+        cache=TtlLruCache(100_000, ttl=3600, clock=clock.now),
+        clock=clock.now,
+        observation_log=observations,
+    )
+
+    print(f"\nDriving {NUM_USERS} IRS browsers through the proxy…")
+    population = populations[0]
+    generator = BrowsingTraceGenerator(
+        population,
+        num_users=NUM_USERS,
+        rng=rng,
+        revoked_view_fraction=0.01,  # a little revoked content still circulates
+    )
+    extensions = {
+        f"user-{u}": IrsBrowserExtension(status_source=proxy.status)
+        for u in range(NUM_USERS)
+    }
+    blocked = 0
+    for event in generator.generate(views_per_user=VIEWS_PER_USER):
+        clock.advance(0.05)
+        identifier = population.identifiers[event.photo_index]
+        if not extensions[event.user].check_identifier(identifier).display:
+            blocked += 1
+
+    stats = proxy.stats
+    table = Table(
+        headers=["metric", "value"],
+        title="Bootstrap pipeline (section 4.4 mechanics)",
+    )
+    table.add("browser checks issued", stats.queries)
+    table.add("filter short-circuits", stats.filter_short_circuits)
+    table.add("proxy cache hits", stats.cache_hits)
+    table.add("queries reaching ledgers", stats.ledger_queries)
+    table.add("ledger load reduction", f"{stats.load_reduction_factor:.1f}x")
+    table.add("revoked views blocked", blocked)
+    table.print()
+
+    print("\nHourly filter update (delta-encoded)…")
+    populate_ledger(irs.ledgers[0], 100, 0.8, rng)  # an hour of churn
+    for sub in filterset._subscriptions.values():
+        sub.exporter.publish()
+    update_bytes = filterset.refresh()
+    print(f"  update transfer: {update_bytes:,} bytes "
+          f"(vs {first_transfer:,} full)")
+
+    users = list(extensions)
+    report = anonymity_report(
+        observations,
+        requester_populations={"irs-proxy": users},
+        viewer_checks={u: VIEWS_PER_USER for u in users},
+    )
+    print("\nWhat ledger operators observed (section 4.2 privacy):")
+    print(f"  {report}")
+    print("  -> every ledger-visible request is attributed to the proxy, "
+          "never to a viewer.")
+
+
+if __name__ == "__main__":
+    main()

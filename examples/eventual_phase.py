@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The eventual solution (paper section 3.2): aggregators participate.
+
+Walks both use cases from section 2 plus the section 5 attack:
+
+1. a photo intended to stay private leaks — upload blocked everywhere;
+2. a freely shared photo is later revoked — taken down at the next
+   periodic recheck on every aggregator;
+3. a sophisticated attacker re-claims a copy — the appeals process
+   permanently revokes it and the recheck sweep removes it.
+
+    python examples/eventual_phase.py
+"""
+
+import numpy as np
+
+from repro.aggregator.aggregator import AggregatorConfig, ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.recheck import PeriodicRechecker
+from repro.aggregator.uploads import UploadPipeline
+from repro.attacks.attackers import SophisticatedAttacker
+from repro.core import IrsDeployment
+from repro.core.owner import OwnerToolkit
+from repro.ledger.appeals import AppealsProcess
+from repro.netsim.simulator import Simulator
+
+
+def build_site(name, irs, ledger, seed, clock):
+    aggregator = ContentAggregator(
+        name, irs.registry, config=AggregatorConfig(recheck_interval=3600.0),
+        clock=clock,
+    )
+    pipeline = UploadPipeline(
+        aggregator,
+        watermark_codec=irs.watermark_codec,
+        custodial_ledger=ledger,
+        custodial_toolkit=OwnerToolkit(
+            rng=np.random.default_rng(seed), watermark_codec=irs.watermark_codec
+        ),
+        hash_database=RobustHashDatabase(),
+    )
+    return aggregator, pipeline
+
+
+def main() -> None:
+    irs = IrsDeployment.create(seed=7, num_ledgers=2)
+    sim = Simulator()
+    clock = sim.clock().now
+    photowall, photowall_up = build_site("photowall", irs, irs.ledgers[0], 1, clock)
+    sharesphere, sharesphere_up = build_site(
+        "sharesphere", irs, irs.ledgers[1], 2, clock
+    )
+
+    print("=== Use case 1: accidental publication of a private photo ===")
+    private = irs.new_photo()
+    # Register-revoked-by-default (section 4.4 usage pattern).
+    private_receipt = irs.owner_toolkit.claim(
+        private, irs.ledger, initially_revoked=True
+    )
+    leaked = irs.owner_toolkit.label(private, private_receipt)
+    for name, pipeline in [("photowall", photowall_up), ("sharesphere", sharesphere_up)]:
+        outcome = pipeline.upload("leaked-selfie", leaked)
+        print(f"  upload to {name}: {outcome.decision.value} — {outcome.detail}")
+
+    print("\n=== Use case 2: shared freely, revoked later ===")
+    vacation = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(vacation, irs.ledger)
+    for name, pipeline in [("photowall", photowall_up), ("sharesphere", sharesphere_up)]:
+        outcome = pipeline.upload("vacation", labeled)
+        print(f"  upload to {name}: {outcome.decision.value}")
+    for aggregator in (photowall, sharesphere):
+        PeriodicRechecker(aggregator).schedule_on(sim, until=8 * 3600.0)
+
+    sim.run(until=1800.0)
+    print("  … 30 minutes later the owner revokes the photo …")
+    irs.owner_toolkit.revoke(receipt, irs.ledger)
+    sim.run(until=2 * 3600.0)
+    for aggregator in (photowall, sharesphere):
+        serve = aggregator.serve("vacation")
+        print(f"  {aggregator.name} now serves it: {serve.served} ({serve.reason})")
+
+    print("\n=== Section 5: the sophisticated attacker ===")
+    attacker = SophisticatedAttacker(
+        irs.ledgers[1], rng=np.random.default_rng(13),
+        watermark_codec=irs.watermark_codec,
+    )
+    attack = attacker.reclaim_copy(labeled)
+    print(f"  attacker re-claimed the copy as {attack.identifier}")
+    outcome = sharesphere_up.upload("stolen-copy", attack.photo)
+    print(f"  upload to sharesphere: {outcome.decision.value} "
+          "(indistinguishable from a valid claim!)")
+
+    print("  … the owner notices and appeals to the copy's ledger …")
+    process = AppealsProcess(irs.ledgers[1], [irs.timestamp_authority])
+    appeal = irs.owner_toolkit.prepare_appeal(
+        receipt, vacation, process, attack.identifier, attack.photo
+    )
+    decision = process.adjudicate(appeal)
+    print(f"  appeal verdict: {decision.verdict.value} — {decision.reason}")
+    print(f"  robust-hash distance original↔copy: {decision.robust_distance:.3f}")
+
+    sim.run(until=4 * 3600.0)
+    serve = sharesphere.serve("stolen-copy")
+    print(f"  sharesphere serves the stolen copy: {serve.served} ({serve.reason})")
+
+    print("\nAggregator inventories:")
+    for aggregator in (photowall, sharesphere):
+        print(f"  {aggregator.name}: {aggregator.counts()}")
+
+
+if __name__ == "__main__":
+    main()

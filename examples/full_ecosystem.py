@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""The whole IRS world in one simulation.
+
+Four simulated weeks of a mid-bootstrap ecosystem, all moving parts at
+once:
+
+* owners keep claiming photos (some revoked-by-default) and a few
+  revoke previously shared ones;
+* browsers with IRS extensions view photos through a caching,
+  Bloom-filtered proxy;
+* one IRS-supporting aggregator takes uploads, rechecks hourly, and
+  serves with freshness proofs; one legacy aggregator does none of it;
+* ledgers republish filters hourly; the proxy pulls deltas;
+* an honesty prober audits the ledger weekly; the browser's site
+  indicator rates both aggregators;
+* a sophisticated attacker strikes mid-run and is defeated on appeal.
+
+    python examples/full_ecosystem.py
+"""
+
+import numpy as np
+
+from repro.aggregator.aggregator import AggregatorConfig, ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.recheck import PeriodicRechecker
+from repro.aggregator.uploads import UploadPipeline
+from repro.attacks.attackers import SophisticatedAttacker
+from repro.browser.extension import IrsBrowserExtension
+from repro.browser.indicator import SiteIndicator
+from repro.core import IrsDeployment
+from repro.core.owner import OwnerToolkit
+from repro.filters.sizing import bloom_bits_for_fpr, bloom_optimal_hashes
+from repro.ledger.appeals import AppealsProcess
+from repro.ledger.export import FilterExporter
+from repro.ledger.probes import HonestyProber
+from repro.netsim.simulator import Simulator
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+from repro.proxy.proxy import IrsProxy
+from repro.workload.population import populate_ledger
+from repro.workload.zipf import ZipfSampler
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEKS = 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    irs = IrsDeployment.create(seed=2026)
+    sim = Simulator()
+    clock = sim.clock().now
+
+    print("Seeding the world…")
+    population = populate_ledger(irs.ledger, 8000, 0.55, rng)
+    print(f"  {population.size} claims, {population.num_revoked} revoked")
+
+    nbits = bloom_bits_for_fpr(population.num_revoked + 2000, 0.02)
+    k = bloom_optimal_hashes(nbits, population.num_revoked + 2000)
+    exporter = FilterExporter(irs.ledger, nbits=nbits, num_hashes=k)
+    exporter.publish(now=0.0)
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    filterset.refresh()
+
+    proxy = IrsProxy(
+        "community-proxy",
+        irs.registry,
+        filterset=filterset,
+        cache=TtlLruCache(100_000, ttl=HOUR, clock=clock),
+        clock=clock,
+    )
+    extension = IrsBrowserExtension(status_source=proxy.status)
+    indicator = SiteIndicator()
+
+    irs_site = ContentAggregator(
+        "photowall", irs.registry,
+        config=AggregatorConfig(recheck_interval=HOUR), clock=clock,
+    )
+    legacy_site = ContentAggregator(
+        "oldgram", irs.registry, config=AggregatorConfig.legacy(), clock=clock
+    )
+    pipeline = UploadPipeline(
+        irs_site,
+        watermark_codec=irs.watermark_codec,
+        custodial_ledger=irs.ledger,
+        custodial_toolkit=OwnerToolkit(
+            rng=np.random.default_rng(7), watermark_codec=irs.watermark_codec
+        ),
+        hash_database=RobustHashDatabase(),
+    )
+    legacy_pipeline = UploadPipeline(legacy_site, watermark_codec=irs.watermark_codec)
+    PeriodicRechecker(irs_site).schedule_on(sim, until=WEEKS * 7 * DAY)
+
+    prober = HonestyProber(irs.ledger, np.random.default_rng(9))
+    prober.plant_canaries(6)
+
+    # Views land almost entirely on unrevoked photos (the section 4.4
+    # assumption); a small leak models revoked content still circulating.
+    REVOKED_VIEW_FRACTION = 0.02
+    samplers = {}
+
+    def rebuild_samplers():
+        viewable = np.nonzero(~population.revoked_mask)[0]
+        revoked = np.nonzero(population.revoked_mask)[0]
+        samplers["viewable"] = (viewable, ZipfSampler(viewable.size, 1.0, rng))
+        samplers["revoked"] = (revoked, ZipfSampler(max(revoked.size, 1), 1.0, rng))
+
+    def draw_view_index() -> int:
+        kind = (
+            "revoked"
+            if rng.uniform() < REVOKED_VIEW_FRACTION and population.num_revoked
+            else "viewable"
+        )
+        indices, sampler = samplers[kind]
+        return int(indices[sampler.sample_one() % indices.size])
+
+    rebuild_samplers()
+    chronicle: list[str] = []
+    state = {"filter_bytes": 0, "blocked": 0, "views": 0}
+
+    # -- recurring processes --------------------------------------------------
+
+    def hourly_filter_cycle():
+        exporter.publish(now=sim.now)
+        state["filter_bytes"] += proxy.refresh_filters()
+        if sim.now + HOUR <= WEEKS * 7 * DAY:
+            sim.schedule(HOUR, hourly_filter_cycle)
+
+    def hourly_browsing():
+        for _ in range(120):  # views this hour
+            index = draw_view_index()
+            decision = extension.check_identifier(population.identifiers[index])
+            state["views"] += 1
+            if not decision.display:
+                state["blocked"] += 1
+                indicator.observe_revoked_served("oldgram")  # legacy serves it anyway
+            else:
+                indicator.observe_labeled_photo("photowall")
+        if sim.now + HOUR <= WEEKS * 7 * DAY:
+            sim.schedule(HOUR, hourly_browsing)
+
+    def daily_claim_churn():
+        fresh = populate_ledger(irs.ledger, 60, 0.5, rng)
+        population.identifiers.extend(fresh.identifiers)
+        population.revoked_mask = np.concatenate(
+            [population.revoked_mask, fresh.revoked_mask]
+        )
+        rebuild_samplers()
+        if sim.now + DAY <= WEEKS * 7 * DAY:
+            sim.schedule(DAY, daily_claim_churn)
+
+    def weekly_probe():
+        report = prober.run_round()
+        chronicle.append(
+            f"day {sim.now / DAY:5.1f}: probe round — "
+            f"{'clean' if report.clean else f'{len(report.violations)} violations'}"
+        )
+        if sim.now + 7 * DAY <= WEEKS * 7 * DAY:
+            sim.schedule(7 * DAY, weekly_probe)
+
+    sim.schedule(HOUR, hourly_filter_cycle)
+    sim.schedule(0.5 * HOUR, hourly_browsing)
+    sim.schedule(DAY, daily_claim_churn)
+    sim.schedule(7 * DAY, weekly_probe)
+
+    # -- scripted events --------------------------------------------------------
+
+    owner_photo = irs.new_photo()
+    owner_receipt, owner_labeled = irs.owner_toolkit.claim_and_label(
+        owner_photo, irs.ledger
+    )
+
+    def day2_uploads():
+        outcome = pipeline.upload("vacation", owner_labeled)
+        legacy_pipeline.upload("vacation-copy", owner_labeled)
+        chronicle.append(
+            f"day {sim.now / DAY:5.1f}: owner shares 'vacation' — "
+            f"photowall: {outcome.decision.value}, oldgram: accepted (no checks)"
+        )
+
+    def day9_revoke():
+        irs.owner_toolkit.revoke(owner_receipt, irs.ledger)
+        chronicle.append(f"day {sim.now / DAY:5.1f}: owner revokes 'vacation'")
+
+    def day10_check_takedown():
+        photowall = irs_site.serve("vacation").served
+        oldgram = legacy_site.serve("vacation-copy").served
+        if not photowall:
+            indicator.observe_labeled_photo("photowall")
+        if oldgram:
+            indicator.observe_revoked_served("oldgram")
+        chronicle.append(
+            f"day {sim.now / DAY:5.1f}: 'vacation' served? "
+            f"photowall={photowall}, oldgram={oldgram}"
+        )
+
+    attack_state = {}
+
+    def day14_attack():
+        attacker = SophisticatedAttacker(
+            irs.ledger, rng=np.random.default_rng(13),
+            watermark_codec=irs.watermark_codec,
+        )
+        attack = attacker.reclaim_copy(owner_labeled)
+        outcome = pipeline.upload("stolen", attack.photo)
+        attack_state["attack"] = attack
+        chronicle.append(
+            f"day {sim.now / DAY:5.1f}: attacker re-claims the revoked photo "
+            f"as {attack.identifier} — upload {outcome.decision.value}"
+        )
+
+    def day16_appeal():
+        attack = attack_state["attack"]
+        process = AppealsProcess(irs.ledger, [irs.timestamp_authority])
+        appeal = irs.owner_toolkit.prepare_appeal(
+            owner_receipt, owner_photo, process, attack.identifier, attack.photo
+        )
+        decision = process.adjudicate(appeal)
+        chronicle.append(
+            f"day {sim.now / DAY:5.1f}: appeal {decision.verdict.value} "
+            f"(robust distance {decision.robust_distance:.3f})"
+        )
+
+    def day17_verify_takedown():
+        served = irs_site.serve("stolen").served
+        chronicle.append(
+            f"day {sim.now / DAY:5.1f}: stolen copy still served? {served}"
+        )
+
+    sim.schedule(2 * DAY, day2_uploads)
+    sim.schedule(9 * DAY, day9_revoke)
+    sim.schedule(10 * DAY, day10_check_takedown)
+    sim.schedule(14 * DAY, day14_attack)
+    sim.schedule(16 * DAY, day16_appeal)
+    sim.schedule(17 * DAY + HOUR, day17_verify_takedown)
+
+    print(f"\nRunning {WEEKS} simulated weeks…")
+    sim.run(until=WEEKS * 7 * DAY)
+
+    print("\nChronicle:")
+    for line in chronicle:
+        print(f"  {line}")
+
+    print("\nFour-week totals:")
+    stats = proxy.stats
+    print(f"  views checked:          {state['views']:,}")
+    print(f"  revoked views blocked:  {state['blocked']:,}")
+    print(f"  ledger queries:         {stats.ledger_queries:,} "
+          f"({stats.load_reduction_factor:.0f}x reduction)")
+    print(f"  filter update traffic:  {state['filter_bytes']:,} bytes")
+    print(f"  photowall inventory:    {irs_site.counts()}")
+    print(f"  site ratings:           photowall={indicator.rating('photowall').value}, "
+          f"oldgram={indicator.rating('oldgram').value}")
+
+
+if __name__ == "__main__":
+    main()

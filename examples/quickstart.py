@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: the four IRS operations in one sitting.
+
+Runs a complete owner lifecycle against an in-process deployment:
+claim -> label -> validate -> revoke -> validate -> unrevoke, plus what
+happens when metadata is stripped along the way.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import IrsDeployment
+from repro.core.validation import ValidationPolicy, Validator
+
+
+def main() -> None:
+    # One call stands up a timestamp authority, a commercial ledger, a
+    # registry, an owner toolkit and a validator, all seeded.
+    irs = IrsDeployment.create(seed=2022)
+
+    print("=== 1. The camera takes a photo ===")
+    photo = irs.new_photo(height=128, width=128)
+    print(f"photo: {photo.height}x{photo.width}, hash {photo.content_hash()[:16]}…")
+
+    print("\n=== 2. Claiming: enter it into a ledger ===")
+    receipt = irs.owner_toolkit.claim(photo, irs.ledger)
+    print(f"identifier: {receipt.identifier}")
+    print(f"per-photo key: {receipt.keypair.fingerprint}")
+    print(f"authenticated timestamp: t={receipt.timestamp.time}, "
+          f"serial={receipt.timestamp.serial}")
+
+    print("\n=== 3. Labeling: metadata + robust watermark ===")
+    labeled = irs.owner_toolkit.label(photo, receipt)
+    print(f"metadata field: {labeled.metadata.irs_identifier}")
+    print(f"watermark PSNR vs original: {labeled.psnr_against(photo):.1f} dB "
+          "(imperceptible)")
+
+    print("\n=== 4. Validating before display ===")
+    result = irs.validator.validate(labeled)
+    print(f"decision: {result.decision.value}  ({result.detail})")
+    assert result.allowed
+
+    print("\n=== 5. The owner changes their mind: revoke ===")
+    irs.owner_toolkit.revoke(receipt, irs.ledger)
+    result = irs.validator.validate(labeled)
+    print(f"decision: {result.decision.value}  ({result.detail})")
+    assert not result.allowed
+
+    print("\n=== 6. Labels survive metadata stripping ===")
+    stripped = labeled.copy()
+    stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+    result = irs.validator.validate(stripped)
+    print(f"metadata gone, watermark found -> decision: {result.decision.value}")
+    print(f"  (label state: {result.label.state.value})")
+
+    print("\n=== 7. Unrevoke: the owner shares it again ===")
+    irs.owner_toolkit.unrevoke(receipt, irs.ledger)
+    viewing = Validator.for_registry(
+        irs.registry,
+        policy=ValidationPolicy.viewing(),
+        watermark_codec=irs.watermark_codec,
+    )
+    result = viewing.validate(labeled)
+    print(f"viewing-posture decision: {result.decision.value}")
+    assert result.allowed
+
+    print("\nDone: claim, label, validate, revoke, unrevoke all exercised.")
+
+
+if __name__ == "__main__":
+    main()

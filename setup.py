@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline dev).
+
+`pip install -e .` needs wheel for PEP 660 editable builds; this shim
+lets `python setup.py develop` provide the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

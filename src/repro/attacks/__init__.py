@@ -1,0 +1,40 @@
+"""Section 5: direct attacks and unintended consequences.
+
+* :mod:`repro.attacks.attackers` -- the naive attacker (strip/destroy
+  labels; self-defeating) and the sophisticated attacker (re-claim a
+  copy under a fresh key; defeated by appeals).
+* :mod:`repro.attacks.malicious_ledger` -- ledgers that lie about
+  status or ignore revocations, for probe/reputation experiments.
+* :mod:`repro.attacks.reputation` -- the reputational market dynamics
+  the paper counts on to discipline ledgers.
+* :mod:`repro.attacks.censorship` -- coercion scenarios and the
+  nonprofit non-revocable archive ledger defence.
+"""
+
+from repro.attacks.attackers import (
+    NaiveAttacker,
+    SophisticatedAttacker,
+    AttackResult,
+)
+from repro.attacks.malicious_ledger import LyingLedger, StonewallingLedger
+from repro.attacks.reputation import LedgerMarket, LedgerReputation
+from repro.attacks.censorship import (
+    ArchiveLedger,
+    CoercionAttempt,
+    CoercionOutcome,
+    attempt_coerced_revocation,
+)
+
+__all__ = [
+    "NaiveAttacker",
+    "SophisticatedAttacker",
+    "AttackResult",
+    "LyingLedger",
+    "StonewallingLedger",
+    "LedgerMarket",
+    "LedgerReputation",
+    "ArchiveLedger",
+    "CoercionAttempt",
+    "CoercionOutcome",
+    "attempt_coerced_revocation",
+]

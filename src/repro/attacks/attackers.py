@@ -1,0 +1,137 @@
+"""Attacker models from section 5, "Direct Attacks".
+
+**Naive attacker**: "insert incorrect metadata and/or apply enough
+cropping and/or distortion to render the watermark unreadable.  This
+would render the picture unsharable, which is self-defeating" -- an
+IRS upload pipeline denies label-conflicted and label-partial photos.
+
+**Sophisticated attacker**: "claim the picture (i.e., register a copy
+with a ledger), mark it as not revoked, insert new metadata and a
+matching watermark (erasing the old one), and then start sharing it.
+IRS cannot prevent or detect this automatically ... but must rely on
+the aforementioned appeals process."  (QIM re-embedding overwrites the
+previous watermark's coefficients, so "erasing the old one" falls out
+of the embedding itself.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.owner import ClaimReceipt, OwnerToolkit
+from repro.ledger.ledger import Ledger
+from repro.media.image import Photo
+from repro.media.metadata import IRS_IDENTIFIER_FIELD
+from repro.media.transforms import add_noise
+from repro.media.watermark import WatermarkCodec
+
+__all__ = ["NaiveAttacker", "SophisticatedAttacker", "AttackResult"]
+
+
+@dataclass
+class AttackResult:
+    """The artifact an attacker produced, plus bookkeeping."""
+
+    photo: Photo
+    description: str
+    # For the sophisticated attacker: the fraudulent claim, and the
+    # exact photo that was claimed (pre-relabeling pixels -- what the
+    # attacker would have to present in any appeal of their own).
+    receipt: Optional[ClaimReceipt] = None
+    claimed_photo: Optional[Photo] = None
+
+    @property
+    def identifier(self) -> Optional[PhotoIdentifier]:
+        return self.receipt.identifier if self.receipt else None
+
+
+class NaiveAttacker:
+    """Destroys or corrupts labels without re-claiming.
+
+    Both moves are self-defeating under IRS validation; the tests and
+    the E10 bench confirm the resulting photos are denied at upload.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng or np.random.default_rng()
+
+    def strip_and_mangle(self, photo: Photo, noise_sigma: float = 0.12) -> AttackResult:
+        """Strip metadata and add noise heavy enough to kill the watermark.
+
+        sigma 0.12 (~30 grey levels) visibly degrades the photo -- the
+        price of destroying a delta-40 QIM watermark.
+        """
+        mangled = add_noise(
+            photo, sigma=noise_sigma, rng=self._rng, preserve_metadata=False
+        )
+        return AttackResult(
+            photo=mangled,
+            description="metadata stripped + heavy noise (watermark destroyed)",
+        )
+
+    def forge_metadata(
+        self, photo: Photo, fake_identifier: PhotoIdentifier
+    ) -> AttackResult:
+        """Replace the metadata identifier while the watermark persists.
+
+        Produces a metadata/watermark *disagreement*, which validation
+        denies outright.
+        """
+        forged = photo.copy()
+        forged.metadata.set(IRS_IDENTIFIER_FIELD, fake_identifier.to_string())
+        return AttackResult(
+            photo=forged,
+            description=f"metadata forged to {fake_identifier} (watermark intact)",
+        )
+
+    def strip_metadata_only(self, photo: Photo) -> AttackResult:
+        """Strip metadata, leave pixels alone (watermark survives)."""
+        stripped = photo.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        return AttackResult(
+            photo=stripped, description="metadata stripped, watermark intact"
+        )
+
+
+class SophisticatedAttacker:
+    """Re-claims a copy under its own key pair.
+
+    The result is indistinguishable from a legitimately claimed photo
+    (matching metadata + watermark, unrevoked ledger record); only the
+    appeals process -- earlier authenticated timestamp plus robust-hash
+    derivation -- defeats it.
+    """
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        rng: Optional[np.random.Generator] = None,
+        watermark_codec: Optional[WatermarkCodec] = None,
+    ):
+        self.ledger = ledger
+        self._toolkit = OwnerToolkit(
+            rng=rng or np.random.default_rng(),
+            watermark_codec=watermark_codec or WatermarkCodec(payload_len=12),
+        )
+
+    def reclaim_copy(self, stolen_photo: Photo) -> AttackResult:
+        """Claim ``stolen_photo`` as one's own and re-label it.
+
+        Re-labeling embeds the attacker's identifier over the original
+        watermark and overwrites the metadata field, exactly the
+        section 5 recipe.
+        """
+        # Shed the victim's metadata before claiming.
+        laundered = stolen_photo.copy()
+        laundered.metadata = laundered.metadata.stripped(preserve_irs=False)
+        receipt, relabeled = self._toolkit.claim_and_label(laundered, self.ledger)
+        return AttackResult(
+            photo=relabeled,
+            description="copy re-claimed under attacker key, re-labeled",
+            receipt=receipt,
+            claimed_photo=laundered,
+        )

@@ -1,0 +1,135 @@
+"""Censorship pressure and the archive-ledger defence (section 5).
+
+"One might worry that government authorities could use their influence
+on owners or ledgers to force photos to be revoked.  IRS cannot stop
+direct coercion, but nonprofit groups could create ledgers for specific
+types of photos; e.g., that document human-rights violations ...  These
+ledgers could register photos and not allow their revocation (and would
+deny the appeals process if it appeared the appeal was done under
+duress)."
+
+:class:`ArchiveLedger` is that nonprofit ledger: revocation disabled by
+policy, appeals subject to a duress screen.
+:func:`attempt_coerced_revocation` plays out a coercion attempt against
+any ledger and reports whether the content survived.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.errors import RevocationError
+from repro.core.owner import ClaimReceipt, OwnerToolkit
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.appeals import Appeal, AppealDecision, AppealVerdict, AppealsProcess
+from repro.ledger.ledger import Ledger, LedgerConfig
+
+__all__ = [
+    "ArchiveLedger",
+    "CoercionAttempt",
+    "CoercionOutcome",
+    "attempt_coerced_revocation",
+    "DuressScreenedAppeals",
+]
+
+
+class ArchiveLedger(Ledger):
+    """A nonprofit documentation ledger: claims can never be revoked."""
+
+    def __init__(
+        self,
+        ledger_id: str,
+        timestamp_authority: TimestampAuthority,
+        **kwargs,
+    ):
+        config = kwargs.pop("config", None) or LedgerConfig()
+        config.allow_revocation = False
+        super().__init__(
+            ledger_id=ledger_id,
+            timestamp_authority=timestamp_authority,
+            config=config,
+            **kwargs,
+        )
+
+    def permanently_revoke(self, identifier):  # noqa: D102 - policy override
+        raise RevocationError(
+            f"archive ledger {self.ledger_id!r} never revokes: its records "
+            "document events and are permanent by policy"
+        )
+
+
+class DuressScreenedAppeals(AppealsProcess):
+    """Appeals with a duress screen before adjudication.
+
+    ``duress_detector(appeal) -> bool`` stands in for the human review
+    the paper describes ("would deny the appeals process if it appeared
+    the appeal was done under duress").
+    """
+
+    def __init__(
+        self,
+        *args,
+        duress_detector: Optional[Callable[[Appeal], bool]] = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.duress_detector = duress_detector or (lambda appeal: False)
+        self.appeals_screened_out = 0
+
+    def adjudicate(self, appeal: Appeal) -> AppealDecision:
+        if self.duress_detector(appeal):
+            self.appeals_screened_out += 1
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "appeal appears to be made under duress; denied by policy",
+            )
+        return super().adjudicate(appeal)
+
+
+class CoercionOutcome(enum.Enum):
+    CONTENT_REVOKED = "content_revoked"  # coercion succeeded
+    CONTENT_SURVIVED = "content_survived"  # ledger policy blocked it
+
+
+@dataclass
+class CoercionAttempt:
+    """Result of one coercion attempt."""
+
+    outcome: CoercionOutcome
+    detail: str
+
+    @property
+    def survived(self) -> bool:
+        return self.outcome is CoercionOutcome.CONTENT_SURVIVED
+
+
+def attempt_coerced_revocation(
+    owner: OwnerToolkit, receipt: ClaimReceipt, ledger: Ledger
+) -> CoercionAttempt:
+    """An authority coerces the owner into requesting revocation.
+
+    The owner complies (IRS "cannot stop direct coercion") -- the
+    question is whether the *ledger's policy* lets the revocation go
+    through.  Against a commercial ledger it does; against an
+    :class:`ArchiveLedger` it does not, and the documentation stays
+    available.
+    """
+    try:
+        owner.revoke(receipt, ledger)
+    except RevocationError as exc:
+        return CoercionAttempt(
+            outcome=CoercionOutcome.CONTENT_SURVIVED,
+            detail=f"ledger refused the (coerced) revocation: {exc}",
+        )
+    proof = ledger.status(receipt.identifier)
+    if proof.revoked:
+        return CoercionAttempt(
+            outcome=CoercionOutcome.CONTENT_REVOKED,
+            detail="coerced revocation succeeded on a commercial ledger",
+        )
+    return CoercionAttempt(
+        outcome=CoercionOutcome.CONTENT_SURVIVED,
+        detail="revocation request accepted but state did not change",
+    )

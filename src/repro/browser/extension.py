@@ -1,0 +1,222 @@
+"""The IRS browser extension (sections 4.1-4.4).
+
+"We built a prototype ledger and browser extension that performed
+revocation checks" — this class is that prototype's logic:
+
+* viewing-posture validation (metadata-driven, fail-open);
+* a local TTL cache of check results (repeat views of the same photo,
+  e.g. while scrolling, cost nothing);
+* an optional in-browser Bloom filter ("during early adoption ... one
+  could use the same strategy to reduce the load on the proxies by
+  inserting a Bloom filter in browsers themselves", section 4.4);
+* site marking via :mod:`repro.browser.indicator`.
+
+The extension talks to a *status source* — a proxy in the bootstrap
+deployment, or a registry directly in the naive/private-unfriendly
+configuration — through one callable, so experiments swap wiring
+freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.identifiers import IdentifierError, PhotoIdentifier
+from repro.core.labeling import read_label
+from repro.media.image import Photo
+from repro.media.watermark import WatermarkCodec
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+
+__all__ = ["IrsBrowserExtension", "ExtensionStats", "DisplayDecision"]
+
+
+@dataclass
+class ExtensionStats:
+    images_seen: int = 0
+    unlabeled: int = 0
+    cache_hits: int = 0
+    filter_short_circuits: int = 0
+    checks_sent: int = 0
+    blocked: int = 0
+    freshness_proofs_accepted: int = 0
+
+
+@dataclass(frozen=True)
+class DisplayDecision:
+    """Whether to display an image, and why."""
+
+    display: bool
+    reason: str
+    identifier: Optional[PhotoIdentifier] = None
+
+
+#: Status source: identifier -> object with a boolean ``revoked`` field
+#: (a StatusProof from a registry or a ProxyAnswer from a proxy).
+StatusFn = Callable[[PhotoIdentifier], object]
+
+
+class IrsBrowserExtension:
+    """Per-browser IRS support.
+
+    Parameters
+    ----------
+    status_source:
+        Where checks go (proxy or registry adapter).
+    cache:
+        Local TTL cache of (identifier -> revoked) results.
+    local_filter:
+        Optional in-browser Bloom filter set (early-adoption variant).
+    watermark_codec:
+        Used only when ``check_watermarks`` is True; the default
+        viewing path trusts metadata (cheap) per section 4.3's
+        performance goals.
+    check_watermarks:
+        Extract watermarks on metadata-less images.  Slower, but
+        catches labels that survived metadata stripping; requires a
+        registry for compact-identifier resolution.
+    registry:
+        Needed to resolve watermark-only labels and to verify
+        aggregator freshness proofs.
+    accept_freshness_proofs:
+        Trust a valid, fresh aggregator-attached status proof
+        (section 3.2) instead of issuing a check.  Requires a registry
+        (to find the signing ledger's key) and a clock.
+    freshness_max_age:
+        Maximum accepted proof age, seconds.
+    clock:
+        Time source for freshness evaluation.
+    """
+
+    def __init__(
+        self,
+        status_source: StatusFn,
+        cache: Optional[TtlLruCache] = None,
+        local_filter: Optional[ProxyFilterSet] = None,
+        watermark_codec: Optional[WatermarkCodec] = None,
+        check_watermarks: bool = False,
+        registry=None,
+        accept_freshness_proofs: bool = False,
+        freshness_max_age: float = 3600.0,
+        clock=None,
+    ):
+        self._status = status_source
+        self.cache = cache
+        self.local_filter = local_filter
+        self.codec = watermark_codec or WatermarkCodec(payload_len=12)
+        self.check_watermarks = check_watermarks
+        self._registry = registry
+        self.accept_freshness_proofs = accept_freshness_proofs
+        self.freshness_max_age = float(freshness_max_age)
+        self._clock = clock or (lambda: 0.0)
+        self.stats = ExtensionStats()
+        if accept_freshness_proofs and registry is None:
+            raise ValueError(
+                "accepting freshness proofs requires a registry to verify them"
+            )
+
+    # -- identifier discovery ----------------------------------------------------
+
+    def _identify(self, photo: Photo) -> Optional[PhotoIdentifier]:
+        raw = photo.metadata.irs_identifier
+        if raw is not None:
+            try:
+                return PhotoIdentifier.from_string(raw)
+            except IdentifierError:
+                pass
+        if self.check_watermarks:
+            label = read_label(photo, self.codec, registry=self._registry)
+            if label.watermark_identifier is not None:
+                return label.watermark_identifier
+        return None
+
+    # -- the display hook -----------------------------------------------------------
+
+    def on_image(self, photo: Photo) -> DisplayDecision:
+        """Called for every image the page wants to render."""
+        self.stats.images_seen += 1
+        identifier = self._identify(photo)
+        if identifier is None:
+            self.stats.unlabeled += 1
+            return DisplayDecision(display=True, reason="unlabeled")
+        if self.accept_freshness_proofs:
+            verdict = self._try_freshness_proof(photo, identifier)
+            if verdict is not None:
+                return verdict
+        return self._decide(identifier)
+
+    def _try_freshness_proof(
+        self, photo: Photo, identifier: PhotoIdentifier
+    ) -> Optional[DisplayDecision]:
+        """Accept an aggregator-attached proof when valid and fresh.
+
+        Returns None (fall through to a real check) when the proof is
+        missing, malformed, for a different photo, stale, or fails
+        signature verification -- a forged proof must never *weaken*
+        the outcome.
+        """
+        from repro.ledger.proofs import StatusProof
+        from repro.media.metadata import IRS_FRESHNESS_FIELD
+
+        wire = photo.metadata.get(IRS_FRESHNESS_FIELD)
+        if wire is None:
+            return None
+        try:
+            proof = StatusProof.from_wire(wire)
+        except (ValueError, TypeError):
+            return None
+        if proof.identifier != identifier.to_string():
+            return None
+        if not proof.is_fresh(self._clock(), self.freshness_max_age):
+            return None
+        ledger = self._registry.get(identifier.ledger_id)
+        if ledger is None or proof.ledger_fingerprint != ledger.fingerprint:
+            return None
+        if not proof.verify(ledger.public_key):
+            return None
+        self.stats.freshness_proofs_accepted += 1
+        return self._verdict(identifier, proof.revoked, "freshness proof")
+
+    def check_identifier(self, identifier: PhotoIdentifier) -> DisplayDecision:
+        """Check a known identifier (loader-integration fast path)."""
+        self.stats.images_seen += 1
+        return self._decide(identifier)
+
+    def _decide(self, identifier: PhotoIdentifier) -> DisplayDecision:
+        key = identifier.to_string()
+
+        if self.local_filter is not None and not self.local_filter.might_be_revoked(
+            identifier.to_compact()
+        ):
+            self.stats.filter_short_circuits += 1
+            return DisplayDecision(
+                display=True, reason="local filter miss", identifier=identifier
+            )
+
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return self._verdict(identifier, bool(cached), "cache")
+
+        self.stats.checks_sent += 1
+        answer = self._status(identifier)
+        revoked = bool(getattr(answer, "revoked"))
+        if self.cache is not None:
+            self.cache.put(key, revoked)
+        return self._verdict(identifier, revoked, "check")
+
+    def _verdict(
+        self, identifier: PhotoIdentifier, revoked: bool, how: str
+    ) -> DisplayDecision:
+        if revoked:
+            self.stats.blocked += 1
+            return DisplayDecision(
+                display=False,
+                reason=f"revoked by owner ({how})",
+                identifier=identifier,
+            )
+        return DisplayDecision(
+            display=True, reason=f"not revoked ({how})", identifier=identifier
+        )

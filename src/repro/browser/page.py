@@ -1,0 +1,101 @@
+"""Web pages as resource collections.
+
+The loader model needs sizes and label flags, not actual markup.  A
+:class:`Page` is an HTML document plus auxiliary resources (CSS/JS,
+render-blocking) plus images (each possibly IRS-labeled).  Image
+metadata — where the IRS identifier lives — arrives within the first
+``metadata_prefix_bytes`` of the transfer, which is what makes
+pipelined revocation checks possible (section 4.3: "one can generally
+check a photo as soon as its metadata has been downloaded").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.identifiers import PhotoIdentifier
+
+__all__ = ["ImageResource", "AuxResource", "Page"]
+
+#: Bytes of an image transfer that carry headers + metadata.  JPEG APP
+#: segments (where EXIF/XMP live) precede scan data, so metadata is
+#: available almost immediately.
+DEFAULT_METADATA_PREFIX = 2048
+
+
+@dataclass
+class ImageResource:
+    """One image on a page.
+
+    Attributes
+    ----------
+    name:
+        Resource identity (URL stand-in).
+    size_bytes:
+        Transfer size.
+    identifier:
+        IRS identifier when the image is labeled, else None.
+    metadata_prefix_bytes:
+        How much of the transfer must arrive before the IRS metadata is
+        readable.
+    """
+
+    name: str
+    size_bytes: int
+    identifier: Optional[PhotoIdentifier] = None
+    metadata_prefix_bytes: int = DEFAULT_METADATA_PREFIX
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("image size must be positive")
+        self.metadata_prefix_bytes = min(self.metadata_prefix_bytes, self.size_bytes)
+
+    @property
+    def labeled(self) -> bool:
+        return self.identifier is not None
+
+
+@dataclass
+class AuxResource:
+    """A render-blocking auxiliary resource (CSS or JS)."""
+
+    name: str
+    size_bytes: int
+    kind: str = "css"  # 'css' | 'js'
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("resource size must be positive")
+        if self.kind not in ("css", "js"):
+            raise ValueError("kind must be 'css' or 'js'")
+
+
+@dataclass
+class Page:
+    """A page: HTML + blocking resources + images."""
+
+    name: str
+    html_bytes: int
+    aux: List[AuxResource] = field(default_factory=list)
+    images: List[ImageResource] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.html_bytes <= 0:
+            raise ValueError("html size must be positive")
+
+    @property
+    def num_images(self) -> int:
+        return len(self.images)
+
+    @property
+    def num_labeled_images(self) -> int:
+        return sum(1 for img in self.images if img.labeled)
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.html_bytes
+            + sum(r.size_bytes for r in self.aux)
+            + sum(i.size_bytes for i in self.images)
+        )

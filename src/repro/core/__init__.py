@@ -1,0 +1,91 @@
+"""IRS core: the public API of the Internet Revocation System.
+
+The four operations of section 3.1, as a library surface:
+
+* **Claiming** -- :meth:`repro.core.owner.OwnerToolkit.claim` enters a
+  photo into a ledger with cryptographic proof-of-ownership material.
+* **Labeling** -- :meth:`repro.core.owner.OwnerToolkit.label` attaches
+  the ledger identifier as explicit metadata *and* a robust watermark.
+* **Revoking** -- :meth:`repro.core.owner.OwnerToolkit.revoke` flips the
+  ledger flag after proving ownership.
+* **Validating** -- :class:`repro.core.validation.Validator` checks a
+  photo before display/save/share, implementing the section 3.2 policy
+  (metadata and watermark must agree; disagreement or partial loss
+  denies the action).
+
+Quick start::
+
+    from repro.core import IrsDeployment
+
+    irs = IrsDeployment.create(seed=0)
+    photo = irs.new_photo()
+    receipt = irs.owner_toolkit.claim(photo, irs.ledger)
+    labeled = irs.owner_toolkit.label(photo, receipt)
+    irs.owner_toolkit.revoke(receipt, irs.ledger)
+    result = irs.validator.validate(labeled)   # -> denied, photo revoked
+
+Exports resolve lazily (PEP 562): ``repro.ledger`` imports
+``repro.core.identifiers``, and eager re-exports here would close an
+import cycle (core -> owner -> ledger -> core).
+"""
+
+from repro.core.identifiers import PhotoIdentifier, IdentifierError
+from repro.core.errors import (
+    IrsError,
+    ClaimError,
+    RevocationError,
+    ValidationError,
+)
+
+__all__ = [
+    "PhotoIdentifier",
+    "IdentifierError",
+    "IrsError",
+    "ClaimError",
+    "RevocationError",
+    "ValidationError",
+    "OwnerToolkit",
+    "ClaimReceipt",
+    "label_photo",
+    "read_label",
+    "LabelReadResult",
+    "Validator",
+    "ValidationResult",
+    "ValidationDecision",
+    "ValidationOutcome",
+    "IrsDeployment",
+    "VideoOwnerToolkit",
+    "judge_video_appeal",
+]
+
+# Lazy exports: name -> (module, attribute).
+_LAZY = {
+    "OwnerToolkit": ("repro.core.owner", "OwnerToolkit"),
+    "ClaimReceipt": ("repro.core.owner", "ClaimReceipt"),
+    "label_photo": ("repro.core.labeling", "label_photo"),
+    "read_label": ("repro.core.labeling", "read_label"),
+    "LabelReadResult": ("repro.core.labeling", "LabelReadResult"),
+    "Validator": ("repro.core.validation", "Validator"),
+    "ValidationResult": ("repro.core.validation", "ValidationResult"),
+    "ValidationDecision": ("repro.core.validation", "ValidationDecision"),
+    "ValidationOutcome": ("repro.core.validation", "ValidationOutcome"),
+    "IrsDeployment": ("repro.core.deployment", "IrsDeployment"),
+    "VideoOwnerToolkit": ("repro.core.video_owner", "VideoOwnerToolkit"),
+    "judge_video_appeal": ("repro.core.video_owner", "judge_video_appeal"),
+}
+
+
+def __getattr__(name: str):
+    entry = _LAZY.get(name)
+    if entry is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(entry[0])
+    value = getattr(module, entry[1])
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,72 @@
+"""Derivative images that inherit the original's label.
+
+Section 3.2: denying uploads with broken labels "does not prohibit
+common (and potentially valid) cases of modifying and reusing photos,
+such as adding text to create memes; rather, the intention is to
+encourage those making derivative images to transfer the metadata to
+the modified version so that it is also revoked if the original is
+revoked."
+
+:func:`make_derivative` is that transfer: apply an edit, then re-label
+the result with the *original's* identifier (fresh watermark over the
+edited pixels + metadata field).  The derivative then behaves exactly
+like the original under validation: one revocation takes down the meme
+along with the source photo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.labeling import label_photo, read_label
+from repro.media.image import Photo
+from repro.media.watermark import WatermarkCodec
+
+__all__ = ["make_derivative", "derive_with_label", "DerivativeError"]
+
+
+class DerivativeError(Exception):
+    """Raised when the source photo's label cannot be established."""
+
+
+def derive_with_label(
+    edited: Photo,
+    source_identifier: PhotoIdentifier,
+    codec: Optional[WatermarkCodec] = None,
+) -> Photo:
+    """Label an already-edited photo with its source's identifier."""
+    codec = codec or WatermarkCodec(payload_len=12)
+    return label_photo(edited, source_identifier, codec)
+
+
+def make_derivative(
+    source: Photo,
+    transform: Callable[[Photo], Photo],
+    codec: Optional[WatermarkCodec] = None,
+    registry=None,
+) -> Photo:
+    """Apply ``transform`` to a labeled photo and transfer its label.
+
+    The source's identifier is read from its label (either channel);
+    the transformed pixels are then re-labeled with it, so the
+    derivative validates — and revokes — with the original.
+
+    Raises :class:`DerivativeError` when the source carries no
+    resolvable label (an unlabeled source has nothing to transfer;
+    editors should claim the result themselves instead).
+    """
+    codec = codec or WatermarkCodec(payload_len=12)
+    label = read_label(source, codec, registry=registry)
+    identifier = label.identifier
+    if identifier is None:
+        raise DerivativeError(
+            "source photo carries no resolvable label; claim the edited "
+            "photo as new work instead"
+        )
+    edited = transform(source)
+    # Strip any stale label state the transform carried through, then
+    # re-label cleanly over the edited pixels.
+    edited = edited.copy()
+    edited.metadata = edited.metadata.stripped(preserve_irs=False)
+    return derive_with_label(edited, identifier, codec)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the IRS public API."""
+
+from __future__ import annotations
+
+__all__ = [
+    "IrsError",
+    "ClaimError",
+    "RevocationError",
+    "ValidationError",
+    "AppealError",
+    "LedgerUnavailableError",
+]
+
+
+class IrsError(Exception):
+    """Base class for all IRS errors."""
+
+
+class ClaimError(IrsError):
+    """Claiming a photo failed (duplicate, payment, malformed record)."""
+
+
+class RevocationError(IrsError):
+    """Revoking/unrevoking failed (bad ownership proof, unknown photo)."""
+
+
+class ValidationError(IrsError):
+    """Validation could not be carried out (as opposed to a deny verdict,
+    which is a normal :class:`repro.core.validation.ValidationResult`)."""
+
+
+class AppealError(IrsError):
+    """The appeals process rejected or could not process an appeal."""
+
+
+class LedgerUnavailableError(IrsError):
+    """The ledger for an identifier cannot be reached/resolved."""

@@ -1,0 +1,152 @@
+"""Labeling photos and reading labels back.
+
+A label is the photo's ledger identifier carried redundantly:
+
+* **explicit metadata** -- the string encoding in the
+  ``irs:identifier`` field, trivially readable and trivially strippable;
+* **watermark** -- the 12-byte compact encoding embedded in pixels,
+  robust to benign edits.
+
+Section 3.2's upload rule: "If the explicit metadata or watermark
+disagree or one of them is missing (indicating that the photo has been
+modified in some way that has lost metadata), the upload is also
+denied."  :func:`read_label` produces the evidence that rule needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.identifiers import IdentifierError, PhotoIdentifier
+from repro.media.image import Photo
+from repro.media.watermark import WatermarkCodec, WatermarkError
+
+__all__ = ["label_photo", "read_label", "LabelReadResult", "LabelState"]
+
+
+class LabelState(enum.Enum):
+    """Joint state of the two label channels."""
+
+    BOTH_AGREE = "both_agree"
+    DISAGREE = "disagree"
+    METADATA_ONLY = "metadata_only"
+    WATERMARK_ONLY = "watermark_only"
+    UNLABELED = "unlabeled"
+
+
+@dataclass(frozen=True)
+class LabelReadResult:
+    """What was found in each channel.
+
+    ``metadata_identifier`` is fully resolved (the string form names the
+    ledger).  The watermark carries only the compact form; resolving it
+    to a ledger needs the registry (``watermark_identifier`` is filled
+    when a registry was supplied to :func:`read_label`).
+    """
+
+    metadata_identifier: Optional[PhotoIdentifier]
+    watermark_payload: Optional[bytes]
+    watermark_identifier: Optional[PhotoIdentifier]
+    state: LabelState
+
+    @property
+    def identifier(self) -> Optional[PhotoIdentifier]:
+        """The agreed identifier, when the channels agree; else whichever
+        single channel is present; None when unlabeled or conflicting."""
+        if self.state is LabelState.BOTH_AGREE:
+            return self.metadata_identifier
+        if self.state is LabelState.METADATA_ONLY:
+            return self.metadata_identifier
+        if self.state is LabelState.WATERMARK_ONLY:
+            return self.watermark_identifier
+        return None
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.state is not LabelState.UNLABELED
+
+
+def label_photo(
+    photo: Photo, identifier: PhotoIdentifier, codec: WatermarkCodec
+) -> Photo:
+    """Return a copy of ``photo`` labeled with ``identifier``.
+
+    Embeds the watermark first, then writes the metadata field, so the
+    metadata travels on the watermarked pixels.
+    """
+    compact = identifier.to_compact()
+    if len(compact) != codec.payload_len:
+        raise ValueError(
+            f"watermark codec payload length {codec.payload_len} does not "
+            f"match compact identifier length {len(compact)}"
+        )
+    labeled = codec.embed(photo, compact)
+    labeled.metadata.irs_identifier = identifier.to_string()
+    return labeled
+
+
+def read_label(
+    photo: Photo,
+    codec: WatermarkCodec,
+    registry=None,
+    search_offsets: bool = True,
+    try_flip: bool = False,
+) -> LabelReadResult:
+    """Inspect both label channels of ``photo``.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`repro.ledger.registry.LedgerRegistry`; when
+        given, a surviving watermark is resolved to a full identifier
+        even if metadata is gone.
+    search_offsets / try_flip:
+        Passed through to watermark extraction (crop/flip recovery).
+    """
+    metadata_id: Optional[PhotoIdentifier] = None
+    raw = photo.metadata.irs_identifier
+    if raw is not None:
+        try:
+            metadata_id = PhotoIdentifier.from_string(raw)
+        except IdentifierError:
+            metadata_id = None  # malformed metadata counts as absent
+
+    watermark_payload: Optional[bytes] = None
+    try:
+        extraction = codec.extract(
+            photo, search_offsets=search_offsets, try_flip=try_flip
+        )
+        watermark_payload = extraction.payload
+    except WatermarkError:
+        watermark_payload = None
+
+    watermark_id: Optional[PhotoIdentifier] = None
+    if watermark_payload is not None and registry is not None:
+        try:
+            watermark_id = registry.resolve_compact(watermark_payload)
+        except Exception:  # noqa: BLE001 - unknown tag => unresolvable
+            watermark_id = None
+
+    state = _classify(metadata_id, watermark_payload)
+    return LabelReadResult(
+        metadata_identifier=metadata_id,
+        watermark_payload=watermark_payload,
+        watermark_identifier=watermark_id,
+        state=state,
+    )
+
+
+def _classify(
+    metadata_id: Optional[PhotoIdentifier], watermark_payload: Optional[bytes]
+) -> LabelState:
+    if metadata_id is None and watermark_payload is None:
+        return LabelState.UNLABELED
+    if metadata_id is None:
+        return LabelState.WATERMARK_ONLY
+    if watermark_payload is None:
+        return LabelState.METADATA_ONLY
+    if metadata_id.matches_compact(watermark_payload):
+        return LabelState.BOTH_AGREE
+    return LabelState.DISAGREE

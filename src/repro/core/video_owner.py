@@ -1,0 +1,155 @@
+"""Owner-side operations for personal videos.
+
+Section 2 extends the IRS design to "other digital media (such as
+personal videos)".  :class:`VideoOwnerToolkit` mirrors
+:class:`repro.core.owner.OwnerToolkit` for :class:`repro.media.video.Video`:
+
+* **claim** — the ledger records the hash over all frames;
+* **label** — metadata on the container plus the identifier
+  watermarked into every frame (clip-resistant);
+* **revoke/unrevoke** — identical challenge-response protocol (the
+  ledger does not care what media type a claim covers);
+* **appeals** — the copy-vs-original comparison uses per-frame robust
+  hashes with a coverage threshold
+  (:func:`repro.media.video.video_match_coverage`), so clipped and
+  recompressed copies are still recognized as derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import ClaimError
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.owner import ClaimReceipt
+from repro.crypto.signatures import KeyPair
+from repro.ledger.ledger import Ledger
+from repro.media.video import Video, VideoWatermarkCodec, video_match_coverage
+
+__all__ = ["VideoOwnerToolkit", "VideoAppealJudgement", "judge_video_appeal"]
+
+
+class VideoOwnerToolkit:
+    """Camera-side video operations."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        key_bits: int = 512,
+        video_codec: Optional[VideoWatermarkCodec] = None,
+    ):
+        self._rng = rng or np.random.default_rng()
+        self._key_bits = int(key_bits)
+        self.video_codec = video_codec or VideoWatermarkCodec()
+
+    def claim(
+        self,
+        video: Video,
+        ledger: Ledger,
+        initially_revoked: bool = False,
+    ) -> ClaimReceipt:
+        """Claim a video: the content hash covers every frame."""
+        keypair = KeyPair.generate(bits=self._key_bits, rng=self._rng)
+        content_hash = video.content_hash()
+        signature = keypair.sign(content_hash.encode("utf-8"))
+        record = ledger.claim(
+            content_hash=content_hash,
+            content_signature=signature,
+            public_key=keypair.public,
+            initially_revoked=initially_revoked,
+        )
+        return ClaimReceipt(
+            identifier=record.identifier,
+            keypair=keypair,
+            content_hash=content_hash,
+            timestamp=record.timestamp,
+        )
+
+    def label(self, video: Video, receipt: ClaimReceipt) -> Video:
+        """Metadata + per-frame watermark carrying the identifier."""
+        compact = receipt.identifier.to_compact()
+        if len(compact) != self.video_codec.payload_len:
+            raise ClaimError(
+                "video codec payload length does not match identifier encoding"
+            )
+        labeled = self.video_codec.embed(video, compact)
+        labeled.metadata.irs_identifier = receipt.identifier.to_string()
+        return labeled
+
+    def claim_and_label(
+        self, video: Video, ledger: Ledger, initially_revoked: bool = False
+    ) -> tuple[ClaimReceipt, Video]:
+        receipt = self.claim(video, ledger, initially_revoked=initially_revoked)
+        return receipt, self.label(video, receipt)
+
+    def revoke(self, receipt: ClaimReceipt, ledger: Ledger) -> None:
+        self._flip(receipt, ledger, "revoke")
+
+    def unrevoke(self, receipt: ClaimReceipt, ledger: Ledger) -> None:
+        self._flip(receipt, ledger, "unrevoke")
+
+    def _flip(self, receipt: ClaimReceipt, ledger: Ledger, action: str) -> None:
+        if receipt.identifier.ledger_id != ledger.ledger_id:
+            raise ClaimError(
+                f"receipt is for ledger {receipt.identifier.ledger_id!r}, "
+                f"not {ledger.ledger_id!r}"
+            )
+        nonce = ledger.make_challenge(receipt.identifier)
+        payload = Ledger.ownership_payload(action, receipt.identifier, nonce)
+        signature = receipt.keypair.sign_struct(payload)
+        if action == "revoke":
+            ledger.revoke(receipt.identifier, nonce, signature)
+        else:
+            ledger.unrevoke(receipt.identifier, nonce, signature)
+
+    def identify(self, video: Video, registry=None) -> Optional[PhotoIdentifier]:
+        """Recover a video's identifier from metadata or watermark."""
+        raw = video.metadata.irs_identifier
+        if raw is not None:
+            try:
+                return PhotoIdentifier.from_string(raw)
+            except Exception:  # noqa: BLE001 - malformed => try watermark
+                pass
+        try:
+            payload = self.video_codec.extract(video)
+        except Exception:  # noqa: BLE001 - no watermark
+            return None
+        if registry is None:
+            return None
+        try:
+            return registry.resolve_compact(payload)
+        except Exception:  # noqa: BLE001 - unknown tag
+            return None
+
+
+@dataclass(frozen=True)
+class VideoAppealJudgement:
+    """Outcome of the video derivation check used in appeals."""
+
+    derived: bool
+    coverage: float
+    threshold: float
+
+
+def judge_video_appeal(
+    original: Video,
+    copy: Video,
+    coverage_threshold: float = 0.6,
+    frame_threshold: float = 0.25,
+) -> VideoAppealJudgement:
+    """Is ``copy`` derived from ``original``?
+
+    ``coverage`` is the fraction of the copy's frames perceptually
+    matching some original frame; a clipped/recompressed copy scores
+    near 1.0, unrelated footage near 0.0.  The 0.6 default tolerates
+    copies that interleave derived and novel material.
+    """
+    coverage = video_match_coverage(original, copy, threshold=frame_threshold)
+    return VideoAppealJudgement(
+        derived=coverage >= coverage_threshold,
+        coverage=coverage,
+        threshold=coverage_threshold,
+    )

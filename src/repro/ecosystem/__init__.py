@@ -1,0 +1,56 @@
+"""Technology Ecosystem Transformation (TET) adoption dynamics.
+
+The paper's central argument is not cryptographic but economic: a
+bootstrap deployment (browsers + proxies + ledgers) grows until the
+incumbents' incentives flip -- privacy branding becomes worth more than
+the engagement cost, and serving clearly-revoked photos becomes a legal
+liability -- at which point content aggregators adopt IRS "purely out
+of self-interest" (sections 1, 4.1, 6).
+
+This package makes that argument executable:
+
+* :mod:`repro.ecosystem.actors` -- the actor types: browser vendors,
+  content aggregators, the user population, ledgers.
+* :mod:`repro.ecosystem.incentives` -- explicit utility functions with
+  documented weights (brand value, legal liability, engagement cost,
+  competitive pressure).
+* :mod:`repro.ecosystem.adoption` -- the month-stepped simulation:
+  user adoption growth, photo population growth, per-aggregator adopt/
+  hold decisions with hysteresis, and cascade effects.
+* :mod:`repro.ecosystem.scenarios` -- canned parameterizations
+  (baseline, no first mover, strong liability, engagement-heavy
+  incumbents) used by experiment E9.
+"""
+
+from repro.ecosystem.actors import (
+    BrowserVendor,
+    AggregatorActor,
+    UserPopulation,
+    EcosystemState,
+)
+from repro.ecosystem.incentives import IncentiveWeights, adoption_utility, holdout_utility
+from repro.ecosystem.adoption import AdoptionModel, AdoptionTrace
+from repro.ecosystem.scenarios import (
+    baseline_scenario,
+    no_first_mover_scenario,
+    strong_liability_scenario,
+    engagement_incumbents_scenario,
+    Scenario,
+)
+
+__all__ = [
+    "BrowserVendor",
+    "AggregatorActor",
+    "UserPopulation",
+    "EcosystemState",
+    "IncentiveWeights",
+    "adoption_utility",
+    "holdout_utility",
+    "AdoptionModel",
+    "AdoptionTrace",
+    "baseline_scenario",
+    "no_first_mover_scenario",
+    "strong_liability_scenario",
+    "engagement_incumbents_scenario",
+    "Scenario",
+]

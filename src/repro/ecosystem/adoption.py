@@ -1,0 +1,233 @@
+"""The TET adoption simulation (experiment E9).
+
+Month-stepped dynamics:
+
+1. **Browser vendors** ship IRS when their privacy brand justifies it
+   (first movers ship at t=0 by scenario construction); IRS capability
+   reaches their users.
+2. **User adoption** grows logistically within the IRS-capable user
+   base: privacy-concerned users turn the feature on and start
+   auto-registering photos.
+3. **Photo population** grows as IRS users register their new photos
+   (section 4.4's register-by-default model).
+4. **Aggregators** compare :func:`adoption_utility` against
+   :func:`holdout_utility` each month; when adoption has dominated for
+   ``hysteresis_months`` consecutive months, they flip -- and their
+   market share feeds the competitive-pressure term for the rest,
+   producing the cascade the paper predicts.
+
+The model's claim-reproduction target: with plausible weights, holdouts
+flip when the photo population approaches the ~100 B scale at which the
+paper says "the ecosystem incentives will start to kick in", and no
+flip ever happens without the bootstrap (no first mover => no user
+adoption => no pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ecosystem.actors import (
+    AggregatorActor,
+    BrowserVendor,
+    EcosystemState,
+    UserPopulation,
+)
+from repro.ecosystem.incentives import (
+    IncentiveWeights,
+    adoption_utility,
+    holdout_utility,
+)
+
+__all__ = ["AdoptionModel", "AdoptionTrace"]
+
+
+@dataclass
+class AdoptionTrace:
+    """Time series produced by a run."""
+
+    states: List[EcosystemState] = field(default_factory=list)
+
+    def months(self) -> np.ndarray:
+        return np.asarray([s.month for s in self.states])
+
+    def user_adoption(self) -> np.ndarray:
+        return np.asarray([s.user_adoption for s in self.states])
+
+    def photo_population(self) -> np.ndarray:
+        return np.asarray([s.photo_population for s in self.states])
+
+    def aggregator_share(self) -> np.ndarray:
+        return np.asarray([s.aggregator_share_adopted for s in self.states])
+
+    def tipping_month(self, share_threshold: float = 0.5) -> Optional[int]:
+        """First month aggregator adoption (by share) crossed threshold."""
+        for state in self.states:
+            if state.aggregator_share_adopted >= share_threshold:
+                return state.month
+        return None
+
+    def photos_at_tipping(self, share_threshold: float = 0.5) -> Optional[float]:
+        """Photo population when the ecosystem tipped (the paper's ~100 B)."""
+        for state in self.states:
+            if state.aggregator_share_adopted >= share_threshold:
+                return state.photo_population
+        return None
+
+    def final(self) -> EcosystemState:
+        if not self.states:
+            raise ValueError("trace is empty")
+        return self.states[-1]
+
+
+class AdoptionModel:
+    """The month-stepped TET simulation."""
+
+    def __init__(
+        self,
+        vendors: List[BrowserVendor],
+        aggregators: List[AggregatorActor],
+        users: UserPopulation,
+        weights: Optional[IncentiveWeights] = None,
+        uptake_rate: float = 0.12,
+        uptake_ceiling_scale: float = 1.6,
+        hysteresis_months: int = 3,
+        vendor_ship_threshold: float = 0.6,
+        rng: Optional[np.random.Generator] = None,
+        decision_noise: float = 0.02,
+    ):
+        """
+        Parameters
+        ----------
+        uptake_rate:
+            Logistic growth rate of feature uptake among capable users.
+        uptake_ceiling_scale:
+            Uptake saturates at ``min(1, privacy_concern_mean * scale)``
+            of the capable population: only privacy-valuing users turn
+            the feature on.
+        hysteresis_months:
+            Consecutive months adoption must dominate before an
+            aggregator flips.
+        vendor_ship_threshold:
+            Privacy-brand level above which a vendor ships at t=0 (the
+            first movers); others ship only after the first aggregator
+            adopts (followers).
+        decision_noise:
+            Gaussian noise added to utility comparisons, modelling
+            unmodelled month-to-month business factors.
+        """
+        if not vendors:
+            raise ValueError("need at least one browser vendor")
+        if not aggregators:
+            raise ValueError("need at least one aggregator")
+        self.vendors = vendors
+        self.aggregators = aggregators
+        self.users = users
+        self.weights = weights or IncentiveWeights()
+        self.uptake_rate = float(uptake_rate)
+        self.uptake_ceiling_scale = float(uptake_ceiling_scale)
+        self.hysteresis_months = int(hysteresis_months)
+        self.vendor_ship_threshold = float(vendor_ship_threshold)
+        self._rng = rng or np.random.default_rng(0)
+        self.decision_noise = float(decision_noise)
+
+        self._user_adoption = 0.0
+        self._photo_population = 0.0
+        self._month = 0
+
+        # First movers ship immediately.
+        for vendor in self.vendors:
+            if vendor.privacy_brand >= self.vendor_ship_threshold:
+                vendor.adopted = True
+                vendor.adopted_at = 0.0
+
+    # -- derived quantities ------------------------------------------------------
+
+    def capable_share(self) -> float:
+        """Fraction of users whose browser supports IRS."""
+        return min(
+            1.0, sum(v.market_share for v in self.vendors if v.adopted)
+        )
+
+    def aggregator_share_adopted(self) -> float:
+        return min(
+            1.0, sum(a.market_share for a in self.aggregators if a.adopted)
+        )
+
+    def _uptake_ceiling(self) -> float:
+        return min(
+            1.0, self.users.privacy_concern_mean * self.uptake_ceiling_scale
+        ) * self.capable_share()
+
+    # -- stepping --------------------------------------------------------------------
+
+    def step(self) -> EcosystemState:
+        """Advance one month."""
+        self._month += 1
+
+        # 1. Follower vendors ship once any aggregator has adopted
+        #    (support becomes table stakes).
+        if any(a.adopted for a in self.aggregators):
+            for vendor in self.vendors:
+                if not vendor.adopted:
+                    vendor.adopted = True
+                    vendor.adopted_at = float(self._month)
+
+        # 2. Logistic feature uptake toward the privacy-user ceiling.
+        ceiling = self._uptake_ceiling()
+        if ceiling > 0:
+            gap = ceiling - self._user_adoption
+            self._user_adoption += self.uptake_rate * gap
+            self._user_adoption = min(self._user_adoption, ceiling)
+
+        # 3. Photo registration by active IRS users.
+        registering_users = self._user_adoption * self.users.size
+        self._photo_population += (
+            registering_users * self.users.photos_per_user_month
+        )
+
+        # 4. Aggregator decisions with hysteresis.
+        competitor_share = self.aggregator_share_adopted()
+        for aggregator in self.aggregators:
+            if aggregator.adopted:
+                continue
+            adopt = adoption_utility(aggregator, self._user_adoption, self.weights)
+            hold = holdout_utility(
+                aggregator,
+                self._user_adoption,
+                self._photo_population,
+                competitor_share,
+                self.weights,
+            )
+            noise = float(self._rng.normal(0.0, self.decision_noise))
+            if adopt + noise > hold:
+                aggregator._pressure_months += 1
+            else:
+                aggregator._pressure_months = 0
+            if aggregator._pressure_months >= self.hysteresis_months:
+                aggregator.adopted = True
+                aggregator.adopted_at = float(self._month)
+
+        return self.snapshot()
+
+    def snapshot(self) -> EcosystemState:
+        return EcosystemState(
+            month=self._month,
+            user_adoption=self._user_adoption,
+            photo_population=self._photo_population,
+            aggregators_adopted=sum(1 for a in self.aggregators if a.adopted),
+            aggregator_share_adopted=self.aggregator_share_adopted(),
+            vendor_share_adopted=self.capable_share(),
+        )
+
+    def run(self, months: int) -> AdoptionTrace:
+        """Run ``months`` steps; returns the full trace."""
+        if months < 1:
+            raise ValueError("run at least one month")
+        trace = AdoptionTrace(states=[self.snapshot()])
+        for _ in range(months):
+            trace.states.append(self.step())
+        return trace

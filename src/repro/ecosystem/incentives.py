@@ -1,0 +1,124 @@
+"""Utility functions: why an aggregator adopts or holds out.
+
+The paper names the forces precisely (section 4.1):
+
+* *Competitive advantage*: "for those companies branding themselves as
+  'pro-privacy' this would be seen as a competitive advantage (and
+  adoption by a single aggregator would be effective, because the
+  bootstrap phase has established the other components)".
+* *Legal liability*: "for all companies not supporting IRS, their lack
+  of support could become a legal liability (e.g., if a claimed and
+  revoked picture were shown by an aggregator, and harm resulted, the
+  aggregator could potentially be sued because the owner's intent was
+  clearly knowable)".
+* *Engagement cost*: "some aggregators are geared more towards
+  engagement than privacy and adopting IRS would reduce engagement".
+* *Reputational/competitive pressure*: browsers mark non-supporting
+  sites, raters publicize them, search engines demote them
+  (section 4.4) -- pressure that grows with user adoption and with
+  competitors' adoption.
+
+Utilities are in arbitrary "revenue units per month"; only differences
+matter.  All weights live in :class:`IncentiveWeights` so experiments
+can sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ecosystem.actors import AggregatorActor
+
+__all__ = ["IncentiveWeights", "adoption_utility", "holdout_utility"]
+
+
+@dataclass
+class IncentiveWeights:
+    """Tunable weights of the incentive model.
+
+    Attributes
+    ----------
+    brand_value:
+        Revenue value of privacy branding at full user adoption.
+    engagement_cost:
+        Revenue lost to reduced engagement, scaled by the aggregator's
+        engagement focus.
+    adoption_cost:
+        One-time-ish integration cost, amortized per month.  The paper
+        argues this is small ("the required operations are only a small
+        fractional addition to their current workflow").
+    liability_weight:
+        Expected legal/damages exposure per month at the reference
+        photo population, borne only by holdouts.
+    liability_reference_photos:
+        Photo population at which liability reaches its nominal weight
+        -- the paper's ~100 B threshold ("once the population of photos
+        ... reaches anywhere close to 100 billion photos, the ecosystem
+        incentives will start to kick in").
+    reputation_weight:
+        Holdout cost from site-marking/ranking penalties, scaled by
+        user adoption.
+    competitive_weight:
+        Extra holdout cost proportional to the market share of
+        competitors that already adopted (cascade force).
+    """
+
+    brand_value: float = 1.0
+    engagement_cost: float = 0.6
+    adoption_cost: float = 0.08
+    liability_weight: float = 1.5
+    liability_reference_photos: float = 100e9
+    reputation_weight: float = 0.5
+    competitive_weight: float = 0.8
+
+
+def _liability_pressure(photo_population: float, weights: IncentiveWeights) -> float:
+    """Liability grows smoothly with the registered-photo population.
+
+    Saturating (1 - exp) shape: negligible while IRS is tiny (no court
+    will fault a site for ignoring an obscure system), approaching the
+    nominal weight as the population nears the reference scale where
+    "the owner's intent was clearly knowable".
+    """
+    if photo_population <= 0:
+        return 0.0
+    ratio = photo_population / weights.liability_reference_photos
+    return 1.0 - math.exp(-ratio)
+
+
+def adoption_utility(
+    aggregator: AggregatorActor,
+    user_adoption: float,
+    weights: IncentiveWeights,
+) -> float:
+    """Monthly utility of supporting IRS.
+
+    Brand benefit scales with how many users can notice (user adoption)
+    and how privacy-branded the aggregator is; engagement cost scales
+    with the aggregator's engagement focus; minus integration cost.
+    """
+    brand = weights.brand_value * aggregator.privacy_brand * user_adoption
+    engagement = weights.engagement_cost * aggregator.engagement_focus
+    return brand - engagement - weights.adoption_cost
+
+
+def holdout_utility(
+    aggregator: AggregatorActor,
+    user_adoption: float,
+    photo_population: float,
+    competitor_adopted_share: float,
+    weights: IncentiveWeights,
+) -> float:
+    """Monthly utility of *not* supporting IRS (relative to today's 0).
+
+    All three holdout costs are negative terms: liability exposure,
+    reputational penalties from marking/ranking, and competitive losses
+    to adopted rivals.
+    """
+    liability = weights.liability_weight * _liability_pressure(
+        photo_population, weights
+    )
+    reputation = weights.reputation_weight * user_adoption
+    competition = weights.competitive_weight * competitor_adopted_share * user_adoption
+    return -(liability + reputation + competition)

@@ -1,0 +1,106 @@
+"""Monte Carlo analysis of TET tipping.
+
+Section 6: "TET in general, and IRS in particular, are not guaranteed
+to succeed, because the success of such a strategy depends on many
+factors outside our control."  This module quantifies that sentence:
+run the adoption model many times with perturbed incentive weights and
+decision noise, and report the *distribution* of outcomes — tipping
+probability, tipping-time quantiles, and the photo-population threshold
+band around the paper's 100 B figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ecosystem.incentives import IncentiveWeights
+from repro.ecosystem.scenarios import Scenario, baseline_scenario
+
+__all__ = ["MonteCarloResult", "run_monte_carlo", "perturb_weights"]
+
+
+@dataclass
+class MonteCarloResult:
+    """Distribution of outcomes across runs."""
+
+    runs: int
+    tipping_months: List[Optional[int]] = field(default_factory=list)
+    photos_at_tipping: List[Optional[float]] = field(default_factory=list)
+    final_shares: List[float] = field(default_factory=list)
+
+    @property
+    def tipping_probability(self) -> float:
+        return sum(1 for m in self.tipping_months if m is not None) / self.runs
+
+    def tipping_month_quantiles(self, qs=(0.1, 0.5, 0.9)) -> List[float]:
+        months = [m for m in self.tipping_months if m is not None]
+        if not months:
+            return [float("nan")] * len(qs)
+        return [float(np.quantile(months, q)) for q in qs]
+
+    def photo_threshold_quantiles(self, qs=(0.1, 0.5, 0.9)) -> List[float]:
+        photos = [p for p in self.photos_at_tipping if p is not None]
+        if not photos:
+            return [float("nan")] * len(qs)
+        return [float(np.quantile(photos, q)) for q in qs]
+
+    @property
+    def mean_final_share(self) -> float:
+        return float(np.mean(self.final_shares)) if self.final_shares else 0.0
+
+
+def perturb_weights(
+    base: IncentiveWeights, rng: np.random.Generator, spread: float = 0.3
+) -> IncentiveWeights:
+    """Log-normally perturb every weight by ~``spread`` relative sigma.
+
+    Models parameter uncertainty: nobody knows the true dollar value of
+    privacy branding or the true litigation exposure curve.
+    """
+
+    def jitter(value: float) -> float:
+        return float(value * rng.lognormal(0.0, spread))
+
+    return IncentiveWeights(
+        brand_value=jitter(base.brand_value),
+        engagement_cost=jitter(base.engagement_cost),
+        adoption_cost=jitter(base.adoption_cost),
+        liability_weight=jitter(base.liability_weight),
+        liability_reference_photos=jitter(base.liability_reference_photos),
+        reputation_weight=jitter(base.reputation_weight),
+        competitive_weight=jitter(base.competitive_weight),
+    )
+
+
+def run_monte_carlo(
+    scenario: Optional[Scenario] = None,
+    runs: int = 100,
+    months: int = 240,
+    weight_spread: float = 0.3,
+    share_threshold: float = 0.5,
+    seed: int = 0,
+) -> MonteCarloResult:
+    """Run the scenario ``runs`` times with perturbed weights.
+
+    Each run draws fresh incentive weights and a fresh decision-noise
+    stream; actors and user population stay at the scenario's values
+    (they are observable; the weights are not).
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    scenario = scenario or baseline_scenario()
+    meta_rng = np.random.default_rng(seed)
+    result = MonteCarloResult(runs=runs)
+    base_weights = scenario.weights
+    for run_index in range(runs):
+        scenario.weights = perturb_weights(base_weights, meta_rng, weight_spread)
+        model = scenario.build(seed=int(meta_rng.integers(2**31)))
+        trace = model.run(months)
+        result.tipping_months.append(trace.tipping_month(share_threshold))
+        result.photos_at_tipping.append(trace.photos_at_tipping(share_threshold))
+        result.final_shares.append(trace.final().aggregator_share_adopted)
+    scenario.weights = base_weights
+    return result

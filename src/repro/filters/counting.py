@@ -1,0 +1,106 @@
+"""Counting Bloom filter: membership with deletion support.
+
+The plain Bloom filters that ledgers publish (section 4.4) only grow.
+Internally, though, a ledger's *claimed* set can shrink — e.g. claims
+can expire, or the appeals process can void a fraudulent claim — so the
+ledger-side structure from which the published filter is regenerated
+benefits from deletions.  A counting Bloom filter stores a small counter
+per position instead of a bit; the exported plain filter is simply the
+"counter > 0" projection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from repro.filters.bitarray import BitArray
+from repro.filters.bloom import BloomFilter
+
+__all__ = ["CountingBloomFilter"]
+
+
+class CountingBloomFilter:
+    """Bloom filter with per-position counters (uint16, saturating).
+
+    Shares hash geometry with :class:`BloomFilter` so its projection can
+    be OR-ed with plain filters from other ledgers.
+    """
+
+    def __init__(self, nbits: int, num_hashes: int, salt: bytes = b"irs"):
+        if num_hashes < 1:
+            raise ValueError("need at least one hash function")
+        if len(salt) > 8:
+            raise ValueError("salt must be at most 8 bytes")
+        self._counters = np.zeros(nbits, dtype=np.uint16)
+        self._num_hashes = int(num_hashes)
+        self._salt = salt.ljust(8, b"\x00")
+        self._count = 0
+
+    @property
+    def nbits(self) -> int:
+        return int(self._counters.size)
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    @property
+    def num_keys(self) -> int:
+        return self._count
+
+    def _positions(self, key: bytes) -> np.ndarray:
+        digest = hashlib.blake2b(key, digest_size=16, salt=self._salt).digest()
+        h1 = np.uint64(int.from_bytes(digest[:8], "little"))
+        h2 = np.uint64(int.from_bytes(digest[8:], "little"))
+        i = np.arange(self._num_hashes, dtype=np.uint64)
+        return ((h1 + i * h2) % np.uint64(self.nbits)).astype(np.int64)
+
+    def add(self, key: bytes) -> None:
+        positions = self._positions(key)
+        # Saturating increment: a counter stuck at max never decrements
+        # to zero incorrectly because we also never increment past max.
+        for p in positions:
+            if self._counters[p] < np.iinfo(np.uint16).max:
+                self._counters[p] += 1
+        self._count += 1
+
+    def add_many(self, keys: Iterable[bytes]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def remove(self, key: bytes) -> None:
+        """Remove a key previously added.
+
+        Removing a key that was never added corrupts the filter (as with
+        any counting Bloom filter); callers must track membership.  A
+        best-effort guard raises when any counter is already zero.
+        """
+        positions = self._positions(key)
+        if (self._counters[positions] == 0).any():
+            raise KeyError("key does not appear to be present; remove refused")
+        self._counters[positions] -= 1
+        self._count -= 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return bool((self._counters[self._positions(key)] > 0).all())
+
+    def project(self) -> BloomFilter:
+        """Export the plain Bloom filter (counter > 0) ledgers publish."""
+        result = BloomFilter(self.nbits, self._num_hashes, self._salt.rstrip(b"\x00"))
+        bits = BitArray(self.nbits)
+        set_positions = np.nonzero(self._counters > 0)[0]
+        if set_positions.size:
+            bits.set_many(set_positions)
+        result._bits = bits
+        result._count = self._count
+        result._salt = self._salt
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CountingBloomFilter(nbits={self.nbits}, k={self._num_hashes}, "
+            f"keys={self._count})"
+        )

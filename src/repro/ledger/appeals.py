@@ -1,0 +1,245 @@
+"""The appeals process (sections 3.2 and 5).
+
+When someone re-claims a copy of a revoked photo to circumvent
+revocation, "the original owner presents the ledger with the original
+photo and a signed timestamp of the original claim, along with the
+copied version of the photo.  The ledger then compares the original
+with the copy, using robust hashing (as in PhotoDNA) and/or human
+inspection.  If they believe that the copy is derived from the original
+photo, they then mark it as permanently revoked."
+
+Adjudication checks, in order:
+
+1. *Standing*: the appellant proves possession of the original claim's
+   private key (challenge-response), and the presented timestamp token
+   verifies under a trusted timestamp authority and binds (original
+   content hash, original public key).
+2. *Priority*: the original's authenticated timestamp strictly precedes
+   the copy's claim timestamp.
+3. *Derivation*: robust-hash distance between the presented original
+   photo and the copy's photo is at or below threshold; when it falls
+   in an uncertainty band, an optional human-inspection oracle decides.
+
+The decision is "fairly heavyweight, but it does not rely on vague
+judgements about whether the picture is harmful, only whether it is
+derived from the original photo."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.errors import AppealError
+from repro.core.identifiers import PhotoIdentifier
+from repro.crypto.signatures import PublicKey, Signature
+from repro.crypto.timestamp import TimestampAuthority, TimestampToken
+from repro.ledger.ledger import Ledger
+from repro.ledger.records import claim_digest
+from repro.media.image import Photo
+from repro.media.perceptual import DEFAULT_MATCH_THRESHOLD, robust_hash
+
+__all__ = ["AppealsProcess", "Appeal", "AppealDecision", "AppealVerdict"]
+
+
+class AppealVerdict(enum.Enum):
+    UPHELD = "upheld"  # copy permanently revoked
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Appeal:
+    """Everything the original owner presents.
+
+    Attributes
+    ----------
+    original_photo:
+        The original photo itself (Goal #1(iii) is about *revocation*
+        not requiring content disclosure; appeals are the explicitly
+        heavyweight path and do present content).
+    original_content_hash / original_public_key / original_timestamp:
+        The claim material of the original, verifiable against the
+        timestamp authority without trusting the original's ledger.
+    ownership_nonce / ownership_signature:
+        Challenge-response proof that the appellant holds the
+        original's private key (nonce issued by the adjudicating
+        ledger via :meth:`AppealsProcess.make_challenge`).
+    copy_identifier:
+        The allegedly-derived claim on the adjudicating ledger.
+    copy_photo:
+        The copied photo as found in the wild.
+    """
+
+    original_photo: Photo
+    original_content_hash: str
+    original_public_key: PublicKey
+    original_timestamp: TimestampToken
+    ownership_nonce: bytes
+    ownership_signature: Signature
+    copy_identifier: PhotoIdentifier
+    copy_photo: Photo
+
+
+@dataclass(frozen=True)
+class AppealDecision:
+    verdict: AppealVerdict
+    reason: str
+    robust_distance: Optional[float] = None
+    used_human_inspection: bool = False
+
+    @property
+    def upheld(self) -> bool:
+        return self.verdict is AppealVerdict.UPHELD
+
+
+class AppealsProcess:
+    """Adjudicates appeals for one ledger.
+
+    Parameters
+    ----------
+    ledger:
+        The ledger hosting the allegedly fraudulent copy claims.
+    trusted_authorities:
+        Timestamp authorities whose tokens are accepted for priority.
+    match_threshold:
+        Robust-hash distance at or below which the copy is considered
+        derived without human help.
+    uncertainty_band:
+        Distances in (threshold, threshold + band] go to the human
+        oracle when one is configured (otherwise they are rejected:
+        false positives here would let anyone revoke stranger photos).
+    human_oracle:
+        Optional callable ``(original, copy) -> bool`` standing in for
+        human inspection.
+    """
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        trusted_authorities: list[TimestampAuthority],
+        match_threshold: float = DEFAULT_MATCH_THRESHOLD,
+        uncertainty_band: float = 0.10,
+        human_oracle: Optional[Callable[[Photo, Photo], bool]] = None,
+    ):
+        if not trusted_authorities:
+            raise ValueError("need at least one trusted timestamp authority")
+        self.ledger = ledger
+        self._authorities = {a.fingerprint: a for a in trusted_authorities}
+        self.match_threshold = float(match_threshold)
+        self.uncertainty_band = float(uncertainty_band)
+        self.human_oracle = human_oracle
+        self.appeals_heard = 0
+
+    def make_challenge(self) -> bytes:
+        """Nonce for the appellant's ownership proof."""
+        import secrets
+
+        nonce = secrets.token_bytes(16)
+        self._pending_nonces.add(nonce)
+        return nonce
+
+    # Pending nonces live on the instance; created lazily so dataclass-
+    # free construction stays simple.
+    @property
+    def _pending_nonces(self) -> set:
+        if not hasattr(self, "_nonces"):
+            self._nonces: set = set()
+        return self._nonces
+
+    @staticmethod
+    def ownership_payload(nonce: bytes, content_hash: str) -> dict:
+        return {"action": "appeal", "nonce": nonce, "content_hash": content_hash}
+
+    def adjudicate(self, appeal: Appeal) -> AppealDecision:
+        """Hear an appeal; upholding permanently revokes the copy."""
+        self.appeals_heard += 1
+
+        # 1a. Standing: appellant controls the original's private key.
+        if appeal.ownership_nonce not in self._pending_nonces:
+            raise AppealError("ownership nonce was not issued by this process")
+        self._pending_nonces.discard(appeal.ownership_nonce)
+        payload = self.ownership_payload(
+            appeal.ownership_nonce, appeal.original_content_hash
+        )
+        if not appeal.original_public_key.verify_struct(
+            payload, appeal.ownership_signature
+        ):
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "appellant failed to prove possession of the original's key",
+            )
+
+        # 1b. The presented original photo matches the claimed hash.
+        if appeal.original_photo.content_hash() != appeal.original_content_hash:
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "presented photo does not match the original content hash",
+            )
+
+        # 1c. The timestamp token verifies and binds (hash, key).
+        authority = self._authorities.get(
+            appeal.original_timestamp.authority_fingerprint
+        )
+        if authority is None:
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "original timestamp is from an untrusted authority",
+            )
+        if not appeal.original_timestamp.verify(authority.public_key):
+            return AppealDecision(
+                AppealVerdict.REJECTED, "original timestamp signature invalid"
+            )
+        expected_digest = claim_digest(
+            appeal.original_content_hash, appeal.original_public_key
+        )
+        if appeal.original_timestamp.digest != expected_digest:
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "original timestamp does not bind the presented claim material",
+            )
+
+        # 2. Priority: original claim strictly precedes the copy's.
+        copy_record = self.ledger.record(appeal.copy_identifier)
+        if copy_record is None:
+            raise AppealError(
+                f"no record {appeal.copy_identifier} on ledger "
+                f"{self.ledger.ledger_id!r}"
+            )
+        if not appeal.original_timestamp.precedes(copy_record.timestamp):
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "original claim does not predate the copy's claim",
+            )
+
+        # 3. Derivation: robust hash, escalating to human inspection.
+        distance = robust_hash(appeal.original_photo).distance(
+            robust_hash(appeal.copy_photo)
+        )
+        if distance <= self.match_threshold:
+            derived = True
+            used_human = False
+        elif (
+            distance <= self.match_threshold + self.uncertainty_band
+            and self.human_oracle is not None
+        ):
+            derived = bool(self.human_oracle(appeal.original_photo, appeal.copy_photo))
+            used_human = True
+        else:
+            derived = False
+            used_human = False
+        if not derived:
+            return AppealDecision(
+                AppealVerdict.REJECTED,
+                "copy not judged to be derived from the original",
+                robust_distance=distance,
+                used_human_inspection=used_human,
+            )
+
+        self.ledger.permanently_revoke(appeal.copy_identifier)
+        return AppealDecision(
+            AppealVerdict.UPHELD,
+            "copy derived from earlier-claimed original; permanently revoked",
+            robust_distance=distance,
+            used_human_inspection=used_human,
+        )

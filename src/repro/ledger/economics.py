@@ -1,0 +1,168 @@
+"""Ledger hosting economics (section 4.4).
+
+"If every labeled photo must be looked up before being displayed, the
+load on ledgers could easily become enormous.  This could make it
+prohibitively expensive to host a suitably scalable ledger in this
+bootstrap phase."
+
+This module turns that worry into arithmetic: a serving-cost model
+mapping bootstrap-phase scale (users, views/day, labeled fraction) to
+ledger query rates and monthly infrastructure cost, with and without
+the filter/cache offload.  The constants are deliberately conservative
+cloud-ish figures and are parameters, not truths; what the model
+reproduces is the *shape* — naive lookup costs scale into numbers no
+volunteer first-mover could pay, and the section 4.4 machinery brings
+them back to hobby scale.
+
+Used by experiment E15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServingCostModel", "BootstrapScale", "CostBreakdown"]
+
+
+@dataclass
+class BootstrapScale:
+    """How big the bootstrap deployment has grown.
+
+    Attributes
+    ----------
+    irs_users:
+        Browsers with IRS enabled.
+    photo_views_per_user_day:
+        Images rendered per user per day (feeds are image-heavy).
+    labeled_fraction:
+        Fraction of viewed images carrying IRS labels (grows with
+        adoption).
+    claimed_photos:
+        Photos registered across all ledgers (sets filter size).
+    revoked_fraction:
+        Fraction of *claimed* photos currently revoked (sets filter
+        contents under the revoked-set reading).
+    """
+
+    irs_users: float
+    photo_views_per_user_day: float = 200.0
+    labeled_fraction: float = 0.1
+    claimed_photos: float = 1e9
+    revoked_fraction: float = 0.6
+
+    def labeled_views_per_second(self) -> float:
+        per_day = (
+            self.irs_users * self.photo_views_per_user_day * self.labeled_fraction
+        )
+        return per_day / 86_400.0
+
+
+@dataclass
+class CostBreakdown:
+    """Monthly cost decomposition (USD-ish units; shapes, not truths)."""
+
+    query_rate_per_s: float
+    servers: int
+    server_cost: float
+    egress_cost: float
+    filter_hosting_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.server_cost + self.egress_cost + self.filter_hosting_cost
+
+
+@dataclass
+class ServingCostModel:
+    """Maps query load to infrastructure cost.
+
+    Attributes
+    ----------
+    queries_per_server_s:
+        Signed-status queries one server sustains.  Every answer
+        carries a fresh signature (~1 ms for 2048-bit RSA per core), so
+        a 16-core box realistically serves low thousands of signed
+        answers per second once request handling is included.
+    server_month_cost:
+        Monthly cost of one server.
+    egress_cost_per_gb / response_bytes:
+        Bandwidth pricing and signed-answer size.
+    filter_bits_per_key:
+        Published-filter geometry (8 bits/key = the paper's 2%).
+    filter_egress_downloads_month:
+        Full-filter downloads served per month (new proxies joining);
+        delta traffic is negligible next to this (experiment E6).
+    """
+
+    queries_per_server_s: float = 1_500.0
+    server_month_cost: float = 200.0
+    egress_cost_per_gb: float = 0.05
+    response_bytes: int = 512
+    filter_bits_per_key: float = 8.0
+    filter_egress_downloads_month: float = 200.0
+
+    # -- pieces ------------------------------------------------------------
+
+    def filter_size_bytes(self, scale: BootstrapScale) -> float:
+        revoked = scale.claimed_photos * scale.revoked_fraction
+        return revoked * self.filter_bits_per_key / 8.0
+
+    #: Provisioning headroom over the mean rate.  The default matches
+    #: the diurnal peak-to-mean of consumer photo traffic (see
+    #: :class:`repro.workload.diurnal.DiurnalProfile`, ~1.6x) plus
+    #: burst margin.
+    peak_provision_factor: float = 3.0
+
+    def monthly_cost(
+        self,
+        scale: BootstrapScale,
+        load_reduction: float = 1.0,
+        publish_filters: bool = False,
+    ) -> CostBreakdown:
+        """Cost of serving the bootstrap at ``scale``.
+
+        ``load_reduction`` is the factor achieved by proxy filters and
+        caches (1.0 = the naive every-view-queries design).
+        """
+        if load_reduction < 1.0:
+            raise ValueError("load reduction cannot be below 1")
+        query_rate = scale.labeled_views_per_second() / load_reduction
+        servers = max(
+            1,
+            int(
+                -(
+                    -query_rate
+                    * self.peak_provision_factor
+                    // self.queries_per_server_s
+                )
+            ),
+        )
+        server_cost = servers * self.server_month_cost
+        monthly_queries = query_rate * 86_400 * 30
+        egress_gb = monthly_queries * self.response_bytes / 1e9
+        egress_cost = egress_gb * self.egress_cost_per_gb
+        filter_cost = 0.0
+        if publish_filters:
+            filter_gb = self.filter_size_bytes(scale) / 1e9
+            filter_cost = (
+                filter_gb
+                * self.filter_egress_downloads_month
+                * self.egress_cost_per_gb
+            )
+        return CostBreakdown(
+            query_rate_per_s=query_rate,
+            servers=servers,
+            server_cost=server_cost,
+            egress_cost=egress_cost,
+            filter_hosting_cost=filter_cost,
+        )
+
+    def offload_ratio(
+        self, scale: BootstrapScale, load_reduction: float
+    ) -> float:
+        """Total-cost ratio naive / filtered — what the filter buys."""
+        naive = self.monthly_cost(scale, load_reduction=1.0).total
+        filtered = self.monthly_cost(
+            scale, load_reduction=load_reduction, publish_filters=True
+        ).total
+        return naive / filtered if filtered > 0 else float("inf")

@@ -1,0 +1,165 @@
+"""Bloom filter export with versioned snapshots and hourly deltas.
+
+Section 4.4: "Each ledger would produce a Bloom filter of their claimed
+photos (it is in a ledger's best interest to provide such Bloom filters
+as they reduce their load) ... updated regularly (perhaps hourly), and
+transferred with a delta encoding such that the update traffic will be
+low."
+
+One reading subtlety: the paper says "claimed photos" but its stated
+query-skipping logic ("if the photo does not hit in the filter, it is
+definitely not revoked and no actual ledger query need be performed")
+only works when the filter contains the *revoked* subset -- every
+labeled photo is by definition claimed, so a claimed-set filter would
+hit on every labeled view.  The exporter therefore defaults to the
+revoked set and offers the claimed set as an option for completeness;
+EXPERIMENTS.md documents the interpretation.
+
+A revoked-set filter is not monotone (owners unrevoke photos), so the
+exporter rebuilds from scratch each period and the delta layer handles
+both set and cleared bits (XOR semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.delta import FilterDelta, encode_delta
+from repro.ledger.ledger import Ledger
+
+__all__ = ["FilterExporter", "FilterSnapshot", "coordinated_exporters"]
+
+FilterContents = Literal["revoked", "claimed"]
+
+
+@dataclass
+class FilterSnapshot:
+    """One published filter version."""
+
+    version: int
+    filter: BloomFilter
+    published_at: float
+    num_keys: int
+
+
+class FilterExporter:
+    """Builds and versions a ledger's published filter.
+
+    All exporters participating in one proxy's OR-merge must share
+    ``nbits``, ``num_hashes`` and ``salt`` (Bloom filters only OR when
+    geometry matches); deployments coordinate these via the registry.
+    """
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        nbits: int,
+        num_hashes: int,
+        salt: bytes = b"irs",
+        contents: FilterContents = "revoked",
+    ):
+        self.ledger = ledger
+        self.nbits = int(nbits)
+        self.num_hashes = int(num_hashes)
+        self.salt = salt
+        self.contents: FilterContents = contents
+        self._snapshots: List[FilterSnapshot] = []
+
+    @property
+    def current(self) -> Optional[FilterSnapshot]:
+        return self._snapshots[-1] if self._snapshots else None
+
+    @property
+    def versions(self) -> List[int]:
+        return [snap.version for snap in self._snapshots]
+
+    def _build(self) -> tuple[BloomFilter, int]:
+        built = BloomFilter(self.nbits, self.num_hashes, self.salt)
+        count = 0
+        records = (
+            self.ledger.store.revoked_records()
+            if self.contents == "revoked"
+            else self.ledger.store.records()
+        )
+        for record in records:
+            built.add(record.identifier.to_compact())
+            count += 1
+        return built, count
+
+    def publish(self, now: Optional[float] = None) -> FilterSnapshot:
+        """Rebuild from current ledger state and publish a new version."""
+        built, count = self._build()
+        version = (self._snapshots[-1].version + 1) if self._snapshots else 1
+        snapshot = FilterSnapshot(
+            version=version,
+            filter=built,
+            published_at=now if now is not None else self.ledger.now(),
+            num_keys=count,
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def delta_between(self, from_version: int, to_version: int) -> FilterDelta:
+        """Delta a subscriber at ``from_version`` applies to reach
+        ``to_version``."""
+        old = self._snapshot(from_version)
+        new = self._snapshot(to_version)
+        return encode_delta(old.filter, new.filter, from_version, to_version)
+
+    def latest_delta_for(self, subscriber_version: int) -> Optional[FilterDelta]:
+        """Delta from the subscriber's version to the newest, or None if
+        the subscriber is current."""
+        current = self.current
+        if current is None:
+            raise ValueError("no filter has been published yet")
+        if subscriber_version == current.version:
+            return None
+        return self.delta_between(subscriber_version, current.version)
+
+    def _snapshot(self, version: int) -> FilterSnapshot:
+        for snap in self._snapshots:
+            if snap.version == version:
+                return snap
+        raise KeyError(f"no snapshot with version {version}")
+
+    def prune(self, keep_latest: int = 24) -> None:
+        """Drop old snapshots (a day of hourly versions by default)."""
+        if keep_latest < 1:
+            raise ValueError("must keep at least one snapshot")
+        self._snapshots = self._snapshots[-keep_latest:]
+
+
+def coordinated_exporters(
+    registry,
+    expected_keys: int,
+    target_fpr: float = 0.02,
+    salt: bytes = b"irs",
+    contents: FilterContents = "revoked",
+    publish: bool = True,
+) -> List[FilterExporter]:
+    """One exporter per registered ledger, with shared filter geometry.
+
+    Proxies OR all ledgers' filters together (section 4.4), which
+    requires identical (nbits, k, salt) across ledgers; in a real
+    deployment the registry would publish these constants.  This
+    helper sizes the shared geometry for ``expected_keys`` total
+    filter-resident photos at ``target_fpr`` and returns one exporter
+    per ledger (optionally having published a first snapshot).
+    """
+    from repro.filters.sizing import bloom_bits_for_fpr, bloom_optimal_hashes
+
+    if expected_keys < 1:
+        raise ValueError("expected_keys must be positive")
+    nbits = bloom_bits_for_fpr(expected_keys, target_fpr)
+    num_hashes = bloom_optimal_hashes(nbits, expected_keys)
+    exporters = []
+    for ledger in registry:
+        exporter = FilterExporter(
+            ledger, nbits=nbits, num_hashes=num_hashes, salt=salt, contents=contents
+        )
+        if publish:
+            exporter.publish()
+        exporters.append(exporter)
+    return exporters

@@ -1,0 +1,87 @@
+"""Signed revocation-status proofs.
+
+Two uses in the paper:
+
+* validators/aggregators receive a signed, dated statement of a photo's
+  status so downstream parties can verify freshness ("it includes in
+  metadata cryptographic proof that it has recently verified the
+  non-revoked status of the photo", section 3.2);
+* honesty probes compare a ledger's signed answers against known state
+  (section 5) -- a signed wrong answer is portable evidence of
+  misbehaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.signatures import PublicKey, Signature
+
+__all__ = ["StatusProof"]
+
+
+@dataclass(frozen=True)
+class StatusProof:
+    """A ledger-signed statement: "photo X was (not) revoked at time T"."""
+
+    identifier: str  # string form of the PhotoIdentifier
+    revoked: bool
+    permanently_revoked: bool
+    checked_at: float
+    ledger_fingerprint: str
+    signature: Signature
+
+    def payload(self) -> dict:
+        return {
+            "identifier": self.identifier,
+            "revoked": self.revoked,
+            "permanent": self.permanently_revoked,
+            "checked_at": self.checked_at,
+            "ledger": self.ledger_fingerprint,
+        }
+
+    def verify(self, ledger_key: PublicKey) -> bool:
+        """True iff this proof was signed by ``ledger_key``."""
+        return ledger_key.verify_struct(self.payload(), self.signature)
+
+    def is_fresh(self, now: float, max_age: float) -> bool:
+        """True iff the proof is no older than ``max_age`` seconds."""
+        return now - self.checked_at <= max_age
+
+    # -- wire encoding (travels in photo metadata, section 3.2) -----------
+
+    def to_wire(self) -> str:
+        """Compact string form for an ``irs:`` metadata field."""
+        return ":".join(
+            [
+                self.identifier.replace(":", "|"),
+                "1" if self.revoked else "0",
+                "1" if self.permanently_revoked else "0",
+                repr(self.checked_at),
+                self.ledger_fingerprint,
+                str(self.signature.value),
+                self.signature.signer_fingerprint,
+            ]
+        )
+
+    @staticmethod
+    def from_wire(text: str) -> "StatusProof":
+        """Inverse of :meth:`to_wire`; raises ValueError on malformed input."""
+        parts = text.split(":")
+        if len(parts) != 7:
+            raise ValueError("malformed freshness proof")
+        identifier, revoked, permanent, checked_at, ledger, sig_value, signer = parts
+        return StatusProof(
+            identifier=identifier.replace("|", ":"),
+            revoked=revoked == "1",
+            permanently_revoked=permanent == "1",
+            checked_at=float(checked_at),
+            ledger_fingerprint=ledger,
+            signature=Signature(
+                value=int(sig_value), signer_fingerprint=signer
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "revoked" if self.revoked else "not-revoked"
+        return f"StatusProof({self.identifier}, {state}, at={self.checked_at})"

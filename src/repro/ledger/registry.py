@@ -1,0 +1,92 @@
+"""The ledger registry: "we expect there will be several commercial
+ledgers ... and together they constitute a database of all registered
+photos in IRS" (section 3.1).
+
+The registry maps ledger ids (and the 4-byte compact tags used in
+watermark payloads) to ledger instances, and resolves identifiers to
+full records.  Browsers, proxies and aggregators hold a registry rather
+than individual ledger handles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.errors import LedgerUnavailableError
+from repro.core.identifiers import PhotoIdentifier, ledger_tag
+from repro.ledger.ledger import Ledger
+from repro.ledger.proofs import StatusProof
+
+__all__ = ["LedgerRegistry"]
+
+
+class LedgerRegistry:
+    """Directory of all participating ledgers."""
+
+    def __init__(self):
+        self._by_id: Dict[str, Ledger] = {}
+        self._by_tag: Dict[bytes, Ledger] = {}
+
+    def add(self, ledger: Ledger) -> Ledger:
+        if ledger.ledger_id in self._by_id:
+            raise ValueError(f"ledger {ledger.ledger_id!r} already registered")
+        tag = ledger_tag(ledger.ledger_id)
+        if tag in self._by_tag:
+            # A 4-byte tag collision between distinct ledger ids: the
+            # compact encoding cannot distinguish them.  Astronomically
+            # unlikely in practice; refuse loudly rather than misroute.
+            raise ValueError(
+                f"ledger tag collision between {ledger.ledger_id!r} and "
+                f"{self._by_tag[tag].ledger_id!r}"
+            )
+        self._by_id[ledger.ledger_id] = ledger
+        self._by_tag[tag] = ledger
+        return ledger
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Ledger]:
+        for ledger_id in sorted(self._by_id):
+            yield self._by_id[ledger_id]
+
+    def ledgers(self) -> List[Ledger]:
+        return list(self)
+
+    def get(self, ledger_id: str) -> Optional[Ledger]:
+        return self._by_id.get(ledger_id)
+
+    def require(self, ledger_id: str) -> Ledger:
+        ledger = self._by_id.get(ledger_id)
+        if ledger is None:
+            raise LedgerUnavailableError(f"no ledger registered as {ledger_id!r}")
+        return ledger
+
+    # -- identifier resolution ----------------------------------------------------
+
+    def resolve(self, identifier: PhotoIdentifier) -> Ledger:
+        """Ledger hosting ``identifier``."""
+        return self.require(identifier.ledger_id)
+
+    def resolve_compact(self, compact: bytes) -> PhotoIdentifier:
+        """Recover a full identifier from its 12-byte compact form.
+
+        Used when only the watermark survived (metadata stripped).
+        """
+        tag, serial = PhotoIdentifier.tag_and_serial_from_compact(compact)
+        ledger = self._by_tag.get(tag)
+        if ledger is None:
+            raise LedgerUnavailableError(
+                f"no registered ledger matches tag {tag.hex()}"
+            )
+        return PhotoIdentifier(ledger_id=ledger.ledger_id, serial=serial)
+
+    # -- convenience -----------------------------------------------------------------
+
+    def status(self, identifier: PhotoIdentifier) -> StatusProof:
+        """Route a status query to the hosting ledger."""
+        return self.resolve(identifier).status(identifier)
+
+    def total_status_queries(self) -> int:
+        """Aggregate hot-path load across all ledgers (bench metric)."""
+        return sum(ledger.status_queries_served for ledger in self)

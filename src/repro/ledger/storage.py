@@ -1,0 +1,104 @@
+"""Ledger persistence: record store plus append-only operation log.
+
+The store is in-memory (the reproduction has no durability requirement)
+but structured the way a durable implementation would be: a primary
+records map, a monotonically increasing serial allocator, and an
+append-only operation log mirrored into a Merkle tree so auditors can
+verify that history is never rewritten (section 5, malicious ledgers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.hashing import hash_struct
+from repro.crypto.merkle import MerkleLog
+from repro.ledger.records import ClaimRecord
+
+__all__ = ["LedgerStore", "LoggedOperation"]
+
+
+@dataclass(frozen=True)
+class LoggedOperation:
+    """One entry in the append-only operation log."""
+
+    kind: str  # 'claim' | 'revoke' | 'unrevoke' | 'permanent_revoke'
+    serial: int
+    time: float
+
+    def to_leaf_bytes(self) -> bytes:
+        return hash_struct({"kind": self.kind, "serial": self.serial, "time": self.time})
+
+
+class LedgerStore:
+    """Records, serial allocation, operation log, Merkle mirror."""
+
+    def __init__(self):
+        self._records: Dict[int, ClaimRecord] = {}
+        self._next_serial = 1
+        self._operations: list[LoggedOperation] = []
+        self._merkle = MerkleLog()
+
+    # -- serials ---------------------------------------------------------------
+
+    def allocate_serial(self) -> int:
+        serial = self._next_serial
+        self._next_serial += 1
+        return serial
+
+    # -- records ---------------------------------------------------------------
+
+    def put(self, record: ClaimRecord) -> None:
+        serial = record.identifier.serial
+        if serial in self._records:
+            raise KeyError(f"serial {serial} already present")
+        self._records[serial] = record
+
+    def get(self, serial: int) -> Optional[ClaimRecord]:
+        return self._records.get(serial)
+
+    def __contains__(self, serial: int) -> bool:
+        return serial in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Iterator[ClaimRecord]:
+        """All records in serial order."""
+        for serial in sorted(self._records):
+            yield self._records[serial]
+
+    def revoked_records(self) -> Iterator[ClaimRecord]:
+        for record in self.records():
+            if record.is_revoked:
+                yield record
+
+    # -- operation log -----------------------------------------------------------
+
+    def log_operation(self, kind: str, serial: int, time: float) -> int:
+        """Append to the operation log; returns the log index."""
+        op = LoggedOperation(kind=kind, serial=serial, time=time)
+        self._operations.append(op)
+        return self._merkle.append(op.to_leaf_bytes())
+
+    @property
+    def operations(self) -> list[LoggedOperation]:
+        return list(self._operations)
+
+    @property
+    def merkle(self) -> MerkleLog:
+        return self._merkle
+
+    def counts(self) -> Dict[str, int]:
+        """Record-state tallies, for monitoring and benches."""
+        total = len(self._records)
+        revoked = sum(1 for r in self._records.values() if r.is_revoked)
+        custodial = sum(1 for r in self._records.values() if r.custodial)
+        return {
+            "total": total,
+            "revoked": revoked,
+            "not_revoked": total - revoked,
+            "custodial": custodial,
+            "operations": len(self._operations),
+        }

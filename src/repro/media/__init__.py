@@ -1,0 +1,72 @@
+"""Media substrate: photos, metadata, transforms, watermarks, robust hashes.
+
+The paper's Goal #5 requires that revocation survive "benign photo and
+metadata alterations" (transcoding, metadata stripping), achieved by
+labeling photos twice -- explicit metadata *and* a pixel-domain
+watermark -- and by robust (perceptual) hashing for the appeals process.
+
+Since the offline environment has no real photographs or JPEG codec, the
+package provides faithful synthetic equivalents (see DESIGN.md's
+substitution table):
+
+* :mod:`repro.media.image` -- :class:`Photo` plus a seeded synthetic
+  natural-image generator.
+* :mod:`repro.media.metadata` -- EXIF-like metadata container with the
+  IRS identifier field, and strip/preserve policies.
+* :mod:`repro.media.jpeg` -- simplified DCT-quantization codec standing
+  in for JPEG transcodes.
+* :mod:`repro.media.transforms` -- crop / resize / tint / noise / flip,
+  the manipulations sections 3.2 and 5 discuss.
+* :mod:`repro.media.ecc` -- CRC + repetition coding for watermark
+  payloads.
+* :mod:`repro.media.watermark` -- block-DCT QIM watermark carrying the
+  ledger identifier.
+* :mod:`repro.media.perceptual` -- PhotoDNA-style robust hash used by
+  appeals and aggregator hash databases.
+"""
+
+from repro.media.image import Photo, generate_photo, PhotoGenerator
+from repro.media.metadata import MetadataContainer, IRS_IDENTIFIER_FIELD
+from repro.media.jpeg import jpeg_roundtrip, JpegCodec
+from repro.media.transforms import (
+    crop,
+    resize,
+    tint,
+    adjust_brightness,
+    adjust_contrast,
+    add_noise,
+    flip_horizontal,
+    overlay_caption,
+)
+from repro.media.watermark import WatermarkCodec, WatermarkError
+from repro.media.perceptual import RobustHash, robust_hash, hash_distance
+from repro.media.video import Video, VideoWatermarkCodec, generate_video
+from repro.media.provenance import ProvenanceManifest, ProvenanceError
+
+__all__ = [
+    "Photo",
+    "generate_photo",
+    "PhotoGenerator",
+    "MetadataContainer",
+    "IRS_IDENTIFIER_FIELD",
+    "jpeg_roundtrip",
+    "JpegCodec",
+    "crop",
+    "resize",
+    "tint",
+    "adjust_brightness",
+    "adjust_contrast",
+    "add_noise",
+    "flip_horizontal",
+    "overlay_caption",
+    "WatermarkCodec",
+    "WatermarkError",
+    "RobustHash",
+    "robust_hash",
+    "hash_distance",
+    "Video",
+    "VideoWatermarkCodec",
+    "generate_video",
+    "ProvenanceManifest",
+    "ProvenanceError",
+]

@@ -1,0 +1,121 @@
+"""Error handling for watermark payloads: CRC-16 integrity + repetition.
+
+Watermark extraction after compression and tinting produces bit errors;
+the payload is protected by a CRC-16 checksum (detects wrong/garbled
+extraction) and the embedding layer uses repetition with majority vote
+(corrects sparse errors).  Repetition is the right code here because
+the channel delivers many copies cheaply (thousands of DCT blocks) and
+decoding must be trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "crc16",
+    "attach_crc",
+    "check_and_strip_crc",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "repeat_bits",
+    "majority_vote",
+    "PayloadError",
+]
+
+_CRC16_POLY = 0x1021  # CCITT
+_CRC16_INIT = 0xFFFF
+
+
+class PayloadError(Exception):
+    """Raised when a recovered payload fails its integrity check."""
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE over ``data``."""
+    crc = _CRC16_INIT
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def attach_crc(payload: bytes) -> bytes:
+    """Append a 2-byte CRC to the payload."""
+    return payload + crc16(payload).to_bytes(2, "big")
+
+
+def check_and_strip_crc(data: bytes) -> bytes:
+    """Verify and remove the trailing CRC; raises :class:`PayloadError`."""
+    if len(data) < 3:
+        raise PayloadError("payload too short to carry a CRC")
+    payload, tag = data[:-2], data[-2:]
+    if crc16(payload).to_bytes(2, "big") != tag:
+        raise PayloadError("payload CRC mismatch")
+    return payload
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """MSB-first bit array (uint8 of 0/1) from bytes."""
+    if not data:
+        return np.zeros(0, dtype=np.uint8)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError("bit count must be a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def repeat_bits(bits: np.ndarray, copies: int) -> np.ndarray:
+    """Interleaved repetition: [b0 b1 ... bn] * copies (block-interleaved).
+
+    Block interleaving (whole payload repeated end-to-end, rather than
+    each bit repeated adjacently) spreads each payload bit's copies
+    across the image, so a localized destruction (crop, caption band)
+    costs each bit at most a few copies instead of all of them.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    return np.tile(np.asarray(bits, dtype=np.uint8), copies)
+
+
+def majority_vote(
+    received: np.ndarray, payload_bits: int, copies: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode block-interleaved repetition by per-bit majority.
+
+    Parameters
+    ----------
+    received:
+        Soft or hard values; anything > 0.5 counts as a 1.  May be
+        shorter than ``payload_bits * copies`` (e.g. after cropping) --
+        missing copies simply don't vote.
+
+    Returns
+    -------
+    (bits, confidence):
+        Decoded hard bits, and per-bit confidence = |mean - 0.5| * 2 in
+        [0, 1] (0 = coin flip, 1 = unanimous).
+    """
+    received = np.asarray(received, dtype=np.float64)
+    votes = np.zeros(payload_bits)
+    counts = np.zeros(payload_bits)
+    usable = min(received.size, payload_bits * copies)
+    for i in range(usable):
+        slot = i % payload_bits
+        votes[slot] += 1.0 if received[i] > 0.5 else 0.0
+        counts[slot] += 1.0
+    if (counts == 0).any():
+        raise PayloadError("not enough received bits to cover the payload")
+    means = votes / counts
+    bits = (means > 0.5).astype(np.uint8)
+    confidence = np.abs(means - 0.5) * 2.0
+    return bits, confidence

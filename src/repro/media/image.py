@@ -1,0 +1,172 @@
+"""Photos and a synthetic natural-image generator.
+
+A :class:`Photo` is an RGB pixel array (float64 in [0, 1]) plus a
+metadata container.  The generator produces seeded images with the
+statistics that matter for the watermark and robust-hash experiments:
+low-frequency structure (sky-like gradients), mid-frequency objects
+(ellipses and rectangles of varying colour), and high-frequency texture
+(smoothed noise) -- i.e. energy across the DCT spectrum, like real
+photographs and unlike flat synthetic test cards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.crypto.hashing import sha256_hex
+from repro.media.metadata import MetadataContainer
+
+__all__ = ["Photo", "PhotoGenerator", "generate_photo"]
+
+
+@dataclass
+class Photo:
+    """An image: pixels plus metadata.
+
+    Attributes
+    ----------
+    pixels:
+        ``(height, width, 3)`` float64 array with values in [0, 1].
+    metadata:
+        EXIF-like key/value container; the IRS identifier travels here
+        (and, redundantly, in the watermark).
+    """
+
+    pixels: np.ndarray
+    metadata: MetadataContainer = field(default_factory=MetadataContainer)
+
+    def __post_init__(self) -> None:
+        pixels = np.asarray(self.pixels, dtype=np.float64)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise ValueError("pixels must be (height, width, 3)")
+        self.pixels = np.clip(pixels, 0.0, 1.0)
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.height, self.width)
+
+    def luminance(self) -> np.ndarray:
+        """ITU-R BT.601 luma in [0, 255]."""
+        r, g, b = self.pixels[..., 0], self.pixels[..., 1], self.pixels[..., 2]
+        return (0.299 * r + 0.587 * g + 0.114 * b) * 255.0
+
+    def content_hash(self) -> str:
+        """Exact (bit-level) hash of pixel contents, excluding metadata.
+
+        This is the hash the owner signs when claiming a photo.  Any
+        pixel change -- even recompression -- changes it, which is why
+        the appeals process relies on the *robust* hash instead.
+        """
+        quantized = np.round(self.pixels * 255.0).astype(np.uint8)
+        return sha256_hex(quantized.tobytes())
+
+    def copy(self, with_metadata: bool = True) -> "Photo":
+        metadata = self.metadata.copy() if with_metadata else MetadataContainer()
+        return Photo(pixels=self.pixels.copy(), metadata=metadata)
+
+    def psnr_against(self, other: "Photo") -> float:
+        """Peak signal-to-noise ratio vs another photo of the same size."""
+        if self.pixels.shape != other.pixels.shape:
+            raise ValueError("photos must have the same shape for PSNR")
+        mse = float(np.mean((self.pixels - other.pixels) ** 2))
+        if mse == 0.0:
+            return float("inf")
+        return 10.0 * np.log10(1.0 / mse)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Photo({self.height}x{self.width}, metadata={len(self.metadata)})"
+
+
+class PhotoGenerator:
+    """Seeded generator of synthetic natural-looking photos."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng or np.random.default_rng()
+
+    def generate(
+        self,
+        height: int = 128,
+        width: int = 128,
+        num_objects: int = 6,
+        texture_strength: float = 0.04,
+    ) -> Photo:
+        """Generate one photo.
+
+        The composition pipeline: smooth colour gradient background,
+        ``num_objects`` random soft-edged ellipses/rectangles, then
+        band-limited texture noise.
+        """
+        rng = self._rng
+        image = self._gradient_background(height, width)
+        for _ in range(num_objects):
+            if rng.random() < 0.5:
+                self._paint_ellipse(image, rng)
+            else:
+                self._paint_rectangle(image, rng)
+        image += self._texture(height, width, texture_strength)
+        return Photo(pixels=np.clip(image, 0.0, 1.0))
+
+    def _gradient_background(self, height: int, width: int) -> np.ndarray:
+        rng = self._rng
+        top = rng.uniform(0.2, 0.9, size=3)
+        bottom = rng.uniform(0.1, 0.8, size=3)
+        t = np.linspace(0.0, 1.0, height)[:, None, None]
+        image = (1 - t) * top[None, None, :] + t * bottom[None, None, :]
+        # Mild horizontal variation so the background is not separable.
+        sweep = 0.08 * np.sin(
+            np.linspace(0, rng.uniform(1.0, 3.0) * np.pi, width)
+        )[None, :, None]
+        return np.broadcast_to(image, (height, width, 3)).copy() + sweep
+
+    def _paint_ellipse(self, image: np.ndarray, rng: np.random.Generator) -> None:
+        height, width, _ = image.shape
+        cy, cx = rng.uniform(0, height), rng.uniform(0, width)
+        ry = rng.uniform(height * 0.05, height * 0.3)
+        rx = rng.uniform(width * 0.05, width * 0.3)
+        colour = rng.uniform(0.0, 1.0, size=3)
+        alpha = rng.uniform(0.5, 1.0)
+        yy, xx = np.mgrid[0:height, 0:width]
+        dist = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2
+        mask = np.clip(1.5 - dist, 0.0, 1.0)  # soft edge
+        mask = np.minimum(mask, 1.0)[:, :, None] * alpha
+        image *= 1 - mask
+        image += mask * colour[None, None, :]
+
+    def _paint_rectangle(self, image: np.ndarray, rng: np.random.Generator) -> None:
+        height, width, _ = image.shape
+        y0 = int(rng.uniform(0, height * 0.8))
+        x0 = int(rng.uniform(0, width * 0.8))
+        y1 = min(height, y0 + int(rng.uniform(height * 0.1, height * 0.5)))
+        x1 = min(width, x0 + int(rng.uniform(width * 0.1, width * 0.5)))
+        colour = rng.uniform(0.0, 1.0, size=3)
+        alpha = rng.uniform(0.4, 0.9)
+        region = image[y0:y1, x0:x1, :]
+        image[y0:y1, x0:x1, :] = (1 - alpha) * region + alpha * colour[None, None, :]
+
+    def _texture(self, height: int, width: int, strength: float) -> np.ndarray:
+        noise = self._rng.standard_normal((height, width, 3))
+        smooth = ndimage.gaussian_filter(noise, sigma=(1.2, 1.2, 0))
+        return strength * smooth
+
+
+def generate_photo(
+    seed: int = 0,
+    height: int = 128,
+    width: int = 128,
+    num_objects: int = 6,
+) -> Photo:
+    """Convenience wrapper: one seeded photo."""
+    generator = PhotoGenerator(np.random.default_rng(seed))
+    return generator.generate(height=height, width=width, num_objects=num_objects)

@@ -1,0 +1,117 @@
+"""EXIF-like metadata for photos, including the IRS identifier field.
+
+Section 3.2: owners label photos "with two forms of metadata that both
+encode the identifier: explicit metadata (carried in normal image
+metadata fields) and a watermark."  Sites today often *strip* metadata
+on upload; IRS-supporting aggregators are assumed to preserve the IRS
+fields.  This module models both behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "MetadataContainer",
+    "IRS_IDENTIFIER_FIELD",
+    "IRS_FRESHNESS_FIELD",
+    "STANDARD_FIELDS",
+]
+
+#: The metadata key carrying the encoded ledger identifier.
+IRS_IDENTIFIER_FIELD = "irs:identifier"
+
+#: The metadata key on which aggregators attach signed freshness proofs
+#: ("cryptographic proof that it has recently verified the non-revoked
+#: status of the photo", section 3.2).
+IRS_FRESHNESS_FIELD = "irs:freshness-proof"
+
+#: Conventional camera fields, for realism in strip/preserve tests.
+STANDARD_FIELDS = (
+    "exif:make",
+    "exif:model",
+    "exif:datetime",
+    "exif:gps-latitude",
+    "exif:gps-longitude",
+    "exif:orientation",
+)
+
+
+class MetadataContainer:
+    """String-keyed metadata attached to a photo.
+
+    Values are strings (like EXIF text fields).  IRS fields live in the
+    ``irs:`` namespace so strip policies can treat them separately.
+    """
+
+    def __init__(self, fields: Optional[Dict[str, str]] = None):
+        self._fields: Dict[str, str] = dict(fields or {})
+
+    # -- mapping interface --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._fields))
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self._fields.get(key, default)
+
+    def set(self, key: str, value: str) -> None:
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise TypeError("metadata keys and values must be strings")
+        self._fields[key] = value
+
+    def remove(self, key: str) -> None:
+        self._fields.pop(key, None)
+
+    def items(self):
+        return sorted(self._fields.items())
+
+    def copy(self) -> "MetadataContainer":
+        return MetadataContainer(dict(self._fields))
+
+    # -- IRS-specific helpers --------------------------------------------------
+
+    @property
+    def irs_identifier(self) -> Optional[str]:
+        """The encoded ledger identifier, if this photo is labeled."""
+        return self._fields.get(IRS_IDENTIFIER_FIELD)
+
+    @irs_identifier.setter
+    def irs_identifier(self, value: str) -> None:
+        self.set(IRS_IDENTIFIER_FIELD, value)
+
+    def has_irs_label(self) -> bool:
+        return IRS_IDENTIFIER_FIELD in self._fields
+
+    # -- strip policies --------------------------------------------------------
+
+    def stripped(self, preserve_irs: bool = False) -> "MetadataContainer":
+        """Return a copy with metadata stripped.
+
+        ``preserve_irs=True`` models an IRS-supporting aggregator that
+        strips privacy-sensitive EXIF (GPS etc.) but keeps ``irs:``
+        fields intact, as the paper assumes.  ``preserve_irs=False``
+        models today's strip-everything behaviour.
+        """
+        if not preserve_irs:
+            return MetadataContainer()
+        kept = {
+            key: value
+            for key, value in self._fields.items()
+            if key.startswith("irs:")
+        }
+        return MetadataContainer(kept)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetadataContainer):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetadataContainer({self._fields!r})"

@@ -1,0 +1,211 @@
+"""C2PA-style provenance manifests.
+
+Section 2 ("Relevant Technologies"): C2PA "proposes a new set of media
+metadata primitives that can be embedded in media files ... or be
+hosted remotely", tracing media "starting from origin device ... all
+the way to the consumer"; and section 3.1 notes the C2PA cloud
+infrastructure "could be extended to act as a more broadly used
+ledger".
+
+This module implements that interface in miniature: a signed, chained
+**provenance manifest** recording the photo's assertion history — the
+origin capture, each edit, and the IRS claim — each entry signed by the
+actor that performed it and chained by hash to its predecessor, so the
+chain is append-only and tamper-evident.
+
+IRS integration: an IRS claim becomes an assertion in the chain, and a
+ledger can verify a photo's provenance before accepting a claim (a
+"provenance-gated" ledger policy for deployments where cameras are
+C2PA-capable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.hashing import hash_struct
+from repro.crypto.signatures import KeyPair, PublicKey, Signature
+from repro.media.image import Photo
+
+__all__ = [
+    "Assertion",
+    "ProvenanceManifest",
+    "ProvenanceError",
+    "ASSERTION_CAPTURE",
+    "ASSERTION_EDIT",
+    "ASSERTION_IRS_CLAIM",
+]
+
+ASSERTION_CAPTURE = "c2pa.capture"
+ASSERTION_EDIT = "c2pa.edit"
+ASSERTION_IRS_CLAIM = "irs.claim"
+
+
+class ProvenanceError(Exception):
+    """Raised on invalid manifests or broken chains."""
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """One signed link in the provenance chain.
+
+    Attributes
+    ----------
+    kind:
+        Assertion type (capture / edit / irs.claim / ...).
+    content_hash:
+        Hash of the photo *after* this step.
+    prev_digest:
+        Digest of the preceding assertion (b"" for the origin).
+    actor:
+        Human-readable actor label (camera model, editor, ledger id).
+    detail:
+        Free-form description ("crop 80%", "claimed as irs1:l:5").
+    actor_key / signature:
+        The actor's public key and its signature over the assertion
+        body.
+    """
+
+    kind: str
+    content_hash: str
+    prev_digest: bytes
+    actor: str
+    detail: str
+    actor_key: PublicKey
+    signature: Signature
+
+    def body(self) -> dict:
+        return {
+            "kind": self.kind,
+            "content_hash": self.content_hash,
+            "prev": self.prev_digest,
+            "actor": self.actor,
+            "detail": self.detail,
+            "key": self.actor_key.to_dict(),
+        }
+
+    def digest(self) -> bytes:
+        return hash_struct(self.body())
+
+    def verify(self) -> bool:
+        return self.actor_key.verify_struct(self.body(), self.signature)
+
+
+@dataclass
+class ProvenanceManifest:
+    """An append-only chain of assertions for one photo."""
+
+    assertions: List[Assertion] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls, photo: Photo, camera: str, camera_key: KeyPair
+    ) -> "ProvenanceManifest":
+        """Start a chain at the origin device."""
+        manifest = cls()
+        manifest._append(
+            kind=ASSERTION_CAPTURE,
+            content_hash=photo.content_hash(),
+            actor=camera,
+            detail="origin capture",
+            keypair=camera_key,
+        )
+        return manifest
+
+    def _append(
+        self, kind: str, content_hash: str, actor: str, detail: str, keypair: KeyPair
+    ) -> Assertion:
+        prev_digest = self.assertions[-1].digest() if self.assertions else b""
+        body = {
+            "kind": kind,
+            "content_hash": content_hash,
+            "prev": prev_digest,
+            "actor": actor,
+            "detail": detail,
+            "key": keypair.public.to_dict(),
+        }
+        assertion = Assertion(
+            kind=kind,
+            content_hash=content_hash,
+            prev_digest=prev_digest,
+            actor=actor,
+            detail=detail,
+            actor_key=keypair.public,
+            signature=keypair.sign_struct(body),
+        )
+        self.assertions.append(assertion)
+        return assertion
+
+    def record_edit(
+        self, edited: Photo, editor: str, detail: str, editor_key: KeyPair
+    ) -> Assertion:
+        """Record an edit producing ``edited``."""
+        if not self.assertions:
+            raise ProvenanceError("cannot edit before capture")
+        return self._append(
+            kind=ASSERTION_EDIT,
+            content_hash=edited.content_hash(),
+            actor=editor,
+            detail=detail,
+            keypair=editor_key,
+        )
+
+    def record_irs_claim(
+        self, photo: Photo, identifier_string: str, owner_key: KeyPair
+    ) -> Assertion:
+        """Record that the current content was claimed in an IRS ledger."""
+        if not self.assertions:
+            raise ProvenanceError("cannot claim before capture")
+        return self._append(
+            kind=ASSERTION_IRS_CLAIM,
+            content_hash=photo.content_hash(),
+            actor="irs-owner",
+            detail=identifier_string,
+            keypair=owner_key,
+        )
+
+    # -- verification -----------------------------------------------------------
+
+    def verify_chain(self) -> None:
+        """Raise :class:`ProvenanceError` unless the chain is intact.
+
+        Checks: non-empty, starts with a capture, every signature
+        verifies, every link's ``prev_digest`` matches its predecessor.
+        """
+        if not self.assertions:
+            raise ProvenanceError("empty manifest")
+        if self.assertions[0].kind != ASSERTION_CAPTURE:
+            raise ProvenanceError("chain must begin with a capture assertion")
+        if self.assertions[0].prev_digest != b"":
+            raise ProvenanceError("capture assertion must have no predecessor")
+        prev: Optional[Assertion] = None
+        for i, assertion in enumerate(self.assertions):
+            if not assertion.verify():
+                raise ProvenanceError(f"assertion {i} signature invalid")
+            if prev is not None and assertion.prev_digest != prev.digest():
+                raise ProvenanceError(f"assertion {i} breaks the hash chain")
+            prev = assertion
+
+    def matches_photo(self, photo: Photo) -> bool:
+        """True iff the chain's final content hash matches ``photo``."""
+        if not self.assertions:
+            return False
+        return self.assertions[-1].content_hash == photo.content_hash()
+
+    def irs_identifier(self) -> Optional[str]:
+        """The most recent IRS claim recorded in the chain, if any."""
+        for assertion in reversed(self.assertions):
+            if assertion.kind == ASSERTION_IRS_CLAIM:
+                return assertion.detail
+        return None
+
+    def origin_actor(self) -> str:
+        if not self.assertions:
+            raise ProvenanceError("empty manifest")
+        return self.assertions[0].actor
+
+    def __len__(self) -> int:
+        return len(self.assertions)

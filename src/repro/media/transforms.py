@@ -1,0 +1,172 @@
+"""Photo manipulations: the "benign alterations" of Goal #5 and the
+attack transforms of section 5.
+
+Every transform returns a *new* photo.  Metadata is preserved by
+default; pass ``preserve_metadata=False`` to model sites or attackers
+that strip it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.media.image import Photo
+from repro.media.metadata import MetadataContainer
+
+__all__ = [
+    "crop",
+    "resize",
+    "tint",
+    "adjust_brightness",
+    "adjust_contrast",
+    "add_noise",
+    "flip_horizontal",
+    "overlay_caption",
+]
+
+
+def _carry_metadata(photo: Photo, preserve_metadata: bool) -> MetadataContainer:
+    return photo.metadata.copy() if preserve_metadata else MetadataContainer()
+
+
+def crop(
+    photo: Photo,
+    top: int,
+    left: int,
+    height: int,
+    width: int,
+    preserve_metadata: bool = True,
+) -> Photo:
+    """Crop a rectangle out of the photo."""
+    if top < 0 or left < 0 or height <= 0 or width <= 0:
+        raise ValueError("crop rectangle must be positive and in-bounds")
+    if top + height > photo.height or left + width > photo.width:
+        raise ValueError("crop rectangle exceeds photo bounds")
+    pixels = photo.pixels[top : top + height, left : left + width, :].copy()
+    result = Photo(pixels=pixels)
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def crop_fraction(
+    photo: Photo, fraction: float, preserve_metadata: bool = True
+) -> Photo:
+    """Centered crop retaining ``fraction`` of each dimension."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    new_h = max(8, int(photo.height * fraction))
+    new_w = max(8, int(photo.width * fraction))
+    top = (photo.height - new_h) // 2
+    left = (photo.width - new_w) // 2
+    return crop(photo, top, left, new_h, new_w, preserve_metadata)
+
+
+def resize(
+    photo: Photo,
+    height: int,
+    width: int,
+    preserve_metadata: bool = True,
+) -> Photo:
+    """Bilinear resize to (height, width)."""
+    if height <= 0 or width <= 0:
+        raise ValueError("target size must be positive")
+    zoom = (height / photo.height, width / photo.width, 1.0)
+    pixels = ndimage.zoom(photo.pixels, zoom, order=1)
+    # zoom can over/undershoot the target by a pixel; crop/pad to exact.
+    pixels = pixels[:height, :width, :]
+    if pixels.shape[0] < height or pixels.shape[1] < width:
+        pixels = np.pad(
+            pixels,
+            (
+                (0, height - pixels.shape[0]),
+                (0, width - pixels.shape[1]),
+                (0, 0),
+            ),
+            mode="edge",
+        )
+    result = Photo(pixels=np.clip(pixels, 0.0, 1.0))
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def tint(
+    photo: Photo,
+    rgb_gains: tuple[float, float, float],
+    preserve_metadata: bool = True,
+) -> Photo:
+    """Per-channel gain (e.g. a warm tint is ``(1.1, 1.0, 0.9)``)."""
+    gains = np.asarray(rgb_gains, dtype=np.float64)
+    if gains.shape != (3,) or (gains < 0).any():
+        raise ValueError("rgb_gains must be three non-negative floats")
+    result = Photo(pixels=np.clip(photo.pixels * gains[None, None, :], 0.0, 1.0))
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def adjust_brightness(
+    photo: Photo, delta: float, preserve_metadata: bool = True
+) -> Photo:
+    """Additive brightness shift in [-1, 1]."""
+    if not -1.0 <= delta <= 1.0:
+        raise ValueError("delta must be in [-1, 1]")
+    result = Photo(pixels=np.clip(photo.pixels + delta, 0.0, 1.0))
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def adjust_contrast(
+    photo: Photo, factor: float, preserve_metadata: bool = True
+) -> Photo:
+    """Contrast scaling about mid-grey."""
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+    result = Photo(pixels=np.clip((photo.pixels - 0.5) * factor + 0.5, 0.0, 1.0))
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def add_noise(
+    photo: Photo,
+    sigma: float,
+    rng: Optional[np.random.Generator] = None,
+    preserve_metadata: bool = True,
+) -> Photo:
+    """Additive Gaussian noise with standard deviation ``sigma``."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    rng = rng or np.random.default_rng()
+    noisy = photo.pixels + rng.standard_normal(photo.pixels.shape) * sigma
+    result = Photo(pixels=np.clip(noisy, 0.0, 1.0))
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def flip_horizontal(photo: Photo, preserve_metadata: bool = True) -> Photo:
+    """Mirror left-right (a common reshare manipulation)."""
+    result = Photo(pixels=photo.pixels[:, ::-1, :].copy())
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result
+
+
+def overlay_caption(
+    photo: Photo,
+    band_fraction: float = 0.15,
+    colour: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    preserve_metadata: bool = True,
+) -> Photo:
+    """Paint a solid caption band at the bottom (meme-style edit).
+
+    Models the section-3.2 discussion of derivative images: the pixels
+    change substantially in one region while the rest is intact.
+    """
+    if not 0.0 < band_fraction < 1.0:
+        raise ValueError("band_fraction must be in (0, 1)")
+    pixels = photo.pixels.copy()
+    band = max(1, int(photo.height * band_fraction))
+    pixels[-band:, :, :] = np.asarray(colour)[None, None, :]
+    result = Photo(pixels=pixels)
+    result.metadata = _carry_metadata(photo, preserve_metadata)
+    return result

@@ -1,0 +1,19 @@
+"""Measurement and reporting helpers shared by tests and benches."""
+
+from repro.metrics.stats import (
+    summarize,
+    percentile,
+    Summary,
+    confidence_interval_mean,
+)
+from repro.metrics.reporting import format_table, format_row, Table
+
+__all__ = [
+    "summarize",
+    "percentile",
+    "Summary",
+    "confidence_interval_mean",
+    "format_table",
+    "format_row",
+    "Table",
+]

@@ -1,0 +1,89 @@
+"""Plain-text tables for bench output.
+
+Benches print the rows/series the paper reports; a small fixed-width
+formatter keeps that output readable in CI logs without pulling in any
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table", "format_table", "format_row"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
+    return "  ".join(_fmt(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulate rows, render once (bench convenience)."""
+
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        body = format_table(self.headers, self.rows)
+        if self.title:
+            return f"\n=== {self.title} ===\n{body}"
+        return body
+
+    def print(self) -> None:  # pragma: no cover - console IO
+        print(self.render())
+
+    def to_csv(self) -> str:
+        """CSV form (RFC-4180-ish quoting) for downstream plotting."""
+
+        def quote(cell: Any) -> str:
+            text = _fmt(cell)
+            if any(ch in text for ch in ',"\n'):
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(quote(h) for h in self.headers)]
+        lines.extend(",".join(quote(c) for c in row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def slug(self) -> str:
+        """Filesystem-safe name derived from the title."""
+        import re
+
+        base = self.title or "table"
+        base = re.sub(r"[^A-Za-z0-9]+", "_", base).strip("_").lower()
+        return base[:80] or "table"

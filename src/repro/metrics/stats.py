@@ -1,0 +1,77 @@
+"""Summary statistics for experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as spstats
+
+__all__ = ["Summary", "summarize", "percentile", "confidence_interval_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Standard percentile summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Percentile summary; raises on empty input."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Single percentile (q in [0, 100])."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    return float(np.percentile(arr, q))
+
+
+def confidence_interval_mean(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Student-t confidence interval for the mean."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("need at least two samples for a confidence interval")
+    mean = float(arr.mean())
+    sem = float(spstats.sem(arr))
+    if sem == 0.0:
+        return (mean, mean)
+    low, high = spstats.t.interval(confidence, df=arr.size - 1, loc=mean, scale=sem)
+    return (float(low), float(high))

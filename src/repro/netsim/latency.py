@@ -1,0 +1,185 @@
+"""Latency models for links and services.
+
+Section 4.3 grounds its latency budget in DNS-resolver-like services:
+"Any reasonably responsive ledger would produce delays that would be a
+small fraction of this (say, under 100ms, as in [12, 26])" -- [12] is
+DNSPerf, [26] Oblivious DNS.  The presets here encode those shapes:
+
+* :func:`dns_like_latency` -- lognormal with ~25 ms median and a tail
+  reaching ~100 ms at p99, matching public resolver measurements.
+* :func:`lan_latency` / :func:`wan_latency` -- sub-ms and tens-of-ms
+  round trips for intra-datacenter and cross-country paths.
+
+All models sample in **seconds**.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "EmpiricalLatency",
+    "dns_like_latency",
+    "lan_latency",
+    "wan_latency",
+]
+
+
+class LatencyModel(ABC):
+    """A distribution of one-way (or round-trip, by convention) delays."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay in seconds."""
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.asarray([self.sample(rng) for _ in range(n)])
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected delay in seconds (analytic where possible)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed delay."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.seconds = float(seconds)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.seconds
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.seconds)
+
+    def mean(self) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantLatency({self.seconds})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniform on [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low, self.high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency(LatencyModel):
+    """Lognormal parameterized by median and shape sigma.
+
+    Network RTT distributions are well approximated by a lognormal: most
+    samples near the median, a long but thin tail.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.5, cap: float | None = None):
+        if median <= 0 or sigma < 0:
+            raise ValueError("median must be > 0 and sigma >= 0")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self.cap = float(cap) if cap is not None else None
+        self._mu = math.log(median)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(rng.lognormal(self._mu, self.sigma))
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        values = rng.lognormal(self._mu, self.sigma, size=n)
+        if self.cap is not None:
+            values = np.minimum(values, self.cap)
+        return values
+
+    def mean(self) -> float:
+        # Without the cap: exp(mu + sigma^2/2); the cap only trims the
+        # thin tail, so this stays a good estimate.
+        return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def percentile(self, q: float) -> float:
+        """Analytic quantile (ignoring the cap)."""
+        from scipy import stats
+
+        return float(stats.lognorm.ppf(q, s=self.sigma, scale=self.median))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+class EmpiricalLatency(LatencyModel):
+    """Piecewise-linear inverse CDF from (quantile, value) points.
+
+    Useful for encoding published percentile tables (e.g. DNSPerf
+    reports p50/p90/p99 per resolver).
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        pts = sorted((float(q), float(v)) for q, v in points)
+        if len(pts) < 2:
+            raise ValueError("need at least two (quantile, value) points")
+        qs = [q for q, _ in pts]
+        vs = [v for _, v in pts]
+        if qs[0] > 0.0:
+            qs.insert(0, 0.0)
+            vs.insert(0, vs[0])
+        if qs[-1] < 1.0:
+            qs.append(1.0)
+            vs.append(vs[-1])
+        if any(b < a for a, b in zip(vs, vs[1:])):
+            raise ValueError("values must be non-decreasing in quantile")
+        self._qs = np.asarray(qs)
+        self._vs = np.asarray(vs)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.interp(rng.uniform(), self._qs, self._vs))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.interp(rng.uniform(size=n), self._qs, self._vs)
+
+    def mean(self) -> float:
+        # Trapezoidal integral of the inverse CDF over [0, 1].
+        return float(np.trapezoid(self._vs, self._qs))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EmpiricalLatency({list(zip(self._qs, self._vs))})"
+
+
+def dns_like_latency() -> LatencyModel:
+    """Resolver-like RTT: ~25 ms median, ~100 ms p99 (DNSPerf-shaped)."""
+    return LogNormalLatency(median=0.025, sigma=0.55, cap=0.4)
+
+
+def lan_latency() -> LatencyModel:
+    """Intra-datacenter RTT."""
+    return LogNormalLatency(median=0.0005, sigma=0.3, cap=0.01)
+
+
+def wan_latency() -> LatencyModel:
+    """Cross-country RTT."""
+    return LogNormalLatency(median=0.06, sigma=0.3, cap=0.5)

@@ -1,0 +1,188 @@
+"""Links and the network fabric.
+
+A :class:`Link` joins two nodes with a one-way latency model per
+direction (symmetric by default) and optional bandwidth, used to model
+transfer time for sized payloads.  :class:`Network` is the fabric: it
+owns links, resolves routes (direct links only -- the IRS topology is a
+star around proxies/ledgers, no multi-hop routing needed), and delivers
+messages by scheduling simulator events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.latency import LatencyModel
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+
+__all__ = ["Link", "Network", "NetworkError"]
+
+
+class NetworkError(Exception):
+    """Raised on unknown nodes or missing links."""
+
+
+class Link:
+    """A bidirectional link between two named nodes.
+
+    Parameters
+    ----------
+    latency:
+        One-way delay model applied to every message.
+    bandwidth_bps:
+        Optional bandwidth in bits/second; adds ``size_bytes * 8 /
+        bandwidth`` of serialization delay for sized messages.
+    """
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        latency: LatencyModel,
+        bandwidth_bps: Optional[float] = None,
+        loss_probability: float = 0.0,
+    ):
+        if a == b:
+            raise NetworkError("links must join distinct nodes")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError("loss probability must be in [0, 1)")
+        self.a, self.b = a, b
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_probability = float(loss_probability)
+        self.messages_carried = 0
+        self.messages_dropped = 0
+        self.bytes_carried = 0
+
+    def transfer_delay(self, rng: np.random.Generator, size_bytes: int = 0) -> float:
+        delay = self.latency.sample(rng)
+        if self.bandwidth_bps is not None and size_bytes > 0:
+            delay += size_bytes * 8.0 / self.bandwidth_bps
+        return delay
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+
+class Network:
+    """The message fabric joining nodes with links."""
+
+    def __init__(self, simulator: Simulator, rng: np.random.Generator):
+        self.simulator = simulator
+        self._rng = rng
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[frozenset, Link] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise NetworkError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: LatencyModel,
+        bandwidth_bps: Optional[float] = None,
+        loss_probability: float = 0.0,
+    ) -> Link:
+        for name in (a, b):
+            if name not in self._nodes:
+                raise NetworkError(f"unknown node {name!r}")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise NetworkError(f"link {a!r}<->{b!r} already exists")
+        link = Link(a, b, latency, bandwidth_bps, loss_probability)
+        self._links[key] = link
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link between {a!r} and {b!r}") from None
+
+    # -- delivery -----------------------------------------------------------------
+
+    # -- analysis ------------------------------------------------------------------
+
+    def to_networkx(self):
+        """The topology as a ``networkx.Graph`` for analysis.
+
+        Nodes carry no attributes; edges carry ``latency_mean_s``,
+        ``bandwidth_bps``, ``loss_probability`` and the live traffic
+        counters, so standard graph tooling (connectivity, shortest
+        latency paths, cut sets) applies directly.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        for link in self._links.values():
+            graph.add_edge(
+                link.a,
+                link.b,
+                latency_mean_s=link.latency.mean(),
+                bandwidth_bps=link.bandwidth_bps,
+                loss_probability=link.loss_probability,
+                messages_carried=link.messages_carried,
+                bytes_carried=link.bytes_carried,
+            )
+        return graph
+
+    def star(
+        self,
+        center: str,
+        leaves: list,
+        latency: LatencyModel,
+        bandwidth_bps: Optional[float] = None,
+    ) -> list:
+        """Connect ``center`` to every leaf — the IRS bootstrap shape
+        (browsers around a proxy; proxies around ledgers)."""
+        return [
+            self.connect(center, leaf, latency, bandwidth_bps) for leaf in leaves
+        ]
+
+    def deliver(
+        self,
+        src: str,
+        dst: str,
+        handler: Callable,
+        *args,
+        size_bytes: int = 0,
+    ) -> Optional[float]:
+        """Schedule ``handler(*args)`` at ``dst`` after link delay.
+
+        Returns the sampled delay, or None when the link dropped the
+        message (``handler`` then never runs — loss is silent, as on a
+        real network; recovery is the transport layer's job).
+        """
+        link = self.link_between(src, dst)
+        self._nodes[src].messages_sent += 1
+        if link.loss_probability > 0.0 and self._rng.uniform() < link.loss_probability:
+            link.messages_dropped += 1
+            return None
+        delay = link.transfer_delay(self._rng, size_bytes)
+        link.messages_carried += 1
+        link.bytes_carried += size_bytes
+
+        def _arrive():
+            self._nodes[dst].messages_received += 1
+            handler(*args)
+
+        self.simulator.schedule(delay, _arrive)
+        return delay

@@ -1,0 +1,133 @@
+"""Event loop and clock abstractions.
+
+The :class:`Simulator` is a classic discrete-event loop: a priority
+queue of (time, sequence, callback) entries.  Sequence numbers break
+ties so same-time events run in schedule order, keeping runs
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional, Protocol
+
+__all__ = ["Simulator", "Clock", "SimClock", "ManualClock", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised on invalid scheduling (e.g. negative delays)."""
+
+
+class Clock(Protocol):
+    """Anything that can report the current time in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class ManualClock:
+    """A clock tests advance by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self._time = float(start)
+
+    def now(self) -> float:
+        return self._time
+
+    def advance(self, delta: float) -> None:
+        if delta < 0:
+            raise SimulationError("cannot move a clock backwards")
+        self._time += delta
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(0.5, handler, arg1, arg2)
+        sim.run()            # until queue is empty
+        sim.run(until=10.0)  # or until a deadline
+    """
+
+    def __init__(self):
+        self._time = 0.0
+        self._queue: list[tuple[float, int, Callable, tuple]] = []
+        self._sequence = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def clock(self) -> "SimClock":
+        return SimClock(self)
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds of sim time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._time + delay, self._sequence, callback, args)
+        )
+
+    def schedule_at(self, when: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute sim time ``when``."""
+        if when < self._time:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self._time}"
+            )
+        self.schedule(when - self._time, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        processed = 0
+        while self._queue:
+            when, _, callback, args = self._queue[0]
+            if until is not None and when > until:
+                self._time = until
+                return
+            heapq.heappop(self._queue)
+            self._time = when
+            callback(*args)
+            self._events_processed += 1
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway schedule loop?"
+                )
+        if until is not None and until > self._time:
+            self._time = until
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback, args = heapq.heappop(self._queue)
+        self._time = when
+        callback(*args)
+        self._events_processed += 1
+        return True
+
+
+class SimClock:
+    """A :class:`Clock` view of a simulator."""
+
+    def __init__(self, simulator: Simulator):
+        self._simulator = simulator
+
+    def now(self) -> float:
+        return self._simulator.now

@@ -1,0 +1,84 @@
+"""Event recording and counters for experiments.
+
+:class:`TraceRecorder` accumulates timestamped events and named samples;
+:class:`Counter` is a simple named tally.  Benches pull percentile
+summaries out of recorders via :mod:`repro.metrics.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+__all__ = ["TraceRecorder", "Counter", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    name: str
+    attrs: dict
+
+
+class Counter:
+    """Named monotonic tallies."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only go up")
+        self._counts[name] += by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({dict(self._counts)!r})"
+
+
+class TraceRecorder:
+    """Accumulates events and scalar samples during a simulation."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+        self.counters = Counter()
+
+    def record(self, time: float, name: str, **attrs: Any) -> None:
+        self.events.append(TraceEvent(time=time, name=name, attrs=attrs))
+
+    def sample(self, name: str, value: float) -> None:
+        self._samples[name].append(float(value))
+
+    def samples(self, name: str) -> np.ndarray:
+        return np.asarray(self._samples.get(name, []))
+
+    def sample_names(self) -> List[str]:
+        return sorted(self._samples)
+
+    def events_named(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def summary(self, name: str) -> Dict[str, float]:
+        """Percentile summary of a sample series."""
+        values = self.samples(name)
+        if values.size == 0:
+            return {"count": 0}
+        return {
+            "count": int(values.size),
+            "mean": float(values.mean()),
+            "p50": float(np.percentile(values, 50)),
+            "p90": float(np.percentile(values, 90)),
+            "p99": float(np.percentile(values, 99)),
+            "max": float(values.max()),
+        }

@@ -1,0 +1,162 @@
+"""Asynchronous request/response RPC over the network fabric.
+
+Callback-style RPC: a caller issues ``endpoint.call(...)`` with a
+completion callback; the request travels over the link, the handler
+runs (plus optional service time), and the response travels back.
+Errors raised by handlers are delivered to the callback as
+:class:`RpcError` results rather than crashing the simulation -- a
+misbehaving ledger (section 5) is an experiment condition, not a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.netsim.latency import LatencyModel
+from repro.netsim.link import Network
+from repro.netsim.node import Node
+
+__all__ = ["RpcEndpoint", "RpcError", "RpcResult"]
+
+
+class RpcError(Exception):
+    """An RPC-level failure (unknown method, handler exception, timeout)."""
+
+
+@dataclass
+class RpcResult:
+    """Outcome delivered to the caller's callback."""
+
+    value: Any = None
+    error: Optional[RpcError] = None
+    rtt: float = 0.0  # total request->response time experienced
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class RpcEndpoint:
+    """RPC server personality for a node.
+
+    Handlers are registered by method name and are called as
+    ``handler(payload)``; their return value becomes the response.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        service_time: Optional[LatencyModel] = None,
+    ):
+        self.node = node
+        self.network = network
+        self.service_time = service_time
+        self._handlers: Dict[str, Callable[[Any], Any]] = {}
+        self.requests_served = 0
+
+    def register(self, method: str, handler: Callable[[Any], Any]) -> None:
+        if method in self._handlers:
+            raise ValueError(f"handler for {method!r} already registered")
+        self._handlers[method] = handler
+
+    def call(
+        self,
+        src: str,
+        method: str,
+        payload: Any,
+        callback: Callable[[RpcResult], None],
+        request_bytes: int = 256,
+        response_bytes: int = 256,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> None:
+        """Issue an async call from node ``src`` to this endpoint.
+
+        With ``timeout`` set, an unanswered attempt (lost request or
+        response, slow service) is retried up to ``retries`` times;
+        when attempts are exhausted the callback receives an
+        ``RpcResult`` whose error says "timed out".  A response that
+        arrives after its attempt timed out is discarded (at-most-once
+        delivery to the callback).
+        """
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        start_time = self.network.simulator.now
+        state = {"done": False, "attempt": 0}
+
+        def _finish(result: RpcResult) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            result.rtt = self.network.simulator.now - start_time
+            callback(result)
+
+        def _attempt() -> None:
+            attempt_id = state["attempt"]
+
+            def _respond(result: RpcResult) -> None:
+                def _complete():
+                    # Late responses from a timed-out attempt are dropped.
+                    if state["attempt"] == attempt_id:
+                        _finish(result)
+
+                self.network.deliver(
+                    self.node.name, src, _complete, size_bytes=response_bytes
+                )
+
+            def _handle() -> None:
+                self.requests_served += 1
+                handler = self._handlers.get(method)
+                if handler is None:
+                    _respond(
+                        RpcResult(error=RpcError(f"unknown method {method!r}"))
+                    )
+                    return
+
+                def _execute():
+                    try:
+                        value = handler(payload)
+                        _respond(RpcResult(value=value))
+                    except Exception as exc:  # noqa: BLE001 - fault isolation
+                        _respond(RpcResult(error=RpcError(str(exc))))
+
+                if self.service_time is not None:
+                    delay = self.service_time.sample(self.network._rng)
+                    self.network.simulator.schedule(delay, _execute)
+                else:
+                    _execute()
+
+            self.network.deliver(
+                src, self.node.name, _handle, size_bytes=request_bytes
+            )
+
+            if timeout is not None:
+
+                def _on_timeout():
+                    if state["done"] or state["attempt"] != attempt_id:
+                        return
+                    state["attempt"] += 1
+                    if state["attempt"] <= retries:
+                        _attempt()
+                    else:
+                        _finish(
+                            RpcResult(
+                                error=RpcError(
+                                    f"call to {method!r} timed out after "
+                                    f"{retries + 1} attempt(s)"
+                                )
+                            )
+                        )
+
+                self.network.simulator.schedule(timeout, _on_timeout)
+
+        _attempt()

@@ -1,0 +1,163 @@
+"""The IRS proxy: the bootstrap phase's aggregation point.
+
+A status query flows::
+
+    browser -> proxy:
+        1. Bloom filter (OR of all ledgers): miss => "not revoked",
+           zero ledger traffic                       [filter short-circuit]
+        2. TTL cache of recent ledger answers        [cache hit]
+        3. the hosting ledger                        [ledger query]
+
+The proxy hides viewer identity from ledgers (section 4.2): ledger-side
+request logs record the proxy, never the user.  The
+:class:`~repro.proxy.anonymity.ObservationLog` captures exactly what a
+ledger sees for the E8 privacy experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.identifiers import PhotoIdentifier
+from repro.ledger.proofs import StatusProof
+from repro.ledger.registry import LedgerRegistry
+from repro.proxy.anonymity import ObservationLog
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+
+__all__ = ["IrsProxy", "ProxyAnswer", "ProxyStats"]
+
+
+@dataclass(frozen=True)
+class ProxyAnswer:
+    """The proxy's answer to a status query.
+
+    ``source`` records how it was produced:
+
+    * ``'filter'`` -- Bloom miss, definitely not revoked, no proof;
+    * ``'cache'`` -- recent ledger proof replayed from cache;
+    * ``'ledger'`` -- fresh signed proof from the hosting ledger.
+    """
+
+    identifier: str
+    revoked: bool
+    source: str
+    checked_at: float
+    proof: Optional[StatusProof] = None
+
+
+@dataclass
+class ProxyStats:
+    queries: int = 0
+    filter_short_circuits: int = 0
+    cache_hits: int = 0
+    ledger_queries: int = 0
+
+    @property
+    def ledger_query_fraction(self) -> float:
+        return self.ledger_queries / self.queries if self.queries else 0.0
+
+    @property
+    def load_reduction_factor(self) -> float:
+        """How many times fewer ledger queries than browser queries."""
+        if self.ledger_queries == 0:
+            return float("inf") if self.queries else 1.0
+        return self.queries / self.ledger_queries
+
+
+class IrsProxy:
+    """An anonymizing, caching, filter-fronted revocation proxy.
+
+    Parameters
+    ----------
+    name:
+        Proxy identity as it appears in ledger request logs.
+    registry:
+        Ledger directory used to route filter hits.
+    filterset:
+        Merged Bloom filters; optional (no filter => every query goes
+        to cache/ledger, the "naive" configuration of section 4.2).
+    cache:
+        TTL-LRU of ledger answers; optional.
+    clock:
+        Time source for answer freshness stamps.
+    observation_log:
+        When provided, every *ledger-bound* request is recorded there
+        with this proxy's name as the requester -- modelling what
+        ledger operators can observe.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry: LedgerRegistry,
+        filterset: Optional[ProxyFilterSet] = None,
+        cache: Optional[TtlLruCache] = None,
+        clock: Optional[Callable[[], float]] = None,
+        observation_log: Optional[ObservationLog] = None,
+    ):
+        self.name = name
+        self._registry = registry
+        self.filterset = filterset
+        self.cache = cache
+        self._clock = clock or (lambda: 0.0)
+        self._observations = observation_log
+        self.stats = ProxyStats()
+
+    def status(self, identifier: PhotoIdentifier) -> ProxyAnswer:
+        """Answer a browser's revocation check."""
+        self.stats.queries += 1
+        now = self._clock()
+        key = identifier.to_string()
+
+        if self.filterset is not None and not self.filterset.might_be_revoked(
+            identifier.to_compact()
+        ):
+            self.stats.filter_short_circuits += 1
+            return ProxyAnswer(
+                identifier=key, revoked=False, source="filter", checked_at=now
+            )
+
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return ProxyAnswer(
+                    identifier=key,
+                    revoked=cached.revoked,
+                    source="cache",
+                    checked_at=cached.checked_at,
+                    proof=cached,
+                )
+
+        proof = self._query_ledger(identifier)
+        if self.cache is not None:
+            self.cache.put(key, proof)
+        return ProxyAnswer(
+            identifier=key,
+            revoked=proof.revoked,
+            source="ledger",
+            checked_at=proof.checked_at,
+            proof=proof,
+        )
+
+    def _query_ledger(self, identifier: PhotoIdentifier) -> StatusProof:
+        self.stats.ledger_queries += 1
+        if self._observations is not None:
+            self._observations.record(
+                requester=self.name,
+                ledger_id=identifier.ledger_id,
+                identifier=identifier.to_string(),
+                time=self._clock(),
+            )
+        return self._registry.status(identifier)
+
+    def refresh_filters(self) -> int:
+        """Pull filter updates; returns bytes transferred."""
+        if self.filterset is None:
+            return 0
+        return self.filterset.refresh()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IrsProxy({self.name!r}, stats={self.stats})"

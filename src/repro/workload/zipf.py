@@ -1,0 +1,67 @@
+"""Zipf popularity sampling.
+
+Photo views are heavily skewed: a few photos draw most views.  The
+paper's load argument (section 4.4) rides on the complementary fact
+that the *viewed* population is mostly unrevoked; the Zipf sampler
+lets experiments control exactly how often revoked items surface.
+
+Sampling uses the inverse-CDF method over precomputed probabilities
+(vectorized ``searchsorted``), fast enough for millions of draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Samples indices ``0..n-1`` with P(k) proportional to 1/(k+1)^s.
+
+    Parameters
+    ----------
+    n:
+        Support size (number of distinct items).
+    exponent:
+        Zipf exponent ``s``; 0 gives uniform, ~1 is web-like skew.
+    rng:
+        Seeded generator.
+    """
+
+    def __init__(self, n: int, exponent: float, rng: np.random.Generator):
+        if n < 1:
+            raise ValueError("support size must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.n = int(n)
+        self.exponent = float(exponent)
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, self.n + 1, dtype=np.float64), exponent)
+        self._probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self._probabilities)
+        # Guard against floating point drift at the top end.
+        self._cdf[-1] = 1.0
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        view = self._probabilities.view()
+        view.flags.writeable = False
+        return view
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` item indices."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        u = self._rng.uniform(size=size)
+        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+
+    def sample_one(self) -> int:
+        return int(self.sample(1)[0])
+
+    def expected_hit_rate(self, member_mask: np.ndarray) -> float:
+        """Probability a draw lands in the marked subset (analytic)."""
+        mask = np.asarray(member_mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError("mask must have one entry per item")
+        return float(self._probabilities[mask].sum())

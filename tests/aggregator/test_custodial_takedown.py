@@ -1,0 +1,76 @@
+"""Tests for the custodial takedown flow — why aggregators claim
+unlabeled uploads at all (section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import ContentAggregator
+from repro.aggregator.recheck import PeriodicRechecker
+from repro.aggregator.uploads import UploadDecision, UploadPipeline
+from repro.core import IrsDeployment
+from repro.core.owner import OwnerToolkit
+
+
+@pytest.fixture()
+def world():
+    """Two aggregators; site A claims custodially, site B hosts a copy."""
+    irs = IrsDeployment.create(seed=200)
+    pipelines = []
+    aggregators = []
+    for i, name in enumerate(["site-a", "site-b"]):
+        aggregator = ContentAggregator(name, irs.registry)
+        pipeline = UploadPipeline(
+            aggregator,
+            watermark_codec=irs.watermark_codec,
+            custodial_ledger=irs.ledger,
+            custodial_toolkit=OwnerToolkit(
+                rng=np.random.default_rng(200 + i),
+                watermark_codec=irs.watermark_codec,
+            ),
+        )
+        aggregators.append(aggregator)
+        pipelines.append(pipeline)
+    return irs, aggregators, pipelines
+
+
+class TestCustodialTakedown:
+    def test_receipt_retained(self, world):
+        irs, _, pipelines = world
+        outcome = pipelines[0].upload("anon", irs.new_photo())
+        assert outcome.decision is UploadDecision.ACCEPTED_CUSTODIAL
+        assert "anon" in pipelines[0].custodial_receipts
+
+    def test_takedown_revokes_and_removes(self, world):
+        irs, aggregators, pipelines = world
+        outcome = pipelines[0].upload("anon", irs.new_photo())
+        pipelines[0].revoke_custodial("anon")
+        assert not aggregators[0].serve("anon").served
+        assert irs.ledger.status(outcome.identifier).revoked
+
+    def test_takedown_propagates_to_other_sites(self, world):
+        """The custodially claimed (and labeled) photo was reshared to
+        site B; revoking the custodial claim takes it down there too at
+        the next recheck."""
+        irs, aggregators, pipelines = world
+        outcome = pipelines[0].upload("anon", irs.new_photo())
+        # The hosted (now labeled) photo circulates to site B.
+        hosted = aggregators[0].hosted("anon")
+        reshare = pipelines[1].upload("repost", hosted.photo)
+        assert reshare.decision is UploadDecision.ACCEPTED
+        assert reshare.identifier == outcome.identifier  # same claim
+
+        pipelines[0].revoke_custodial("anon")
+        PeriodicRechecker(aggregators[1]).run_sweep()
+        assert not aggregators[1].serve("repost").served
+
+    def test_unknown_name_rejected(self, world):
+        _, _, pipelines = world
+        with pytest.raises(KeyError):
+            pipelines[0].revoke_custodial("ghost")
+
+    def test_labeled_uploads_hold_no_custodial_receipt(self, world):
+        irs, _, pipelines = world
+        photo = irs.new_photo()
+        _, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+        pipelines[0].upload("owned", labeled)
+        assert "owned" not in pipelines[0].custodial_receipts

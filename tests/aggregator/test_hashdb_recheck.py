@@ -1,0 +1,175 @@
+"""Tests for the robust-hash database and periodic rechecking."""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.recheck import PeriodicRechecker
+from repro.core import IrsDeployment
+from repro.core.identifiers import PhotoIdentifier
+from repro.media.image import generate_photo
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.metadata import IRS_FRESHNESS_FIELD
+from repro.media.perceptual import robust_hash
+from repro.netsim.simulator import Simulator
+
+
+def _identifier(serial: int) -> PhotoIdentifier:
+    return PhotoIdentifier(ledger_id="l", serial=serial)
+
+
+class TestRobustHashDatabase:
+    def test_add_and_find_exact(self):
+        db = RobustHashDatabase()
+        photo = generate_photo(seed=1)
+        db.add_photo(_identifier(1), photo)
+        match = db.find_match(photo)
+        assert match is not None
+        assert match.identifier == _identifier(1)
+        assert match.distance == 0.0
+
+    def test_finds_compressed_derivative(self):
+        db = RobustHashDatabase()
+        photo = generate_photo(seed=2)
+        db.add_photo(_identifier(1), photo)
+        degraded = jpeg_roundtrip(photo, 50)
+        assert db.find_match(degraded) is not None
+
+    def test_unrelated_photo_no_match(self):
+        db = RobustHashDatabase()
+        db.add_photo(_identifier(1), generate_photo(seed=3))
+        assert db.find_match(generate_photo(seed=4)) is None
+
+    def test_nearest_regardless_of_threshold(self):
+        db = RobustHashDatabase()
+        db.add_photo(_identifier(1), generate_photo(seed=5))
+        nearest = db.nearest(generate_photo(seed=6))
+        assert nearest is not None
+        assert nearest.distance > 0.25
+
+    def test_empty_db(self):
+        db = RobustHashDatabase()
+        assert db.nearest(generate_photo(seed=7)) is None
+        assert db.find_match(generate_photo(seed=7)) is None
+
+    def test_multiple_matches_sorted(self):
+        db = RobustHashDatabase()
+        photo = generate_photo(seed=8)
+        db.add_photo(_identifier(1), photo)
+        db.add_photo(_identifier(2), jpeg_roundtrip(photo, 40))
+        matches = db.matches(photo)
+        assert len(matches) == 2
+        assert matches[0].distance <= matches[1].distance
+
+    def test_remove(self):
+        db = RobustHashDatabase()
+        photo = generate_photo(seed=9)
+        other = generate_photo(seed=10)
+        db.add_photo(_identifier(1), photo)
+        db.add_photo(_identifier(2), other)
+        db.remove(_identifier(1))
+        assert len(db) == 1
+        assert db.find_match(photo) is None
+        assert db.find_match(other) is not None
+
+    def test_remove_absent_noop(self):
+        db = RobustHashDatabase()
+        db.remove(_identifier(99))  # no raise
+
+    def test_multiple_entries_per_identifier(self):
+        """Derivatives share their source's identifier: one claim, many
+        signatures."""
+        db = RobustHashDatabase()
+        photo = generate_photo(seed=11)
+        from repro.media.transforms import overlay_caption
+
+        db.add(_identifier(1), robust_hash(photo))
+        db.add(_identifier(1), robust_hash(overlay_caption(photo)))
+        assert len(db) == 2
+        assert db.entries_for(_identifier(1)) == 2
+        db.remove(_identifier(1))  # takes both down together
+        assert len(db) == 0
+
+
+@pytest.fixture()
+def hosted_env():
+    irs = IrsDeployment.create(seed=61)
+    aggregator = ContentAggregator("site", irs.registry)
+    receipts = []
+    for i in range(4):
+        photo = irs.new_photo()
+        receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+        proof = irs.registry.status(receipt.identifier)
+        aggregator.host(f"pic{i}", labeled, receipt.identifier, proof=proof)
+        receipts.append(receipt)
+    return irs, aggregator, receipts
+
+
+class TestPeriodicRecheck:
+    def test_sweep_takes_down_revoked(self, hosted_env):
+        irs, aggregator, receipts = hosted_env
+        irs.owner_toolkit.revoke(receipts[1], irs.ledger)
+        irs.owner_toolkit.revoke(receipts[3], irs.ledger)
+        rechecker = PeriodicRechecker(aggregator)
+        report = rechecker.run_sweep()
+        assert report.swept == 4
+        assert sorted(report.takedowns) == ["pic1", "pic3"]
+        assert not aggregator.serve("pic1").served
+        assert aggregator.serve("pic0").served
+
+    def test_unrevoke_does_not_restore(self, hosted_env):
+        """Takedowns persist even if the owner later unrevokes — the
+        owner can re-upload; silent resurrection would be surprising."""
+        irs, aggregator, receipts = hosted_env
+        irs.owner_toolkit.revoke(receipts[0], irs.ledger)
+        PeriodicRechecker(aggregator).run_sweep()
+        irs.owner_toolkit.unrevoke(receipts[0], irs.ledger)
+        assert not aggregator.serve("pic0").served
+
+    def test_sweep_refreshes_proofs(self, hosted_env):
+        irs, aggregator, _ = hosted_env
+        rechecker = PeriodicRechecker(aggregator)
+        rechecker.run_sweep()
+        for hosted in aggregator.live_photos():
+            assert hosted.last_proof is not None
+            assert hosted.last_proof.verify(irs.ledger.public_key)
+
+    def test_served_photo_carries_freshness_proof(self, hosted_env):
+        _, aggregator, _ = hosted_env
+        PeriodicRechecker(aggregator).run_sweep()
+        result = aggregator.serve("pic0")
+        assert result.served
+        assert result.photo.metadata.get(IRS_FRESHNESS_FIELD) is not None
+
+    def test_scheduled_sweeps_in_simulator(self, hosted_env):
+        irs, aggregator, receipts = hosted_env
+        sim = Simulator()
+        rechecker = PeriodicRechecker(aggregator)
+        rechecker.schedule_on(sim, interval=3600.0, until=4 * 3600.0)
+        # Revoke between the first and second sweep.
+        sim.run(until=3700.0)
+        irs.owner_toolkit.revoke(receipts[2], irs.ledger)
+        sim.run()
+        assert len(rechecker.reports) == 4
+        assert rechecker.total_takedowns == 1
+        assert not aggregator.serve("pic2").served
+
+    def test_revocation_latency_bounded_by_interval(self, hosted_env):
+        """Nongoal #4 quantified: content comes down within one recheck
+        interval of revocation."""
+        irs, aggregator, receipts = hosted_env
+        sim = Simulator()
+        rechecker = PeriodicRechecker(aggregator)
+        rechecker.schedule_on(sim, interval=100.0, until=1000.0)
+        sim.run(until=250.0)
+        irs.owner_toolkit.revoke(receipts[0], irs.ledger)
+        revoke_time = sim.now
+        sim.run(until=1000.0)
+        takedown_report = next(r for r in rechecker.reports if r.takedowns)
+        assert takedown_report.completed_at - revoke_time <= 100.0
+
+    def test_invalid_interval(self, hosted_env):
+        _, aggregator, _ = hosted_env
+        with pytest.raises(ValueError):
+            PeriodicRechecker(aggregator).schedule_on(Simulator(), interval=0.0)

@@ -1,0 +1,156 @@
+"""Tests for the aggregator upload pipeline — section 3.2's rules."""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import AggregatorConfig, ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.uploads import UploadDecision, UploadPipeline
+from repro.core import IrsDeployment
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.owner import OwnerToolkit
+from repro.media.metadata import IRS_IDENTIFIER_FIELD
+from repro.media.transforms import tint
+
+
+@pytest.fixture()
+def env():
+    irs = IrsDeployment.create(seed=51)
+    aggregator = ContentAggregator("photosite", irs.registry)
+    custodial_toolkit = OwnerToolkit(
+        rng=np.random.default_rng(99), watermark_codec=irs.watermark_codec
+    )
+    pipeline = UploadPipeline(
+        aggregator,
+        watermark_codec=irs.watermark_codec,
+        custodial_ledger=irs.ledger,
+        custodial_toolkit=custodial_toolkit,
+        hash_database=RobustHashDatabase(),
+    )
+    return irs, aggregator, pipeline
+
+
+@pytest.fixture()
+def labeled_photo(env):
+    irs, *_ = env
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return photo, receipt, labeled
+
+
+class TestLabeledUploads:
+    def test_clean_upload_accepted(self, env, labeled_photo):
+        irs, aggregator, pipeline = env
+        _, receipt, labeled = labeled_photo
+        outcome = pipeline.upload("pic1", labeled)
+        assert outcome.decision is UploadDecision.ACCEPTED
+        assert outcome.hosted is not None
+        assert outcome.identifier == receipt.identifier
+        assert aggregator.hosted("pic1") is not None
+
+    def test_revoked_upload_denied(self, env, labeled_photo):
+        irs, _, pipeline = env
+        _, receipt, labeled = labeled_photo
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        outcome = pipeline.upload("pic1", labeled)
+        assert outcome.decision is UploadDecision.DENIED_REVOKED
+
+    def test_conflicting_label_denied(self, env, labeled_photo):
+        irs, _, pipeline = env
+        *_, labeled = labeled_photo
+        forged = labeled.copy()
+        forged.metadata.set(
+            IRS_IDENTIFIER_FIELD,
+            PhotoIdentifier(ledger_id="ledger-0", serial=4242).to_string(),
+        )
+        outcome = pipeline.upload("pic1", forged)
+        assert outcome.decision is UploadDecision.DENIED_LABEL_CONFLICT
+
+    def test_partial_label_denied(self, env, labeled_photo):
+        _, _, pipeline = env
+        *_, labeled = labeled_photo
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        outcome = pipeline.upload("pic1", stripped)
+        assert outcome.decision is UploadDecision.DENIED_LABEL_PARTIAL
+
+    def test_hosted_photo_keeps_irs_metadata_only(self, env, labeled_photo):
+        _, aggregator, pipeline = env
+        *_, labeled = labeled_photo
+        labeled = labeled.copy()
+        labeled.metadata.set("exif:gps-latitude", "37.7")
+        pipeline.upload("pic1", labeled)
+        hosted = aggregator.hosted("pic1")
+        assert hosted.photo.metadata.irs_identifier is not None
+        assert hosted.photo.metadata.get("exif:gps-latitude") is None
+
+
+class TestUnlabeledUploads:
+    def test_custodial_claim(self, env):
+        irs, aggregator, pipeline = env
+        outcome = pipeline.upload("anon", irs.new_photo())
+        assert outcome.decision is UploadDecision.ACCEPTED_CUSTODIAL
+        record = irs.ledger.record(outcome.identifier)
+        assert record.custodial
+        hosted = aggregator.hosted("anon")
+        # The hosted copy is now labeled.
+        assert hosted.photo.metadata.irs_identifier == outcome.identifier.to_string()
+
+    def test_rejection_policy(self, env):
+        irs, *_ = env
+        aggregator = ContentAggregator(
+            "strict-site",
+            irs.registry,
+            config=AggregatorConfig(custodial_claims=False),
+        )
+        pipeline = UploadPipeline(aggregator, watermark_codec=irs.watermark_codec)
+        outcome = pipeline.upload("anon", irs.new_photo())
+        assert outcome.decision is UploadDecision.DENIED_UNLABELED
+
+    def test_derivative_detected_by_hashdb(self, env, labeled_photo):
+        irs, _, pipeline = env
+        _, receipt, labeled = labeled_photo
+        pipeline.upload("original", labeled)
+        # Strip a tinted derivative of everything and re-upload.
+        derivative = tint(labeled, (1.1, 1.0, 0.9), preserve_metadata=False)
+        # Destroy the watermark too (resize), so only the hash DB can catch it.
+        from repro.media.transforms import resize
+
+        derivative = resize(derivative, 100, 100)
+        outcome = pipeline.upload("sneaky", derivative)
+        assert outcome.decision is UploadDecision.DENIED_DERIVATIVE
+        assert outcome.identifier == receipt.identifier
+
+    def test_custodial_requires_wiring(self, env):
+        irs, *_ = env
+        aggregator = ContentAggregator("site", irs.registry)
+        with pytest.raises(ValueError):
+            UploadPipeline(aggregator, watermark_codec=irs.watermark_codec)
+
+
+class TestLegacyAggregator:
+    def test_accepts_everything_strips_everything(self, env, labeled_photo):
+        irs, *_ = env
+        *_, labeled = labeled_photo
+        legacy = ContentAggregator(
+            "oldsite", irs.registry, config=AggregatorConfig.legacy()
+        )
+        pipeline = UploadPipeline(legacy, watermark_codec=irs.watermark_codec)
+        outcome = pipeline.upload("pic", labeled)
+        assert outcome.decision is UploadDecision.ACCEPTED
+        hosted = legacy.hosted("pic")
+        assert len(hosted.photo.metadata) == 0  # all metadata stripped
+
+    def test_legacy_serves_revoked_content(self, env, labeled_photo):
+        """The bootstrap-phase counterfactual: non-IRS sites keep
+        serving revoked photos (which is what extension marking and
+        liability pressure then punish)."""
+        irs, *_ = env
+        _, receipt, labeled = labeled_photo
+        legacy = ContentAggregator(
+            "oldsite", irs.registry, config=AggregatorConfig.legacy()
+        )
+        pipeline = UploadPipeline(legacy, watermark_codec=irs.watermark_codec)
+        pipeline.upload("pic", labeled)
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        assert legacy.serve("pic").served

@@ -1,0 +1,133 @@
+"""Tests for section-5 attackers against the IRS defences."""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.uploads import UploadDecision, UploadPipeline
+from repro.attacks.attackers import NaiveAttacker, SophisticatedAttacker
+from repro.core import IrsDeployment
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.owner import OwnerToolkit
+from repro.ledger.appeals import AppealsProcess
+from repro.ledger.records import RevocationState
+
+
+@pytest.fixture()
+def env():
+    irs = IrsDeployment.create(seed=71)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    aggregator = ContentAggregator("site", irs.registry)
+    pipeline = UploadPipeline(
+        aggregator,
+        watermark_codec=irs.watermark_codec,
+        custodial_ledger=irs.ledger,
+        custodial_toolkit=OwnerToolkit(
+            rng=np.random.default_rng(5), watermark_codec=irs.watermark_codec
+        ),
+        hash_database=RobustHashDatabase(),
+    )
+    return irs, photo, receipt, labeled, pipeline
+
+
+class TestNaiveAttacker:
+    def test_strip_and_mangle_is_self_defeating(self, env):
+        """The mangled photo has no label at all; the hash DB still
+        catches it as a derivative of the hosted original."""
+        irs, _, _, labeled, pipeline = env
+        pipeline.upload("original", labeled)
+        attacker = NaiveAttacker(np.random.default_rng(1))
+        result = attacker.strip_and_mangle(labeled)
+        outcome = pipeline.upload("mangled", result.photo)
+        assert outcome.decision in (
+            UploadDecision.DENIED_DERIVATIVE,
+            UploadDecision.DENIED_LABEL_PARTIAL,
+        )
+
+    def test_forged_metadata_denied_as_conflict(self, env):
+        irs, _, _, labeled, pipeline = env
+        attacker = NaiveAttacker()
+        fake = PhotoIdentifier(ledger_id=irs.ledger.ledger_id, serial=9999)
+        result = attacker.forge_metadata(labeled, fake)
+        outcome = pipeline.upload("forged", result.photo)
+        assert outcome.decision is UploadDecision.DENIED_LABEL_CONFLICT
+
+    def test_metadata_strip_denied_as_partial(self, env):
+        _, _, _, labeled, pipeline = env
+        attacker = NaiveAttacker()
+        result = attacker.strip_metadata_only(labeled)
+        outcome = pipeline.upload("stripped", result.photo)
+        assert outcome.decision is UploadDecision.DENIED_LABEL_PARTIAL
+
+    def test_mangling_degrades_quality(self, env):
+        """Destroying the watermark costs visible quality — the
+        'self-defeating' part of the paper's argument."""
+        _, _, _, labeled, _ = env
+        attacker = NaiveAttacker(np.random.default_rng(2))
+        result = attacker.strip_and_mangle(labeled)
+        assert result.photo.psnr_against(labeled) < 25.0
+
+
+class TestSophisticatedAttacker:
+    def test_reclaimed_copy_passes_upload_checks(self, env):
+        """The attack works exactly as the paper says: the copy looks
+        legitimately claimed and uploads cleanly."""
+        irs, _, receipt, labeled, pipeline = env
+        irs.owner_toolkit.revoke(receipt, irs.ledger)  # original revoked
+        attacker = SophisticatedAttacker(
+            irs.ledger,
+            rng=np.random.default_rng(3),
+            watermark_codec=irs.watermark_codec,
+        )
+        result = attacker.reclaim_copy(labeled)
+        outcome = pipeline.upload("stolen", result.photo)
+        assert outcome.decision is UploadDecision.ACCEPTED
+        assert outcome.identifier == result.identifier
+
+    def test_appeal_defeats_reclaim(self, env):
+        irs, photo, receipt, labeled, _ = env
+        attacker = SophisticatedAttacker(
+            irs.ledger,
+            rng=np.random.default_rng(4),
+            watermark_codec=irs.watermark_codec,
+        )
+        result = attacker.reclaim_copy(labeled)
+        process = AppealsProcess(irs.ledger, [irs.timestamp_authority])
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, photo, process, result.identifier, result.photo
+        )
+        decision = process.adjudicate(appeal)
+        assert decision.upheld
+        record = irs.ledger.record(result.identifier)
+        assert record.state is RevocationState.PERMANENTLY_REVOKED
+
+    def test_reclaimed_copy_carries_attacker_watermark(self, env):
+        irs, _, receipt, labeled, _ = env
+        attacker = SophisticatedAttacker(
+            irs.ledger, rng=np.random.default_rng(6), watermark_codec=irs.watermark_codec
+        )
+        result = attacker.reclaim_copy(labeled)
+        extraction = irs.watermark_codec.extract(result.photo, search_offsets=False)
+        assert extraction.payload == result.identifier.to_compact()
+        assert extraction.payload != receipt.identifier.to_compact()
+
+    def test_takedown_after_upheld_appeal(self, env):
+        """End of the attack lifecycle: the recheck sweep removes the
+        permanently revoked copy from the aggregator."""
+        from repro.aggregator.recheck import PeriodicRechecker
+
+        irs, photo, receipt, labeled, pipeline = env
+        attacker = SophisticatedAttacker(
+            irs.ledger, rng=np.random.default_rng(7), watermark_codec=irs.watermark_codec
+        )
+        result = attacker.reclaim_copy(labeled)
+        pipeline.upload("stolen", result.photo)
+        process = AppealsProcess(irs.ledger, [irs.timestamp_authority])
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, photo, process, result.identifier, result.photo
+        )
+        assert process.adjudicate(appeal).upheld
+        PeriodicRechecker(pipeline.aggregator).run_sweep()
+        assert not pipeline.aggregator.serve("stolen").served

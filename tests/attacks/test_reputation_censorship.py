@@ -1,0 +1,124 @@
+"""Tests for ledger reputation dynamics and censorship scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.censorship import (
+    ArchiveLedger,
+    CoercionOutcome,
+    DuressScreenedAppeals,
+    attempt_coerced_revocation,
+)
+from repro.attacks.malicious_ledger import LyingLedger
+from repro.attacks.reputation import LedgerMarket
+from repro.core.errors import RevocationError
+from repro.core.owner import OwnerToolkit
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.ledger import Ledger
+from repro.ledger.probes import HonestyProber
+from repro.media.image import generate_photo
+
+
+class TestLedgerMarket:
+    def _run_market(self, lie_probability: float, rounds: int = 10):
+        tsa = TimestampAuthority()
+        honest = Ledger("honest", tsa)
+        liar = LyingLedger(
+            "liar", tsa, lie_probability=lie_probability,
+            lie_rng=np.random.default_rng(1),
+        )
+        probers = {
+            "honest": HonestyProber(honest, np.random.default_rng(2)),
+            "liar": HonestyProber(liar, np.random.default_rng(3)),
+        }
+        for prober in probers.values():
+            prober.plant_canaries(10)
+        market = LedgerMarket(["honest", "liar"])
+        for _ in range(rounds):
+            reports = {
+                name: prober.run_round() for name, prober in probers.items()
+            }
+            market.round(reports)
+        return market
+
+    def test_liar_loses_market_share(self):
+        market = self._run_market(lie_probability=0.5)
+        shares = market.market_share()
+        assert shares["honest"] > 0.9
+        assert shares["liar"] < 0.1
+
+    def test_honest_market_stays_split(self):
+        market = self._run_market(lie_probability=0.0)
+        shares = market.market_share()
+        assert shares["honest"] == pytest.approx(0.5, abs=0.05)
+
+    def test_share_history_recorded(self):
+        market = self._run_market(lie_probability=0.5, rounds=4)
+        assert len(market.share_history) == 5  # initial + 4 rounds
+
+    def test_reputation_recovers_when_clean(self):
+        market = LedgerMarket(["a", "b"], recovery_rate=0.5)
+        market.reputations["a"].score = 0.5
+        market.round({})
+        assert market.reputations["a"].score > 0.5
+
+    def test_empty_market_rejected(self):
+        with pytest.raises(ValueError):
+            LedgerMarket([])
+
+
+class TestCensorship:
+    def _claimed(self, ledger):
+        toolkit = OwnerToolkit(rng=np.random.default_rng(9))
+        photo = generate_photo(seed=81)
+        receipt = toolkit.claim(photo, ledger)
+        return toolkit, photo, receipt
+
+    def test_coercion_succeeds_on_commercial_ledger(self):
+        ledger = Ledger("commercial", TimestampAuthority())
+        toolkit, _, receipt = self._claimed(ledger)
+        attempt = attempt_coerced_revocation(toolkit, receipt, ledger)
+        assert attempt.outcome is CoercionOutcome.CONTENT_REVOKED
+
+    def test_coercion_fails_on_archive_ledger(self):
+        ledger = ArchiveLedger("rights-archive", TimestampAuthority())
+        toolkit, _, receipt = self._claimed(ledger)
+        attempt = attempt_coerced_revocation(toolkit, receipt, ledger)
+        assert attempt.survived
+        assert not ledger.status(receipt.identifier).revoked
+
+    def test_archive_ledger_blocks_permanent_revocation(self):
+        ledger = ArchiveLedger("rights-archive", TimestampAuthority())
+        _, _, receipt = self._claimed(ledger)
+        with pytest.raises(RevocationError):
+            ledger.permanently_revoke(receipt.identifier)
+
+    def test_duress_screen_rejects_appeal(self):
+        tsa = TimestampAuthority()
+        ledger = Ledger("l", tsa)
+        toolkit, photo, receipt = self._claimed(ledger)
+        # Someone re-claims a copy on the same ledger.
+        copy_receipt = toolkit.claim(photo.copy(), ledger)
+        process = DuressScreenedAppeals(
+            ledger, [tsa], duress_detector=lambda appeal: True
+        )
+        appeal = toolkit.prepare_appeal(
+            receipt, photo, process, copy_receipt.identifier, photo
+        )
+        decision = process.adjudicate(appeal)
+        assert not decision.upheld
+        assert "duress" in decision.reason
+        assert process.appeals_screened_out == 1
+
+    def test_duress_screen_passes_normal_appeals(self):
+        tsa = TimestampAuthority()
+        ledger = Ledger("l", tsa)
+        toolkit, photo, receipt = self._claimed(ledger)
+        copy_receipt = toolkit.claim(photo.copy(), ledger)
+        process = DuressScreenedAppeals(
+            ledger, [tsa], duress_detector=lambda appeal: False
+        )
+        appeal = toolkit.prepare_appeal(
+            receipt, photo, process, copy_receipt.identifier, photo
+        )
+        assert process.adjudicate(appeal).upheld

@@ -1,0 +1,162 @@
+"""Tests for the IRS browser extension and site marking."""
+
+import numpy as np
+import pytest
+
+from repro.browser.extension import IrsBrowserExtension
+from repro.browser.indicator import SiteIndicator, SiteRating, SiteReputation
+from repro.core import IrsDeployment
+from repro.proxy.cache import TtlLruCache
+
+
+@pytest.fixture()
+def env():
+    irs = IrsDeployment.create(seed=23)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return irs, photo, receipt, labeled
+
+
+def _extension(irs, cache=None, **kwargs):
+    return IrsBrowserExtension(
+        status_source=irs.registry.status,
+        cache=cache,
+        watermark_codec=irs.watermark_codec,
+        registry=irs.registry,
+        **kwargs,
+    )
+
+
+class TestDisplayDecisions:
+    def test_unlabeled_displays(self, env):
+        irs, photo, *_ = env
+        extension = _extension(irs)
+        decision = extension.on_image(photo)
+        assert decision.display
+        assert extension.stats.unlabeled == 1
+
+    def test_labeled_unrevoked_displays(self, env):
+        irs, _, _, labeled = env
+        extension = _extension(irs)
+        assert extension.on_image(labeled).display
+        assert extension.stats.checks_sent == 1
+
+    def test_revoked_blocked(self, env):
+        irs, _, receipt, labeled = env
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        extension = _extension(irs)
+        decision = extension.on_image(labeled)
+        assert not decision.display
+        assert extension.stats.blocked == 1
+
+    def test_cache_prevents_repeat_checks(self, env):
+        irs, _, _, labeled = env
+        cache = TtlLruCache(100, ttl=600, clock=lambda: 0.0)
+        extension = _extension(irs, cache=cache)
+        for _ in range(5):
+            assert extension.on_image(labeled).display
+        assert extension.stats.checks_sent == 1
+        assert extension.stats.cache_hits == 4
+
+    def test_watermark_checking_catches_stripped_labels(self, env):
+        irs, _, receipt, labeled = env
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        fast = _extension(irs, check_watermarks=False)
+        assert fast.on_image(stripped).display  # metadata gone: invisible
+        thorough = _extension(irs, check_watermarks=True)
+        assert not thorough.on_image(stripped).display  # watermark found
+
+    def test_check_identifier_fast_path(self, env):
+        irs, _, receipt, _ = env
+        extension = _extension(irs)
+        assert extension.check_identifier(receipt.identifier).display
+
+    def test_local_filter_short_circuits(self, env):
+        from repro.ledger.export import FilterExporter
+        from repro.proxy.filterset import ProxyFilterSet
+
+        irs, _, receipt, labeled = env
+        exporter = FilterExporter(irs.ledger, nbits=1 << 14, num_hashes=5)
+        exporter.publish()
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporter)
+        filterset.refresh()
+        extension = _extension(irs, local_filter=filterset)
+        # Not revoked -> not in filter -> short circuit, no check sent.
+        assert extension.on_image(labeled).display
+        assert extension.stats.filter_short_circuits == 1
+        assert extension.stats.checks_sent == 0
+
+
+class TestSiteIndicator:
+    def test_unknown_until_enough_observations(self):
+        indicator = SiteIndicator(min_observations=5)
+        indicator.observe_labeled_photo("site-a")
+        assert indicator.rating("site-a") is SiteRating.UNKNOWN
+
+    def test_clean_site_rated_supporting(self):
+        indicator = SiteIndicator(min_observations=5)
+        for _ in range(10):
+            indicator.observe_labeled_photo("site-a")
+        assert indicator.rating("site-a") is SiteRating.SUPPORTS_IRS
+
+    def test_stripping_site_rated_partial_then_no_support(self):
+        indicator = SiteIndicator(min_observations=5)
+        for _ in range(9):
+            indicator.observe_labeled_photo("site-b")
+        indicator.observe_stripped_label("site-b")
+        assert indicator.rating("site-b") is SiteRating.PARTIAL
+        for _ in range(12):
+            indicator.observe_stripped_label("site-b")
+        assert indicator.rating("site-b") is SiteRating.NO_SUPPORT
+
+    def test_serving_revoked_is_no_support(self):
+        indicator = SiteIndicator(min_observations=5)
+        for _ in range(20):
+            indicator.observe_labeled_photo("site-c")
+        indicator.observe_revoked_served("site-c")
+        assert indicator.rating("site-c") is SiteRating.NO_SUPPORT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteIndicator(min_observations=0)
+
+
+class TestSiteReputation:
+    def test_consensus_majority(self):
+        reputation = SiteReputation()
+        for _ in range(3):
+            reputation.report("site-x", SiteRating.SUPPORTS_IRS)
+        reputation.report("site-x", SiteRating.NO_SUPPORT)
+        assert reputation.consensus("site-x") is SiteRating.SUPPORTS_IRS
+
+    def test_unknown_reports_ignored(self):
+        reputation = SiteReputation()
+        reputation.report("site-y", SiteRating.UNKNOWN)
+        assert reputation.consensus("site-y") is SiteRating.UNKNOWN
+        assert reputation.sites_rated() == 0
+
+    def test_ranking_penalty(self):
+        reputation = SiteReputation()
+        reputation.report("bad-site", SiteRating.NO_SUPPORT)
+        reputation.report("good-site", SiteRating.SUPPORTS_IRS)
+        assert reputation.search_ranking_penalty("bad-site") < 1.0
+        assert reputation.search_ranking_penalty("good-site") == 1.0
+        assert reputation.search_ranking_penalty("unrated") == 1.0
+
+    def test_tie_break_is_deterministic(self):
+        reputation = SiteReputation()
+        reputation.report("split-site", SiteRating.SUPPORTS_IRS)
+        reputation.report("split-site", SiteRating.NO_SUPPORT)
+        first = reputation.consensus("split-site")
+        assert first is reputation.consensus("split-site")
+        assert first in (SiteRating.SUPPORTS_IRS, SiteRating.NO_SUPPORT)
+
+    def test_sites_rated_counts_distinct(self):
+        reputation = SiteReputation()
+        reputation.report("a", SiteRating.PARTIAL)
+        reputation.report("a", SiteRating.PARTIAL)
+        reputation.report("b", SiteRating.SUPPORTS_IRS)
+        assert reputation.sites_rated() == 2

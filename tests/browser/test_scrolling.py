@@ -1,0 +1,105 @@
+"""Tests for the scroll-session model (section 4.3's scrolling claim)."""
+
+import numpy as np
+import pytest
+
+from repro.browser.scrolling import ScrollFeed, ScrollSession
+from repro.netsim.latency import ConstantLatency, LogNormalLatency, dns_like_latency
+
+
+@pytest.fixture()
+def feed(rng):
+    return ScrollFeed.generate(rng, num_images=150)
+
+
+def _session(check_latency=None, speed=800.0, **kwargs):
+    return ScrollSession(
+        rtt=LogNormalLatency(median=0.03, sigma=0.3, cap=0.2),
+        check_latency=check_latency,
+        scroll_speed_px_s=speed,
+        **kwargs,
+    )
+
+
+class TestFeed:
+    def test_generate_shape(self, rng):
+        feed = ScrollFeed.generate(rng, num_images=30, labeled_fraction=0.5)
+        assert feed.num_images == 30
+        assert 0 < sum(feed.labeled) < 30
+
+    def test_row_layout(self, feed):
+        assert feed.row_of(0) == 0
+        assert feed.row_of(3) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrollFeed(image_sizes=[1000], labeled=[True, False])
+        with pytest.raises(ValueError):
+            ScrollFeed(image_sizes=[1000], labeled=[True], images_per_row=0)
+
+
+class TestScrolling:
+    def test_no_checks_baseline_mostly_ready(self, feed, rng):
+        session = _session()
+        result = session.run(feed, rng)
+        # Prefetch keeps steady-state scrolling jank-free; only the very
+        # first screenful can miss.
+        assert result.jank_rate < 0.1
+        assert result.checks_issued == 0
+
+    def test_dns_like_checks_add_no_jank(self, feed):
+        """The prototype claim: scrolling with sub-100ms checks feels
+        identical."""
+        session = _session(check_latency=dns_like_latency())
+        with_checks, without = session.compare(feed, seed=4)
+        assert with_checks.checks_issued == feed.num_images
+        assert with_checks.jank_rate <= without.jank_rate + 0.01
+
+    def test_identical_network_draws_in_compare(self, feed):
+        session = _session(check_latency=ConstantLatency(0.0001))
+        with_checks, without = session.compare(feed, seed=5)
+        # With near-zero check latency the two runs are identical.
+        assert np.allclose(with_checks.ready_times, without.ready_times, atol=1e-3)
+
+    def test_extreme_check_latency_causes_jank(self, feed):
+        slow = _session(check_latency=ConstantLatency(5.0))
+        fast = _session(check_latency=ConstantLatency(0.05))
+        jank_slow = slow.run(feed, np.random.default_rng(6)).jank_rate
+        jank_fast = fast.run(feed, np.random.default_rng(6)).jank_rate
+        assert jank_slow > jank_fast
+
+    def test_faster_scrolling_is_harder(self, feed):
+        check = ConstantLatency(0.3)
+        slow_scroll = _session(check_latency=check, speed=400.0)
+        fast_scroll = _session(check_latency=check, speed=4000.0)
+        jank_slow = slow_scroll.run(feed, np.random.default_rng(7))
+        jank_fast = fast_scroll.run(feed, np.random.default_rng(7))
+        assert jank_fast.mean_jank_ms >= jank_slow.mean_jank_ms
+
+    def test_prefetch_margin_hides_checks(self, feed):
+        check = ConstantLatency(0.3)
+        no_margin = ScrollSession(
+            rtt=ConstantLatency(0.03),
+            check_latency=check,
+            prefetch_margin_px=0.0,
+        )
+        big_margin = ScrollSession(
+            rtt=ConstantLatency(0.03),
+            check_latency=check,
+            prefetch_margin_px=3000.0,
+        )
+        jank_none = no_margin.run(feed, np.random.default_rng(8)).jank_rate
+        jank_big = big_margin.run(feed, np.random.default_rng(8)).jank_rate
+        assert jank_big <= jank_none
+
+    def test_unlabeled_images_skip_checks(self, rng):
+        feed = ScrollFeed.generate(rng, num_images=60, labeled_fraction=0.0)
+        session = _session(check_latency=ConstantLatency(0.1))
+        result = session.run(feed, np.random.default_rng(9))
+        assert result.checks_issued == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrollSession(rtt=ConstantLatency(0.01), scroll_speed_px_s=0)
+        with pytest.raises(ValueError):
+            ScrollSession(rtt=ConstantLatency(0.01), connections=0)

@@ -1,0 +1,115 @@
+"""Tests for label-inheriting derivatives (the section 3.2 meme path)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.uploads import UploadDecision, UploadPipeline
+from repro.core import IrsDeployment
+from repro.core.derivatives import DerivativeError, make_derivative
+from repro.core.labeling import LabelState, read_label
+from repro.core.owner import OwnerToolkit
+from repro.media.transforms import overlay_caption
+
+
+@pytest.fixture()
+def env():
+    irs = IrsDeployment.create(seed=180)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return irs, photo, receipt, labeled
+
+
+class TestDerivativeLabeling:
+    def test_derivative_carries_source_identifier(self, env):
+        irs, _, receipt, labeled = env
+        meme = make_derivative(
+            labeled, overlay_caption, codec=irs.watermark_codec,
+            registry=irs.registry,
+        )
+        label = read_label(meme, irs.watermark_codec, registry=irs.registry)
+        assert label.state is LabelState.BOTH_AGREE
+        assert label.identifier == receipt.identifier
+
+    def test_derivative_pixels_differ(self, env):
+        irs, _, _, labeled = env
+        meme = make_derivative(
+            labeled, overlay_caption, codec=irs.watermark_codec,
+            registry=irs.registry,
+        )
+        assert meme.content_hash() != labeled.content_hash()
+
+    def test_unlabeled_source_rejected(self, env):
+        irs, photo, *_ = env
+        with pytest.raises(DerivativeError):
+            make_derivative(
+                photo, overlay_caption, codec=irs.watermark_codec,
+                registry=irs.registry,
+            )
+
+    def test_derivative_of_watermark_only_source(self, env):
+        """Even a metadata-stripped source transfers its label (the
+        watermark resolves via the registry)."""
+        irs, _, receipt, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        meme = make_derivative(
+            stripped, overlay_caption, codec=irs.watermark_codec,
+            registry=irs.registry,
+        )
+        label = read_label(meme, irs.watermark_codec, registry=irs.registry)
+        assert label.identifier == receipt.identifier
+
+
+class TestDerivativeLifecycle:
+    def _pipeline(self, irs):
+        aggregator = ContentAggregator("site", irs.registry)
+        return aggregator, UploadPipeline(
+            aggregator,
+            watermark_codec=irs.watermark_codec,
+            custodial_ledger=irs.ledger,
+            custodial_toolkit=OwnerToolkit(
+                rng=np.random.default_rng(181),
+                watermark_codec=irs.watermark_codec,
+            ),
+            hash_database=RobustHashDatabase(),
+        )
+
+    def test_derivative_uploads_cleanly(self, env):
+        irs, _, _, labeled = env
+        _, pipeline = self._pipeline(irs)
+        meme = make_derivative(
+            labeled, overlay_caption, codec=irs.watermark_codec,
+            registry=irs.registry,
+        )
+        outcome = pipeline.upload("meme", meme)
+        assert outcome.decision is UploadDecision.ACCEPTED
+
+    def test_revoking_original_takes_down_derivative(self, env):
+        """The whole point: one revocation covers the meme too."""
+        from repro.aggregator.recheck import PeriodicRechecker
+
+        irs, _, receipt, labeled = env
+        aggregator, pipeline = self._pipeline(irs)
+        meme = make_derivative(
+            labeled, overlay_caption, codec=irs.watermark_codec,
+            registry=irs.registry,
+        )
+        pipeline.upload("original", labeled)
+        pipeline.upload("meme", meme)
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        PeriodicRechecker(aggregator).run_sweep()
+        assert not aggregator.serve("original").served
+        assert not aggregator.serve("meme").served
+
+    def test_revoked_original_blocks_new_derivative_uploads(self, env):
+        irs, _, receipt, labeled = env
+        _, pipeline = self._pipeline(irs)
+        meme = make_derivative(
+            labeled, overlay_caption, codec=irs.watermark_codec,
+            registry=irs.registry,
+        )
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        outcome = pipeline.upload("meme", meme)
+        assert outcome.decision is UploadDecision.DENIED_REVOKED

@@ -1,0 +1,205 @@
+"""Tests for labeling, label reading, and the validation policy matrix."""
+
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.errors import LedgerUnavailableError
+from repro.core.identifiers import PhotoIdentifier
+from repro.core.labeling import LabelState, label_photo, read_label
+from repro.core.validation import (
+    ValidationDecision,
+    ValidationPolicy,
+    Validator,
+)
+from repro.media.metadata import IRS_IDENTIFIER_FIELD
+
+
+@pytest.fixture(scope="module")
+def env():
+    """Deployment + a claimed, labeled photo (module-scoped: read-only)."""
+    irs = IrsDeployment.create(seed=17)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return irs, photo, receipt, labeled
+
+
+class TestLabeling:
+    def test_label_sets_both_channels(self, env):
+        irs, _, receipt, labeled = env
+        result = read_label(labeled, irs.watermark_codec, registry=irs.registry)
+        assert result.state is LabelState.BOTH_AGREE
+        assert result.identifier == receipt.identifier
+        assert result.watermark_identifier == receipt.identifier
+
+    def test_unlabeled_photo(self, env):
+        irs, photo, *_ = env
+        result = read_label(photo, irs.watermark_codec)
+        assert result.state is LabelState.UNLABELED
+        assert result.identifier is None
+        assert not result.is_labeled
+
+    def test_metadata_only(self, env):
+        irs, photo, receipt, _ = env
+        tagged = photo.copy()
+        tagged.metadata.irs_identifier = receipt.identifier.to_string()
+        result = read_label(tagged, irs.watermark_codec)
+        assert result.state is LabelState.METADATA_ONLY
+        assert result.identifier == receipt.identifier
+
+    def test_watermark_only_after_strip(self, env):
+        irs, _, receipt, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        result = read_label(stripped, irs.watermark_codec, registry=irs.registry)
+        assert result.state is LabelState.WATERMARK_ONLY
+        assert result.watermark_identifier == receipt.identifier
+        assert result.identifier == receipt.identifier
+
+    def test_watermark_only_without_registry_unresolvable(self, env):
+        irs, _, _, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        result = read_label(stripped, irs.watermark_codec, registry=None)
+        assert result.state is LabelState.WATERMARK_ONLY
+        assert result.identifier is None
+
+    def test_disagreeing_channels(self, env):
+        irs, _, _, labeled = env
+        forged = labeled.copy()
+        other = PhotoIdentifier(ledger_id="ledger-0", serial=9999)
+        forged.metadata.set(IRS_IDENTIFIER_FIELD, other.to_string())
+        result = read_label(forged, irs.watermark_codec, registry=irs.registry)
+        assert result.state is LabelState.DISAGREE
+        assert result.identifier is None
+
+    def test_malformed_metadata_treated_as_absent(self, env):
+        irs, photo, *_ = env
+        junk = photo.copy()
+        junk.metadata.set(IRS_IDENTIFIER_FIELD, "not-an-identifier")
+        result = read_label(junk, irs.watermark_codec)
+        assert result.state is LabelState.UNLABELED
+
+    def test_codec_payload_length_mismatch(self, env):
+        from repro.media.watermark import WatermarkCodec
+
+        irs, photo, receipt, _ = env
+        wrong_codec = WatermarkCodec(payload_len=8)
+        with pytest.raises(ValueError):
+            label_photo(photo, receipt.identifier, wrong_codec)
+
+
+class TestValidatorUploadPosture:
+    @pytest.fixture()
+    def validator(self, env):
+        irs, *_ = env
+        return Validator.for_registry(
+            irs.registry,
+            policy=ValidationPolicy.upload(),
+            watermark_codec=irs.watermark_codec,
+        )
+
+    def test_clean_labeled_allowed(self, env, validator):
+        *_, labeled = env
+        assert validator.validate(labeled).allowed
+
+    def test_revoked_denied(self, env, validator):
+        irs, _, receipt, labeled = env
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        try:
+            result = validator.validate(labeled)
+            assert result.decision is ValidationDecision.DENY_REVOKED
+            assert result.proof is not None and result.proof.revoked
+        finally:
+            irs.owner_toolkit.unrevoke(receipt, irs.ledger)
+
+    def test_unlabeled_denied(self, env, validator):
+        irs, photo, *_ = env
+        result = validator.validate(photo)
+        assert result.decision is ValidationDecision.DENY_UNLABELED
+
+    def test_partial_label_denied(self, env, validator):
+        _, _, _, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        result = validator.validate(stripped)
+        assert result.decision is ValidationDecision.DENY_LABEL_PARTIAL
+
+    def test_conflicting_label_denied(self, env, validator):
+        _, _, _, labeled = env
+        forged = labeled.copy()
+        forged.metadata.set(
+            IRS_IDENTIFIER_FIELD,
+            PhotoIdentifier(ledger_id="ledger-0", serial=12345).to_string(),
+        )
+        result = validator.validate(forged)
+        assert result.decision is ValidationDecision.DENY_LABEL_CONFLICT
+
+    def test_fail_closed_on_ledger_outage(self, env):
+        irs, _, _, labeled = env
+
+        def dead_source(identifier):
+            raise LedgerUnavailableError("ledger down")
+
+        validator = Validator(
+            status_source=dead_source,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy.upload(),
+            registry=irs.registry,
+        )
+        result = validator.validate(labeled)
+        assert result.decision is ValidationDecision.DENY_LEDGER_UNAVAILABLE
+
+
+class TestValidatorViewingPosture:
+    @pytest.fixture()
+    def validator(self, env):
+        irs, *_ = env
+        return Validator.for_registry(
+            irs.registry,
+            policy=ValidationPolicy.viewing(),
+            watermark_codec=irs.watermark_codec,
+        )
+
+    def test_unlabeled_allowed(self, env, validator):
+        irs, photo, *_ = env
+        assert validator.validate(photo).allowed
+
+    def test_labeled_checked_via_metadata(self, env, validator):
+        *_, labeled = env
+        result = validator.validate(labeled)
+        assert result.allowed
+        assert result.proof is not None  # a real check happened
+
+    def test_fail_open_on_ledger_outage(self, env):
+        irs, _, _, labeled = env
+
+        def dead_source(identifier):
+            raise LedgerUnavailableError("ledger down")
+
+        validator = Validator(
+            status_source=dead_source,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy.viewing(),
+        )
+        assert validator.validate(labeled).allowed
+
+    def test_no_watermark_extraction_in_viewing_path(self, env):
+        """Viewing posture must not pay watermark-extraction cost, so a
+        stripped-metadata photo reads as unlabeled and renders."""
+        irs, _, _, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        validator = Validator.for_registry(
+            irs.registry,
+            policy=ValidationPolicy.viewing(),
+            watermark_codec=irs.watermark_codec,
+        )
+        result = validator.validate(stripped)
+        assert result.allowed
+        assert result.label.state is LabelState.UNLABELED
+
+    def test_validations_counted(self, env, validator):
+        *_, labeled = env
+        before = validator.validations_performed
+        validator.validate(labeled)
+        assert validator.validations_performed == before + 1

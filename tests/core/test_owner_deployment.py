@@ -1,0 +1,105 @@
+"""Tests for the owner toolkit and the deployment bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.errors import ClaimError
+from repro.core.owner import OwnerToolkit
+from repro.core.validation import ValidationPolicy
+from repro.ledger.ledger import LedgerConfig
+
+
+class TestOwnerToolkit:
+    def test_claim_stores_receipt_material(self, deployment):
+        photo = deployment.new_photo()
+        receipt = deployment.owner_toolkit.claim(photo, deployment.ledger)
+        assert receipt.content_hash == photo.content_hash()
+        assert receipt.identifier.ledger_id == deployment.ledger.ledger_id
+        assert receipt.timestamp.verify(
+            deployment.timestamp_authority.public_key
+        )
+
+    def test_per_photo_keys_unique(self, deployment):
+        r1 = deployment.owner_toolkit.claim(deployment.new_photo(), deployment.ledger)
+        r2 = deployment.owner_toolkit.claim(deployment.new_photo(), deployment.ledger)
+        assert r1.keypair.fingerprint != r2.keypair.fingerprint
+
+    def test_label_leaves_original_untouched(self, deployment):
+        photo = deployment.new_photo()
+        receipt = deployment.owner_toolkit.claim(photo, deployment.ledger)
+        before = photo.content_hash()
+        labeled = deployment.owner_toolkit.label(photo, receipt)
+        assert photo.content_hash() == before
+        assert labeled.content_hash() != before
+
+    def test_claim_initially_revoked(self, deployment):
+        photo = deployment.new_photo()
+        receipt = deployment.owner_toolkit.claim(
+            photo, deployment.ledger, initially_revoked=True
+        )
+        assert deployment.ledger.status(receipt.identifier).revoked
+
+    def test_revoke_unrevoke(self, deployment):
+        photo = deployment.new_photo()
+        receipt = deployment.owner_toolkit.claim(photo, deployment.ledger)
+        deployment.owner_toolkit.revoke(receipt, deployment.ledger)
+        assert deployment.ledger.status(receipt.identifier).revoked
+        deployment.owner_toolkit.unrevoke(receipt, deployment.ledger)
+        assert not deployment.ledger.status(receipt.identifier).revoked
+
+    def test_wrong_ledger_rejected(self):
+        irs = IrsDeployment.create(seed=5, num_ledgers=2)
+        photo = irs.new_photo()
+        receipt = irs.owner_toolkit.claim(photo, irs.ledgers[0])
+        with pytest.raises(ClaimError):
+            irs.owner_toolkit.revoke(receipt, irs.ledgers[1])
+
+    def test_seeded_toolkit_reproducible(self):
+        tk1 = OwnerToolkit(rng=np.random.default_rng(1))
+        tk2 = OwnerToolkit(rng=np.random.default_rng(1))
+        irs = IrsDeployment.create(seed=1)
+        photo = irs.new_photo()
+        r1 = tk1.claim(photo, irs.ledger)
+        r2 = tk2.claim(photo, irs.ledger)
+        assert r1.keypair.fingerprint == r2.keypair.fingerprint
+
+
+class TestDeployment:
+    def test_multi_ledger_creation(self):
+        irs = IrsDeployment.create(seed=2, num_ledgers=3)
+        assert len(irs.ledgers) == 3
+        assert len(irs.registry) == 3
+        assert irs.ledger is irs.ledgers[0]
+
+    def test_same_seed_same_behaviour(self):
+        a = IrsDeployment.create(seed=9)
+        b = IrsDeployment.create(seed=9)
+        pa = a.new_photo()
+        pb = b.new_photo()
+        assert pa.content_hash() == pb.content_hash()
+        assert a.ledger.fingerprint == b.ledger.fingerprint
+
+    def test_policy_applied(self):
+        irs = IrsDeployment.create(seed=3, policy=ValidationPolicy.upload())
+        assert not irs.validator.policy.allow_unlabeled
+
+    def test_ledger_config_applied(self):
+        irs = IrsDeployment.create(
+            seed=4, ledger_config=LedgerConfig(allow_revocation=False)
+        )
+        assert not irs.ledger.config.allow_revocation
+
+    def test_zero_ledgers_rejected(self):
+        with pytest.raises(ValueError):
+            IrsDeployment.create(seed=0, num_ledgers=0)
+
+    def test_end_to_end_revocation_flow(self, deployment):
+        """The README quickstart flow, as a test."""
+        photo = deployment.new_photo()
+        receipt, labeled = deployment.owner_toolkit.claim_and_label(
+            photo, deployment.ledger
+        )
+        assert deployment.validator.validate(labeled).allowed
+        deployment.owner_toolkit.revoke(receipt, deployment.ledger)
+        assert not deployment.validator.validate(labeled).allowed

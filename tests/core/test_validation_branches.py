@@ -1,0 +1,115 @@
+"""Targeted tests for the remaining validation-policy branches."""
+
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.validation import (
+    ValidationDecision,
+    ValidationPolicy,
+    Validator,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    irs = IrsDeployment.create(seed=210)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return irs, photo, receipt, labeled
+
+
+class TestPartialLabelPolicies:
+    def test_watermark_only_without_registry_fail_open(self, env):
+        """Lenient policy + no registry: an unresolvable watermark
+        cannot be checked, so a fail-open deployment renders it."""
+        irs, _, _, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        validator = Validator(
+            status_source=irs.registry.status,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy(
+                check_watermark=True,
+                allow_unlabeled=True,
+                allow_partial_label=True,
+                fail_closed=False,
+            ),
+            registry=None,  # cannot resolve compact identifiers
+        )
+        result = validator.validate(stripped)
+        assert result.allowed
+        assert "unresolvable" in result.detail
+
+    def test_watermark_only_without_registry_strict_denies(self, env):
+        irs, _, _, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        validator = Validator(
+            status_source=irs.registry.status,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy(
+                check_watermark=True,
+                allow_unlabeled=False,
+                allow_partial_label=True,
+                fail_closed=True,
+            ),
+            registry=None,
+        )
+        result = validator.validate(stripped)
+        assert result.decision is ValidationDecision.DENY_LABEL_PARTIAL
+
+    def test_partial_allowed_with_registry_checks_status(self, env):
+        """Lenient policy + registry: the watermark-only label resolves
+        and the revocation status decides."""
+        irs, _, receipt, labeled = env
+        stripped = labeled.copy()
+        stripped.metadata = stripped.metadata.stripped(preserve_irs=False)
+        validator = Validator(
+            status_source=irs.registry.status,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy(
+                check_watermark=True,
+                allow_unlabeled=True,
+                allow_partial_label=True,
+                fail_closed=False,
+            ),
+            registry=irs.registry,
+        )
+        assert validator.validate(stripped).allowed
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        try:
+            result = validator.validate(stripped)
+            assert result.decision is ValidationDecision.DENY_REVOKED
+        finally:
+            irs.owner_toolkit.unrevoke(receipt, irs.ledger)
+
+    def test_metadata_only_denied_under_upload_policy(self, env):
+        """A photo with metadata but a destroyed watermark fails the
+        agreement requirement."""
+        from repro.media.transforms import resize
+
+        irs, _, _, labeled = env
+        shrunk = resize(labeled, 96, 96)  # kills watermark, keeps metadata
+        validator = Validator.for_registry(
+            irs.registry,
+            policy=ValidationPolicy.upload(),
+            watermark_codec=irs.watermark_codec,
+        )
+        result = validator.validate(shrunk)
+        assert result.decision is ValidationDecision.DENY_LABEL_PARTIAL
+
+
+class TestPolicyPresets:
+    def test_upload_preset_flags(self):
+        policy = ValidationPolicy.upload()
+        assert policy.check_watermark
+        assert not policy.allow_unlabeled
+        assert not policy.allow_partial_label
+        assert policy.fail_closed
+
+    def test_viewing_preset_flags(self):
+        policy = ValidationPolicy.viewing()
+        assert not policy.check_watermark
+        assert policy.allow_unlabeled
+        assert policy.allow_partial_label
+        assert not policy.fail_closed

@@ -1,0 +1,97 @@
+"""Tests for video claiming/labeling/revocation — the media
+generalization of section 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.errors import ClaimError
+from repro.core.video_owner import VideoOwnerToolkit, judge_video_appeal
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.video import Video, generate_video
+
+
+@pytest.fixture(scope="module")
+def env():
+    irs = IrsDeployment.create(seed=140)
+    toolkit = VideoOwnerToolkit(rng=np.random.default_rng(140))
+    video = generate_video(seed=140, num_frames=6, height=128, width=128)
+    receipt, labeled = toolkit.claim_and_label(video, irs.ledger)
+    return irs, toolkit, video, receipt, labeled
+
+
+class TestVideoClaiming:
+    def test_claim_covers_all_frames(self, env):
+        _, _, video, receipt, _ = env
+        assert receipt.content_hash == video.content_hash()
+
+    def test_label_sets_both_channels(self, env):
+        irs, toolkit, _, receipt, labeled = env
+        assert labeled.metadata.irs_identifier == receipt.identifier.to_string()
+        payload = toolkit.video_codec.extract(labeled, search_offsets=False)
+        assert payload == receipt.identifier.to_compact()
+
+    def test_identify_from_watermark_after_strip(self, env):
+        irs, toolkit, _, receipt, labeled = env
+        stripped = labeled.copy(with_metadata=False)
+        identifier = toolkit.identify(stripped, registry=irs.registry)
+        assert identifier == receipt.identifier
+
+    def test_identify_survives_clipping(self, env):
+        irs, toolkit, _, receipt, labeled = env
+        clipped = labeled.clip(2, 5)
+        clipped.metadata = clipped.metadata.stripped(preserve_irs=False)
+        identifier = toolkit.identify(clipped, registry=irs.registry)
+        assert identifier == receipt.identifier
+
+    def test_revoke_unrevoke(self, env):
+        irs, toolkit, _, receipt, _ = env
+        toolkit.revoke(receipt, irs.ledger)
+        assert irs.ledger.status(receipt.identifier).revoked
+        toolkit.unrevoke(receipt, irs.ledger)
+        assert not irs.ledger.status(receipt.identifier).revoked
+
+    def test_wrong_ledger_rejected(self, env):
+        _, toolkit, _, receipt, _ = env
+        other = IrsDeployment.create(seed=141, num_ledgers=2)
+        # receipt is for "ledger-0"; ledgers[1] is "ledger-1".
+        with pytest.raises(ClaimError):
+            toolkit.revoke(receipt, other.ledgers[1])
+
+    def test_unlabeled_video_identifies_as_none(self, env):
+        irs, toolkit, video, *_ = env
+        assert toolkit.identify(video, registry=irs.registry) is None
+
+
+class TestVideoAppeals:
+    def test_recompressed_clip_judged_derived(self, env):
+        _, _, video, _, labeled = env
+        copy = Video(
+            frames=[jpeg_roundtrip(f, 60) for f in labeled.clip(1, 5).frames],
+            fps=labeled.fps,
+        )
+        judgement = judge_video_appeal(video, copy)
+        assert judgement.derived
+        assert judgement.coverage >= 0.8
+
+    def test_unrelated_video_not_derived(self, env):
+        _, _, video, *_ = env
+        other = generate_video(seed=999, num_frames=6, height=128, width=128)
+        judgement = judge_video_appeal(video, other)
+        assert not judgement.derived
+        assert judgement.coverage <= 0.2
+
+    def test_mixed_material_uses_threshold(self, env):
+        """A copy mixing derived and novel frames sits at its true
+        coverage and the threshold decides."""
+        _, _, video, _, labeled = env
+        other = generate_video(seed=888, num_frames=6, height=128, width=128)
+        mixed = Video(
+            frames=list(labeled.frames[:3]) + list(other.frames[:3]),
+            fps=labeled.fps,
+        )
+        judgement = judge_video_appeal(video, mixed, coverage_threshold=0.4)
+        assert judgement.derived
+        assert 0.4 <= judgement.coverage <= 0.6
+        strict = judge_video_appeal(video, mixed, coverage_threshold=0.9)
+        assert not strict.derived

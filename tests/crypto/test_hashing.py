@@ -1,0 +1,101 @@
+"""Tests for canonical encoding and hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import (
+    canonical_encode,
+    hash_struct,
+    hmac_sha256,
+    sha256_bytes,
+    sha256_hex,
+    sha256_int,
+)
+
+
+class TestSha256Helpers:
+    def test_bytes_digest_length(self):
+        assert len(sha256_bytes(b"abc")) == 32
+
+    def test_hex_matches_bytes(self):
+        assert sha256_hex(b"abc") == sha256_bytes(b"abc").hex()
+
+    def test_int_form_is_big_endian(self):
+        assert sha256_int(b"abc") == int.from_bytes(sha256_bytes(b"abc"), "big")
+
+    def test_known_vector(self):
+        # FIPS 180-2 test vector for "abc".
+        assert sha256_hex(b"abc") == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_hmac_differs_from_plain_hash(self):
+        assert hmac_sha256(b"key", b"data") != sha256_bytes(b"data")
+
+    def test_hmac_key_sensitivity(self):
+        assert hmac_sha256(b"k1", b"data") != hmac_sha256(b"k2", b"data")
+
+
+class TestCanonicalEncode:
+    def test_dict_order_independence(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert canonical_encode(a) == canonical_encode(b)
+
+    def test_nested_structures(self):
+        value = {"a": [1, 2, {"b": None}], "c": (True, 2.5, b"bytes")}
+        assert canonical_encode(value) == canonical_encode(value)
+
+    def test_bool_and_int_distinct(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_str_and_bytes_distinct(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_list_and_tuple_equivalent(self):
+        assert canonical_encode([1, 2]) == canonical_encode((1, 2))
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+    def test_empty_containers_distinct(self):
+        assert canonical_encode([]) != canonical_encode({})
+        assert canonical_encode("") != canonical_encode(b"")
+
+    def test_negative_and_large_ints(self):
+        assert canonical_encode(-1) != canonical_encode(1)
+        big = 2**300
+        assert canonical_encode(big) != canonical_encode(big + 1)
+
+    def test_hash_struct_stable(self):
+        assert hash_struct({"k": [1, "v"]}) == hash_struct({"k": [1, "v"]})
+
+
+@given(
+    st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=12,
+    )
+)
+def test_canonical_encode_deterministic(value):
+    """Property: encoding any supported structure twice is identical."""
+    assert canonical_encode(value) == canonical_encode(value)
+
+
+@given(st.lists(st.integers(), max_size=6), st.lists(st.integers(), max_size=6))
+def test_canonical_encode_injective_on_int_lists(a, b):
+    """Property: distinct int lists never encode identically."""
+    if a != b:
+        assert canonical_encode(a) != canonical_encode(b)

@@ -1,0 +1,133 @@
+"""Tests for the Merkle transparency log."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import MerkleConsistencyError, MerkleLog
+
+
+def _filled_log(n: int) -> MerkleLog:
+    log = MerkleLog()
+    for i in range(n):
+        log.append(f"entry-{i}".encode())
+    return log
+
+
+class TestBasics:
+    def test_empty_log_has_root(self):
+        log = MerkleLog()
+        assert isinstance(log.root(), bytes)
+        assert len(log.root()) == 32
+
+    def test_append_returns_indices(self):
+        log = MerkleLog()
+        assert log.append(b"a") == 0
+        assert log.append(b"b") == 1
+        assert len(log) == 2
+
+    def test_entry_retrieval(self):
+        log = _filled_log(3)
+        assert log.entry(1) == b"entry-1"
+
+    def test_root_changes_on_append(self):
+        log = _filled_log(4)
+        before = log.root()
+        log.append(b"new")
+        assert log.root() != before
+
+    def test_prefix_root_is_stable(self):
+        log = _filled_log(4)
+        prefix_root = log.root(4)
+        log.append(b"later")
+        assert log.root(4) == prefix_root
+
+    def test_root_out_of_range(self):
+        log = _filled_log(2)
+        with pytest.raises(ValueError):
+            log.root(3)
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13])
+    def test_all_leaves_prove(self, size):
+        log = _filled_log(size)
+        root = log.root()
+        for i in range(size):
+            proof = log.inclusion_proof(i)
+            assert proof.verify(f"entry-{i}".encode(), root)
+
+    def test_wrong_leaf_fails(self):
+        log = _filled_log(6)
+        proof = log.inclusion_proof(2)
+        assert not proof.verify(b"entry-3", log.root())
+
+    def test_wrong_root_fails(self):
+        log = _filled_log(6)
+        proof = log.inclusion_proof(2)
+        assert not proof.verify(b"entry-2", b"\x00" * 32)
+
+    def test_proof_against_prefix(self):
+        log = _filled_log(10)
+        proof = log.inclusion_proof(3, tree_size=7)
+        assert proof.verify(b"entry-3", log.root(7))
+        assert not proof.verify(b"entry-3", log.root(10))
+
+    def test_out_of_range_proof(self):
+        log = _filled_log(4)
+        with pytest.raises(ValueError):
+            log.inclusion_proof(4)
+        with pytest.raises(ValueError):
+            log.inclusion_proof(2, tree_size=9)
+
+
+class TestConsistency:
+    def test_honest_growth_passes(self):
+        log = _filled_log(5)
+        old_root = log.root()
+        log.append(b"more")
+        log.check_consistency(5, old_root)  # no raise
+
+    def test_rewrite_detected(self):
+        log = _filled_log(5)
+        old_root = log.root()
+        from repro.crypto.merkle import _leaf_hash
+
+        log._leaves[2] = b"tampered"
+        log._leaf_hashes[2] = _leaf_hash(b"tampered")
+        with pytest.raises(MerkleConsistencyError):
+            log.check_consistency(5, old_root)
+
+    def test_shrunk_log_detected(self):
+        log = _filled_log(3)
+        old_root = log.root()
+        with pytest.raises(MerkleConsistencyError):
+            log.check_consistency(5, old_root)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=40))
+def test_property_every_inclusion_proof_verifies(entries):
+    """Property: for any entry list, every leaf proves against the root."""
+    log = MerkleLog()
+    for entry in entries:
+        log.append(entry)
+    root = log.root()
+    for i, entry in enumerate(entries):
+        assert log.inclusion_proof(i).verify(entry, root)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=8), min_size=2, max_size=30),
+    st.data(),
+)
+def test_property_consistency_across_any_growth(entries, data):
+    """Property: any prefix root stays consistent as the log grows."""
+    cut = data.draw(st.integers(min_value=1, max_value=len(entries) - 1))
+    log = MerkleLog()
+    for entry in entries[:cut]:
+        log.append(entry)
+    old_root = log.root()
+    for entry in entries[cut:]:
+        log.append(entry)
+    log.check_consistency(cut, old_root)

@@ -1,0 +1,112 @@
+"""Tests for the RSA primitive and the signature layer."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import rsa
+from repro.crypto.signatures import KeyPair, PublicKey, Signature, SignatureError
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 97, 7919):
+            assert rsa.is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 15, 561, 7917):
+            assert not rsa.is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat but not Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not rsa.is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert rsa.is_probable_prime(2**127 - 1)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self):
+        key = rsa.generate_keypair(bits=512, rng=np.random.default_rng(1))
+        assert key.n.bit_length() == 512
+
+    def test_reproducible_with_seed(self):
+        k1 = rsa.generate_keypair(bits=384, rng=np.random.default_rng(9))
+        k2 = rsa.generate_keypair(bits=384, rng=np.random.default_rng(9))
+        assert k1.n == k2.n
+
+    def test_different_seeds_different_keys(self):
+        k1 = rsa.generate_keypair(bits=384, rng=np.random.default_rng(1))
+        k2 = rsa.generate_keypair(bits=384, rng=np.random.default_rng(2))
+        assert k1.n != k2.n
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(bits=256)
+
+    def test_private_exponent_inverts_public(self):
+        key = rsa.generate_keypair(bits=512, rng=np.random.default_rng(3))
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.d * key.e) % phi == 1
+
+
+class TestRawSignVerify:
+    def test_roundtrip(self, session_keypair):
+        key = session_keypair._private
+        digest = 12345678901234567890
+        signature = key.sign_int(digest)
+        assert key.public.verify_int(digest, signature)
+
+    def test_wrong_digest_fails(self, session_keypair):
+        key = session_keypair._private
+        signature = key.sign_int(111)
+        assert not key.public.verify_int(222, signature)
+
+    def test_out_of_range_signature_fails(self, session_keypair):
+        key = session_keypair._private
+        assert not key.public.verify_int(1, 0)
+        assert not key.public.verify_int(1, key.n + 5)
+
+
+class TestKeyPairApi:
+    def test_sign_verify_bytes(self, session_keypair):
+        sig = session_keypair.sign(b"message")
+        assert session_keypair.public.verify(b"message", sig)
+        assert not session_keypair.public.verify(b"other", sig)
+
+    def test_sign_verify_struct(self, session_keypair):
+        payload = {"action": "revoke", "serial": 7}
+        sig = session_keypair.sign_struct(payload)
+        assert session_keypair.public.verify_struct(payload, sig)
+        assert not session_keypair.public.verify_struct({"action": "revoke"}, sig)
+
+    def test_cross_key_verification_fails(self, session_keypair, second_keypair):
+        sig = session_keypair.sign(b"msg")
+        assert not second_keypair.public.verify(b"msg", sig)
+
+    def test_fingerprint_stable_and_distinct(self, session_keypair, second_keypair):
+        assert session_keypair.fingerprint == session_keypair.public.fingerprint
+        assert session_keypair.fingerprint != second_keypair.fingerprint
+
+    def test_require_valid_raises(self, session_keypair):
+        sig = session_keypair.sign(b"msg")
+        session_keypair.public.require_valid(b"msg", sig)  # no raise
+        with pytest.raises(SignatureError):
+            session_keypair.public.require_valid(b"tampered", sig)
+
+    def test_signature_dict_roundtrip(self, session_keypair):
+        sig = session_keypair.sign(b"msg")
+        restored = Signature.from_dict(sig.to_dict())
+        assert session_keypair.public.verify(b"msg", restored)
+
+    def test_public_key_dict_roundtrip(self, session_keypair):
+        restored = PublicKey.from_dict(session_keypair.public.to_dict())
+        sig = session_keypair.sign(b"msg")
+        assert restored.verify(b"msg", sig)
+        assert restored.fingerprint == session_keypair.fingerprint
+
+    def test_signature_tamper_detected(self, session_keypair):
+        sig = session_keypair.sign(b"msg")
+        tampered = Signature(value=sig.value ^ 1, signer_fingerprint=sig.signer_fingerprint)
+        assert not session_keypair.public.verify(b"msg", tampered)

@@ -1,0 +1,88 @@
+"""Tests for the timestamping authority."""
+
+import pytest
+
+from repro.crypto.timestamp import TimestampAuthority, TimestampError
+
+
+class TestIssuance:
+    def test_token_verifies(self):
+        tsa = TimestampAuthority()
+        token = tsa.issue(b"digest")
+        assert token.verify(tsa.public_key)
+        assert tsa.verify(token)
+
+    def test_serials_strictly_increase(self):
+        tsa = TimestampAuthority()
+        tokens = [tsa.issue(f"d{i}".encode()) for i in range(5)]
+        serials = [t.serial for t in tokens]
+        assert serials == sorted(serials)
+        assert len(set(serials)) == 5
+
+    def test_logical_clock_increases(self):
+        tsa = TimestampAuthority()
+        t1, t2 = tsa.issue(b"a"), tsa.issue(b"b")
+        assert t2.time > t1.time
+
+    def test_external_clock_used(self):
+        times = iter([10.0, 20.0])
+        tsa = TimestampAuthority(clock=lambda: next(times))
+        assert tsa.issue(b"a").time == 10.0
+        assert tsa.issue(b"b").time == 20.0
+
+    def test_empty_digest_rejected(self):
+        tsa = TimestampAuthority()
+        with pytest.raises(TimestampError):
+            tsa.issue(b"")
+
+    def test_non_bytes_digest_rejected(self):
+        tsa = TimestampAuthority()
+        with pytest.raises(TimestampError):
+            tsa.issue("string")  # type: ignore[arg-type]
+
+
+class TestVerification:
+    def test_other_authority_rejects(self):
+        tsa1, tsa2 = TimestampAuthority(), TimestampAuthority()
+        token = tsa1.issue(b"d")
+        assert not token.verify(tsa2.public_key)
+        assert not tsa2.verify(token)
+
+    def test_tampered_time_fails(self):
+        from dataclasses import replace
+
+        tsa = TimestampAuthority()
+        token = tsa.issue(b"d")
+        forged = replace(token, time=token.time - 100.0)
+        assert not forged.verify(tsa.public_key)
+
+    def test_tampered_digest_fails(self):
+        from dataclasses import replace
+
+        tsa = TimestampAuthority()
+        token = tsa.issue(b"d")
+        forged = replace(token, digest=b"other")
+        assert not forged.verify(tsa.public_key)
+
+
+class TestOrdering:
+    def test_precedes_same_authority(self):
+        tsa = TimestampAuthority()
+        t1, t2 = tsa.issue(b"a"), tsa.issue(b"b")
+        assert t1.precedes(t2)
+        assert not t2.precedes(t1)
+
+    def test_serial_breaks_time_ties(self):
+        tsa = TimestampAuthority(clock=lambda: 5.0)  # frozen clock
+        t1, t2 = tsa.issue(b"a"), tsa.issue(b"b")
+        assert t1.precedes(t2)
+
+    def test_cross_authority_falls_back_to_time(self):
+        times1 = iter([1.0])
+        times2 = iter([2.0])
+        tsa1 = TimestampAuthority(clock=lambda: next(times1))
+        tsa2 = TimestampAuthority(clock=lambda: next(times2))
+        early = tsa1.issue(b"a")
+        late = tsa2.issue(b"b")
+        assert early.precedes(late)
+        assert not late.precedes(early)

@@ -1,0 +1,90 @@
+"""Tests for payment tokens and the mixing market."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.tokens import MixingMarket, TokenError, TokenIssuer
+
+
+class TestIssuer:
+    def test_sell_records_purchase(self):
+        issuer = TokenIssuer()
+        token = issuer.sell("alice")
+        assert issuer.purchases[token.serial] == "alice"
+
+    def test_redeem_valid_token(self):
+        issuer = TokenIssuer()
+        token = issuer.sell("alice")
+        issuer.redeem(token)
+        assert issuer.is_redeemed(token.serial)
+
+    def test_double_spend_rejected(self):
+        issuer = TokenIssuer()
+        token = issuer.sell("alice")
+        issuer.redeem(token)
+        with pytest.raises(TokenError):
+            issuer.redeem(token)
+
+    def test_foreign_token_rejected(self):
+        issuer1, issuer2 = TokenIssuer(), TokenIssuer()
+        token = issuer1.sell("alice")
+        with pytest.raises(TokenError):
+            issuer2.redeem(token)
+
+    def test_forged_serial_rejected(self):
+        from dataclasses import replace
+
+        issuer = TokenIssuer()
+        token = issuer.sell("alice")
+        forged = replace(token, serial=token.serial + 1)
+        with pytest.raises(TokenError):
+            issuer.redeem(forged)
+
+    def test_serials_unique(self):
+        issuer = TokenIssuer()
+        serials = {issuer.sell(f"u{i}").serial for i in range(10)}
+        assert len(serials) == 10
+
+
+class TestMixingMarket:
+    def _setup(self, n_users=20, rng_seed=5):
+        issuer = TokenIssuer()
+        market = MixingMarket(rng=np.random.default_rng(rng_seed))
+        for i in range(n_users):
+            market.deposit(f"user-{i}", issuer.sell(f"user-{i}"))
+        return issuer, market
+
+    def test_initial_linkage_is_total(self):
+        issuer, market = self._setup()
+        assert market.linkage_probability(issuer) == 1.0
+
+    def test_mixing_reduces_linkage(self):
+        issuer, market = self._setup(n_users=50)
+        market.mix(3)
+        linkage = market.linkage_probability(issuer)
+        # After mixing 50 tokens, expected linkage ~1/50.
+        assert linkage < 0.2
+
+    def test_token_conservation(self):
+        issuer, market = self._setup(n_users=10)
+        market.mix(5)
+        total = sum(
+            len(market.withdraw_all(f"user-{i}")) for i in range(10)
+        )
+        assert total == 10
+
+    def test_withdrawn_tokens_still_redeemable(self):
+        issuer, market = self._setup(n_users=8)
+        market.mix(2)
+        for i in range(8):
+            for token in market.withdraw_all(f"user-{i}"):
+                issuer.redeem(token)  # all still valid, spendable once
+
+    def test_participants_listing(self):
+        _, market = self._setup(n_users=3)
+        assert market.participants == ["user-0", "user-1", "user-2"]
+
+    def test_empty_market_linkage_zero(self):
+        issuer = TokenIssuer()
+        market = MixingMarket()
+        assert market.linkage_probability(issuer) == 0.0

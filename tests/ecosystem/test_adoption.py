@@ -1,0 +1,162 @@
+"""Tests for the TET adoption model — the paper's core argument."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.actors import AggregatorActor, BrowserVendor, UserPopulation
+from repro.ecosystem.adoption import AdoptionModel
+from repro.ecosystem.incentives import (
+    IncentiveWeights,
+    adoption_utility,
+    holdout_utility,
+)
+from repro.ecosystem.scenarios import (
+    baseline_scenario,
+    engagement_incumbents_scenario,
+    no_first_mover_scenario,
+    strong_liability_scenario,
+)
+
+
+class TestActors:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrowserVendor(name="x", market_share=1.5, privacy_brand=0.5)
+        with pytest.raises(ValueError):
+            AggregatorActor(
+                name="x", market_share=0.5, privacy_brand=2.0, engagement_focus=0.5
+            )
+        with pytest.raises(ValueError):
+            UserPopulation(size=0)
+
+
+class TestIncentives:
+    def test_adoption_utility_grows_with_user_adoption(self):
+        aggregator = AggregatorActor(
+            name="a", market_share=0.3, privacy_brand=0.8, engagement_focus=0.3
+        )
+        weights = IncentiveWeights()
+        low = adoption_utility(aggregator, 0.01, weights)
+        high = adoption_utility(aggregator, 0.5, weights)
+        assert high > low
+
+    def test_holdout_utility_worsens_with_photo_population(self):
+        aggregator = AggregatorActor(
+            name="a", market_share=0.3, privacy_brand=0.2, engagement_focus=0.8
+        )
+        weights = IncentiveWeights()
+        early = holdout_utility(aggregator, 0.1, 1e9, 0.0, weights)
+        late = holdout_utility(aggregator, 0.1, 200e9, 0.0, weights)
+        assert late < early
+
+    def test_competitive_pressure_term(self):
+        aggregator = AggregatorActor(
+            name="a", market_share=0.3, privacy_brand=0.2, engagement_focus=0.8
+        )
+        weights = IncentiveWeights()
+        alone = holdout_utility(aggregator, 0.3, 1e9, 0.0, weights)
+        crowded = holdout_utility(aggregator, 0.3, 1e9, 0.7, weights)
+        assert crowded < alone
+
+    def test_liability_saturates(self):
+        aggregator = AggregatorActor(
+            name="a", market_share=0.3, privacy_brand=0.2, engagement_focus=0.8
+        )
+        weights = IncentiveWeights()
+        at_ref = holdout_utility(aggregator, 0.0, 100e9, 0.0, weights)
+        at_10x = holdout_utility(aggregator, 0.0, 1000e9, 0.0, weights)
+        # Bounded below by the full liability weight.
+        assert at_10x >= -weights.liability_weight
+        assert at_10x < at_ref
+
+
+class TestAdoptionDynamics:
+    def test_baseline_reaches_full_adoption(self):
+        trace = baseline_scenario().build(seed=1).run(240)
+        assert trace.final().aggregator_share_adopted == pytest.approx(1.0)
+
+    def test_baseline_tipping_near_100b_photos(self):
+        """The paper: incentives 'kick in' near 100 B registered photos."""
+        trace = baseline_scenario().build(seed=1).run(240)
+        photos = trace.photos_at_tipping(0.5)
+        assert photos is not None
+        assert 10e9 <= photos <= 1000e9  # order-of-magnitude agreement
+
+    def test_no_first_mover_never_tips(self):
+        """The TET counterfactual: no bootstrap, no transformation."""
+        trace = no_first_mover_scenario().build(seed=1).run(240)
+        final = trace.final()
+        assert final.user_adoption == 0.0
+        assert final.photo_population == 0.0
+        assert final.aggregator_share_adopted == 0.0
+        assert trace.tipping_month() is None
+
+    def test_strong_liability_tips_earlier(self):
+        base = baseline_scenario().build(seed=1).run(240)
+        strong = strong_liability_scenario().build(seed=1).run(240)
+        assert strong.tipping_month() <= base.tipping_month()
+        assert strong.photos_at_tipping() < base.photos_at_tipping()
+
+    def test_engagement_incumbents_tip_later(self):
+        base = baseline_scenario().build(seed=1).run(240)
+        hard = engagement_incumbents_scenario().build(seed=1).run(240)
+        assert hard.tipping_month() >= base.tipping_month()
+
+    def test_privacy_branded_aggregators_adopt_first(self):
+        model = baseline_scenario().build(seed=1)
+        model.run(240)
+        by_adoption = sorted(
+            model.aggregators, key=lambda a: a.adopted_at if a.adopted_at else 1e9
+        )
+        # privategram (privacy_brand 0.8) before viralgrid (0.1).
+        names = [a.name for a in by_adoption]
+        assert names.index("privategram") < names.index("viralgrid")
+
+    def test_follower_vendors_ship_after_first_aggregator(self):
+        model = baseline_scenario().build(seed=1)
+        trace = model.run(240)
+        laggard = next(v for v in model.vendors if v.name == "adstream")
+        assert laggard.adopted
+        assert laggard.adopted_at > 0
+        total_share = sum(v.market_share for v in model.vendors)
+        assert trace.final().vendor_share_adopted == pytest.approx(total_share)
+
+    def test_user_adoption_monotone_nondecreasing(self):
+        trace = baseline_scenario().build(seed=2).run(120)
+        adoption = trace.user_adoption()
+        assert (np.diff(adoption) >= -1e-12).all()
+
+    def test_photo_population_monotone(self):
+        trace = baseline_scenario().build(seed=2).run(120)
+        photos = trace.photo_population()
+        assert (np.diff(photos) >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        t1 = baseline_scenario().build(seed=3).run(60)
+        t2 = baseline_scenario().build(seed=3).run(60)
+        assert np.array_equal(t1.aggregator_share(), t2.aggregator_share())
+
+    def test_hysteresis_prevents_instant_flips(self):
+        model = baseline_scenario().build(seed=1)
+        model.step()
+        assert all(not a.adopted for a in model.aggregators)
+
+    def test_validation(self):
+        users = UserPopulation()
+        vendor = BrowserVendor(name="v", market_share=0.1, privacy_brand=0.9)
+        aggregator = AggregatorActor(
+            name="a", market_share=1.0, privacy_brand=0.5, engagement_focus=0.5
+        )
+        with pytest.raises(ValueError):
+            AdoptionModel(vendors=[], aggregators=[aggregator], users=users)
+        with pytest.raises(ValueError):
+            AdoptionModel(vendors=[vendor], aggregators=[], users=users)
+        model = AdoptionModel(vendors=[vendor], aggregators=[aggregator], users=users)
+        with pytest.raises(ValueError):
+            model.run(0)
+
+    def test_trace_empty_final_raises(self):
+        from repro.ecosystem.adoption import AdoptionTrace
+
+        with pytest.raises(ValueError):
+            AdoptionTrace().final()

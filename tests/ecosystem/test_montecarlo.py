@@ -1,0 +1,72 @@
+"""Tests for the Monte Carlo tipping analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.incentives import IncentiveWeights
+from repro.ecosystem.montecarlo import (
+    MonteCarloResult,
+    perturb_weights,
+    run_monte_carlo,
+)
+from repro.ecosystem.scenarios import baseline_scenario, no_first_mover_scenario
+
+
+class TestPerturbation:
+    def test_weights_change_but_stay_positive(self):
+        rng = np.random.default_rng(1)
+        base = IncentiveWeights()
+        perturbed = perturb_weights(base, rng)
+        assert perturbed.brand_value != base.brand_value
+        assert perturbed.brand_value > 0
+        assert perturbed.liability_reference_photos > 0
+
+    def test_zero_spread_is_identity(self):
+        rng = np.random.default_rng(2)
+        base = IncentiveWeights()
+        perturbed = perturb_weights(base, rng, spread=0.0)
+        assert perturbed.brand_value == pytest.approx(base.brand_value)
+
+    def test_seeded_reproducibility(self):
+        base = IncentiveWeights()
+        a = perturb_weights(base, np.random.default_rng(3))
+        b = perturb_weights(base, np.random.default_rng(3))
+        assert a.liability_weight == b.liability_weight
+
+
+class TestMonteCarlo:
+    def test_baseline_usually_tips(self):
+        result = run_monte_carlo(baseline_scenario(), runs=30, months=240, seed=4)
+        assert result.tipping_probability > 0.8
+        assert result.mean_final_share > 0.8
+
+    def test_threshold_band_covers_paper_figure(self):
+        """Across weight uncertainty, the tipping photo-population band
+        straddles the paper's ~100 B."""
+        result = run_monte_carlo(baseline_scenario(), runs=30, months=240, seed=5)
+        low, median, high = result.photo_threshold_quantiles()
+        assert low < 1e11 < high or (low <= 1e11 * 3 and high >= 1e11 / 3)
+        assert median > 0
+
+    def test_no_first_mover_never_tips(self):
+        result = run_monte_carlo(
+            no_first_mover_scenario(), runs=10, months=120, seed=6
+        )
+        assert result.tipping_probability == 0.0
+        assert result.mean_final_share == 0.0
+
+    def test_quantiles_on_empty_tips_are_nan(self):
+        result = MonteCarloResult(runs=2)
+        result.tipping_months = [None, None]
+        result.photos_at_tipping = [None, None]
+        assert all(np.isnan(q) for q in result.tipping_month_quantiles())
+
+    def test_scenario_weights_restored(self):
+        scenario = baseline_scenario()
+        before = scenario.weights
+        run_monte_carlo(scenario, runs=3, months=60, seed=7)
+        assert scenario.weights is before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_monte_carlo(runs=0)

@@ -1,0 +1,137 @@
+"""Tests for counting Bloom, Xor, and binary fuse filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.filters.binary_fuse import BinaryFuseFilter
+from repro.filters.counting import CountingBloomFilter
+from repro.filters.xor_filter import XorFilter
+
+
+def _keys(n: int, prefix: str = "key") -> list[bytes]:
+    return [f"{prefix}-{i}".encode() for i in range(n)]
+
+
+class TestCountingBloom:
+    def test_add_remove_cycle(self):
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.add(b"x")
+        assert b"x" in cbf
+        cbf.remove(b"x")
+        assert b"x" not in cbf
+
+    def test_remove_keeps_other_keys(self):
+        cbf = CountingBloomFilter(4096, 4)
+        for k in _keys(50):
+            cbf.add(k)
+        cbf.remove(b"key-0")
+        assert all(k in cbf for k in _keys(50)[1:])
+
+    def test_remove_absent_key_refused(self):
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.add(b"present")
+        with pytest.raises(KeyError):
+            cbf.remove(b"definitely-not-present-key")
+
+    def test_duplicate_adds_need_duplicate_removes(self):
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.add(b"x")
+        cbf.add(b"x")
+        cbf.remove(b"x")
+        assert b"x" in cbf
+        cbf.remove(b"x")
+        assert b"x" not in cbf
+
+    def test_projection_matches_membership(self):
+        cbf = CountingBloomFilter(4096, 4)
+        keys = _keys(200)
+        for k in keys:
+            cbf.add(k)
+        for k in keys[:100]:
+            cbf.remove(k)
+        projected = cbf.project()
+        assert all(k in projected for k in keys[100:])
+        assert projected.nbits == cbf.nbits
+
+    def test_projection_geometry_compatible_with_plain(self):
+        from repro.filters.bloom import BloomFilter
+
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.add(b"a")
+        plain = BloomFilter(4096, 4)
+        plain.add(b"b")
+        merged = cbf.project()
+        merged.union_with(plain)
+        assert b"a" in merged and b"b" in merged
+
+
+class TestXorFilter:
+    def test_no_false_negatives(self):
+        keys = _keys(2000)
+        xf = XorFilter.build(keys)
+        assert all(k in xf for k in keys)
+
+    def test_fpr_near_1_over_256(self):
+        xf = XorFilter.build(_keys(5000))
+        fpr = xf.measure_fpr(30_000, np.random.default_rng(3))
+        assert fpr < 0.012  # expected ~0.0039
+
+    def test_bits_per_key_near_paper_value(self):
+        xf = XorFilter.build(_keys(20_000))
+        assert 9.0 < xf.bits_per_key() < 11.0
+
+    def test_duplicates_collapsed(self):
+        xf = XorFilter.build([b"a", b"a", b"b"])
+        assert xf.num_keys == 2
+        assert b"a" in xf
+
+    def test_tiny_sets(self):
+        for n in (1, 2, 3):
+            keys = _keys(n)
+            xf = XorFilter.build(keys)
+            assert all(k in xf for k in keys)
+
+    def test_empty_set(self):
+        xf = XorFilter.build([])
+        assert b"x" not in xf
+
+
+class TestBinaryFuseFilter:
+    def test_no_false_negatives(self):
+        keys = _keys(2000)
+        bf = BinaryFuseFilter.build(keys)
+        assert all(k in bf for k in keys)
+
+    def test_fpr_near_1_over_256(self):
+        bf = BinaryFuseFilter.build(_keys(5000))
+        fpr = bf.measure_fpr(30_000, np.random.default_rng(4))
+        assert fpr < 0.012
+
+    def test_bits_per_key_beats_xor_at_scale(self):
+        keys = _keys(50_000)
+        xor_bpk = XorFilter.build(keys).bits_per_key()
+        fuse_bpk = BinaryFuseFilter.build(keys).bits_per_key()
+        assert fuse_bpk < xor_bpk
+
+    def test_small_sets(self):
+        for n in (1, 5, 37):
+            keys = _keys(n)
+            bf = BinaryFuseFilter.build(keys)
+            assert all(k in bf for k in keys)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=200))
+def test_property_xor_filter_complete(keys):
+    """Property: xor filters never produce false negatives."""
+    xf = XorFilter.build(sorted(keys))
+    assert all(k in xf for k in keys)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=200))
+def test_property_fuse_filter_complete(keys):
+    """Property: binary fuse filters never produce false negatives."""
+    bf = BinaryFuseFilter.build(sorted(keys))
+    assert all(k in bf for k in keys)

@@ -1,0 +1,75 @@
+"""Deployment compatibility: what happens when watermark codec
+parameters diverge between labeler and validator.
+
+The IRS watermark parameters (payload length, tile geometry, QIM step,
+positions) are deployment-wide constants.  These tests pin the failure
+modes of mismatches: everything fails *safe* (label unreadable, photo
+treated per the unlabeled/partial policy) — never a wrong identifier.
+"""
+
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.labeling import LabelState, read_label
+from repro.media.watermark import WatermarkCodec, WatermarkError
+
+
+@pytest.fixture(scope="module")
+def env():
+    irs = IrsDeployment.create(seed=220)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return irs, receipt, labeled
+
+
+class TestCodecMismatch:
+    def test_delta_mismatch_is_correct_or_nothing(self, env):
+        """Delta mismatches degrade gracefully: a moderately wrong step
+        may still majority-decode, but the CRC guarantees any decode is
+        the *true* payload — and a strongly wrong step fails cleanly."""
+        _, receipt, labeled = env
+        for delta in (24.0, 32.0, 48.0, 64.0, 80.0):
+            other = WatermarkCodec(payload_len=12, delta=delta)
+            try:
+                result = other.extract(labeled, search_offsets=False)
+            except WatermarkError:
+                continue  # clean failure is acceptable
+            assert result.payload == receipt.identifier.to_compact()
+        # Far-off steps are outside the graceful band.
+        with pytest.raises(WatermarkError):
+            WatermarkCodec(payload_len=12, delta=24.0).extract(
+                labeled, search_offsets=False
+            )
+
+    def test_different_positions_fail_clean(self, env):
+        _, _, labeled = env
+        other = WatermarkCodec(
+            payload_len=12, positions=((1, 3), (3, 1), (2, 3), (3, 2))
+        )
+        with pytest.raises(WatermarkError):
+            other.extract(labeled, search_offsets=False)
+
+    def test_different_tile_geometry_fails_clean(self, env):
+        _, _, labeled = env
+        other = WatermarkCodec(payload_len=12, tile_rows=7, tile_cols=4)
+        with pytest.raises(WatermarkError):
+            other.extract(labeled, search_offsets=False)
+
+    def test_mismatched_validator_treats_as_metadata_only(self, env):
+        """A validator whose codec is outside the graceful band sees
+        metadata but no watermark: the strict policy denies (partial),
+        it never fabricates agreement."""
+        irs, receipt, labeled = env
+        wrong_codec = WatermarkCodec(payload_len=12, delta=24.0)
+        label = read_label(labeled, wrong_codec, registry=irs.registry)
+        assert label.state is LabelState.METADATA_ONLY
+        assert label.metadata_identifier == receipt.identifier
+        assert label.watermark_payload is None
+
+    def test_shorter_payload_codec_never_missreads(self, env):
+        """A codec expecting 8-byte payloads must not extract a bogus
+        8-byte identifier from a 12-byte-payload watermark."""
+        _, _, labeled = env
+        short = WatermarkCodec(payload_len=8)
+        with pytest.raises(WatermarkError):
+            short.extract(labeled, search_offsets=False)

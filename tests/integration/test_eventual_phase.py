@@ -1,0 +1,134 @@
+"""Integration: the eventual solution (section 3.2) end-to-end.
+
+Owners claim and label; aggregators gate uploads, host with preserved
+IRS metadata, periodically recheck, and serve freshness proofs; the
+full attack-appeal-takedown lifecycle runs across two aggregators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import AggregatorConfig, ContentAggregator
+from repro.aggregator.hashdb import RobustHashDatabase
+from repro.aggregator.recheck import PeriodicRechecker
+from repro.aggregator.uploads import UploadDecision, UploadPipeline
+from repro.attacks.attackers import SophisticatedAttacker
+from repro.core import IrsDeployment
+from repro.core.owner import OwnerToolkit
+from repro.ledger.appeals import AppealsProcess
+from repro.netsim.simulator import Simulator
+
+
+@pytest.fixture()
+def world():
+    irs = IrsDeployment.create(seed=101, num_ledgers=2)
+    sim = Simulator()
+    aggregators = []
+    pipelines = []
+    for i, name in enumerate(["photowall", "sharesphere"]):
+        aggregator = ContentAggregator(
+            name,
+            irs.registry,
+            config=AggregatorConfig(recheck_interval=3600.0),
+            clock=sim.clock().now,
+        )
+        pipeline = UploadPipeline(
+            aggregator,
+            watermark_codec=irs.watermark_codec,
+            custodial_ledger=irs.ledgers[i],
+            custodial_toolkit=OwnerToolkit(
+                rng=np.random.default_rng(200 + i),
+                watermark_codec=irs.watermark_codec,
+            ),
+            hash_database=RobustHashDatabase(),
+        )
+        aggregators.append(aggregator)
+        pipelines.append(pipeline)
+    return irs, sim, aggregators, pipelines
+
+
+class TestEventualPhase:
+    def test_share_revoke_takedown_lifecycle(self, world):
+        """Use case #2: shared freely, later revoked, comes down at the
+        next periodic recheck on every participating aggregator."""
+        irs, sim, aggregators, pipelines = world
+        photo = irs.new_photo()
+        receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+
+        for i, pipeline in enumerate(pipelines):
+            outcome = pipeline.upload(f"vacation-{i}", labeled)
+            assert outcome.decision is UploadDecision.ACCEPTED
+
+        recheckers = [PeriodicRechecker(a) for a in aggregators]
+        for rechecker in recheckers:
+            rechecker.schedule_on(sim, until=10 * 3600.0)
+
+        sim.run(until=1800.0)
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        sim.run(until=2 * 3600.0 + 1)
+
+        for i, aggregator in enumerate(aggregators):
+            assert not aggregator.serve(f"vacation-{i}").served
+
+    def test_accidental_upload_blocked_everywhere(self, world):
+        """Use case #1: photo claimed-and-revoked at creation; a leaked
+        copy cannot be uploaded to any participating aggregator."""
+        irs, _, _, pipelines = world
+        photo = irs.new_photo()
+        receipt = irs.owner_toolkit.claim(
+            photo, irs.ledger, initially_revoked=True
+        )
+        leaked = irs.owner_toolkit.label(photo, receipt)
+        for i, pipeline in enumerate(pipelines):
+            outcome = pipeline.upload(f"leak-{i}", leaked)
+            assert outcome.decision is UploadDecision.DENIED_REVOKED
+
+    def test_cross_ledger_attack_and_appeal(self, world):
+        """The attacker claims the copy on a *different* ledger than
+        the original; appeals still work because the original's
+        timestamp authority is shared and trusted."""
+        irs, _, aggregators, pipelines = world
+        photo = irs.new_photo()
+        receipt, labeled = irs.owner_toolkit.claim_and_label(
+            photo, irs.ledgers[0]
+        )
+        irs.owner_toolkit.revoke(receipt, irs.ledgers[0])
+
+        attacker = SophisticatedAttacker(
+            irs.ledgers[1],
+            rng=np.random.default_rng(7),
+            watermark_codec=irs.watermark_codec,
+        )
+        result = attacker.reclaim_copy(labeled)
+        outcome = pipelines[1].upload("stolen", result.photo)
+        assert outcome.decision is UploadDecision.ACCEPTED
+
+        process = AppealsProcess(irs.ledgers[1], [irs.timestamp_authority])
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, photo, process, result.identifier, result.photo
+        )
+        assert process.adjudicate(appeal).upheld
+        PeriodicRechecker(aggregators[1]).run_sweep()
+        assert not aggregators[1].serve("stolen").served
+
+    def test_unlabeled_custodial_then_appeal(self, world):
+        """Unlabeled upload gets a custodial claim; when the true owner
+        appears, appeals against the custodial claim succeed (the
+        custodial timestamp postdates the owner's)."""
+        irs, _, aggregators, pipelines = world
+        photo = irs.new_photo()
+        receipt = irs.owner_toolkit.claim(photo, irs.ledgers[0])
+
+        # A copy without labels reaches another site.
+        bare = photo.copy(with_metadata=False)
+        outcome = pipelines[1].upload("mystery", bare)
+        assert outcome.decision is UploadDecision.ACCEPTED_CUSTODIAL
+
+        process = AppealsProcess(irs.ledgers[1], [irs.timestamp_authority])
+        hosted = aggregators[1].hosted("mystery")
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, photo, process, outcome.identifier, hosted.photo
+        )
+        assert process.adjudicate(appeal).upheld
+        PeriodicRechecker(aggregators[1]).run_sweep()
+        assert not aggregators[1].serve("mystery").served

@@ -1,0 +1,137 @@
+"""Integration: aggregator freshness proofs verified by the extension.
+
+Section 3.2: "When an aggregator provides a response to an application
+or browser containing a claimed photo, it includes in metadata
+cryptographic proof that it has recently verified the non-revoked
+status of the photo."  The browser can then skip its own check — but
+only after verifying the proof's signature, binding, and freshness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregator.aggregator import ContentAggregator
+from repro.aggregator.recheck import PeriodicRechecker
+from repro.aggregator.uploads import UploadPipeline
+from repro.browser.extension import IrsBrowserExtension
+from repro.core import IrsDeployment
+from repro.core.owner import OwnerToolkit
+from repro.ledger.proofs import StatusProof
+from repro.media.metadata import IRS_FRESHNESS_FIELD
+from repro.netsim.simulator import ManualClock
+
+
+@pytest.fixture()
+def served_photo():
+    """A photo served by an IRS aggregator, with proof attached."""
+    irs = IrsDeployment.create(seed=170)
+    clock = ManualClock()
+    aggregator = ContentAggregator("site", irs.registry, clock=clock.now)
+    pipeline = UploadPipeline(
+        aggregator,
+        watermark_codec=irs.watermark_codec,
+        custodial_ledger=irs.ledger,
+        custodial_toolkit=OwnerToolkit(
+            rng=np.random.default_rng(170), watermark_codec=irs.watermark_codec
+        ),
+    )
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    pipeline.upload("pic", labeled)
+    PeriodicRechecker(aggregator).run_sweep()  # attach a fresh proof
+    result = aggregator.serve("pic")
+    assert result.served
+    return irs, clock, receipt, result.photo
+
+
+def _extension(irs, clock, **kwargs):
+    return IrsBrowserExtension(
+        status_source=irs.registry.status,
+        registry=irs.registry,
+        accept_freshness_proofs=True,
+        clock=clock.now,
+        **kwargs,
+    )
+
+
+class TestWireFormat:
+    def test_roundtrip(self, served_photo):
+        _, _, _, photo = served_photo
+        wire = photo.metadata.get(IRS_FRESHNESS_FIELD)
+        proof = StatusProof.from_wire(wire)
+        assert proof.to_wire() == wire
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            StatusProof.from_wire("not:enough")
+
+
+class TestProofAcceptance:
+    def test_valid_proof_skips_check(self, served_photo):
+        irs, clock, _, photo = served_photo
+        extension = _extension(irs, clock)
+        decision = extension.on_image(photo)
+        assert decision.display
+        assert extension.stats.freshness_proofs_accepted == 1
+        assert extension.stats.checks_sent == 0
+
+    def test_stale_proof_triggers_real_check(self, served_photo):
+        irs, clock, _, photo = served_photo
+        extension = _extension(irs, clock, freshness_max_age=100.0)
+        clock.advance(1000.0)
+        decision = extension.on_image(photo)
+        assert decision.display
+        assert extension.stats.freshness_proofs_accepted == 0
+        assert extension.stats.checks_sent == 1
+
+    def test_forged_proof_falls_through(self, served_photo):
+        """A site re-stamping a stale proof's timestamp (to keep
+        serving a since-revoked photo) breaks the signature; the
+        extension checks for itself and catches the revocation."""
+        from dataclasses import replace
+
+        irs, clock, receipt, photo = served_photo
+        proof = StatusProof.from_wire(photo.metadata.get(IRS_FRESHNESS_FIELD))
+        # Time passes; the owner revokes; the honest proof is now stale.
+        clock.advance(10_000.0)
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        forged = replace(proof, checked_at=clock.now())  # re-stamped
+        tampered = photo.copy()
+        tampered.metadata.set(IRS_FRESHNESS_FIELD, forged.to_wire())
+        extension = _extension(irs, clock)
+        decision = extension.on_image(tampered)
+        assert not decision.display  # real check caught the revocation
+        assert extension.stats.freshness_proofs_accepted == 0
+        assert extension.stats.checks_sent == 1
+
+    def test_proof_for_other_photo_ignored(self, served_photo):
+        irs, clock, _, photo = served_photo
+        other = irs.new_photo()
+        other_receipt, other_labeled = irs.owner_toolkit.claim_and_label(
+            other, irs.ledger
+        )
+        # Transplant pic's proof onto the other photo.
+        other_labeled.metadata.set(
+            IRS_FRESHNESS_FIELD, photo.metadata.get(IRS_FRESHNESS_FIELD)
+        )
+        extension = _extension(irs, clock)
+        decision = extension.on_image(other_labeled)
+        assert decision.display
+        assert extension.stats.freshness_proofs_accepted == 0
+        assert extension.stats.checks_sent == 1
+
+    def test_garbage_proof_field_ignored(self, served_photo):
+        irs, clock, _, photo = served_photo
+        garbled = photo.copy()
+        garbled.metadata.set(IRS_FRESHNESS_FIELD, "garbage!!!")
+        extension = _extension(irs, clock)
+        assert extension.on_image(garbled).display
+        assert extension.stats.checks_sent == 1
+
+    def test_requires_registry(self, served_photo):
+        irs, clock, *_ = served_photo
+        with pytest.raises(ValueError):
+            IrsBrowserExtension(
+                status_source=irs.registry.status,
+                accept_freshness_proofs=True,
+            )

@@ -1,0 +1,133 @@
+"""Cross-validation: the analytic page-load model vs a discrete-event
+implementation of the same semantics.
+
+E1/E2 rest on the analytic loader.  This test re-implements the page
+load as literal simulator events (per-connection fetch processes,
+check completions) and verifies both produce identical milestones under
+deterministic latencies — guarding the analytic shortcut against drift.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.browser.loader import CheckMode, PageLoadModel
+from repro.browser.page import AuxResource, ImageResource, Page
+from repro.core.identifiers import PhotoIdentifier
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.simulator import Simulator
+
+
+def _page(num_images: int, aux: bool = True) -> Page:
+    images = [
+        ImageResource(
+            name=f"img-{i}",
+            size_bytes=40_000 + 7_000 * i,
+            identifier=PhotoIdentifier(ledger_id="l", serial=i + 1),
+        )
+        for i in range(num_images)
+    ]
+    aux_resources = (
+        [
+            AuxResource(name="a.css", size_bytes=50_000, kind="css"),
+            AuxResource(name="b.js", size_bytes=120_000, kind="js"),
+        ]
+        if aux
+        else []
+    )
+    return Page(name="p", html_bytes=30_000, aux=aux_resources, images=images)
+
+
+def _simulate_event_driven(
+    page: Page,
+    rtt: float,
+    bandwidth_bps: float,
+    connections: int,
+    check_latency: float | None,
+    mode: CheckMode,
+) -> tuple[float, float]:
+    """(first_contentful_paint, page_complete) via explicit events."""
+    sim = Simulator()
+    transfer = lambda size: size * 8.0 / bandwidth_bps  # noqa: E731
+
+    milestones = {"fcp": 0.0, "rendered": []}
+
+    # Connection pool as a heap of free times, processed through events.
+    html_done = rtt + transfer(page.html_bytes)
+
+    def after_html():
+        pool = [sim.now] * connections
+        # Aux resources sequentially over the pool.
+        for resource in page.aux:
+            start = heapq.heappop(pool)
+            heapq.heappush(pool, start + rtt + transfer(resource.size_bytes))
+        aux_done = max(max(pool), sim.now) if page.aux else sim.now
+        sim.schedule_at(aux_done, after_aux)
+
+    def after_aux():
+        milestones["fcp"] = sim.now
+        pool = [sim.now] * connections
+        for image in page.images:
+            start = heapq.heappop(pool)
+            metadata_at = start + rtt + transfer(image.metadata_prefix_bytes)
+            download_done = start + rtt + transfer(image.size_bytes)
+            heapq.heappush(pool, download_done)
+            if mode is CheckMode.OFF or not image.labeled:
+                ready = download_done
+            elif mode is CheckMode.PIPELINED:
+                ready = max(download_done, metadata_at + check_latency)
+            else:
+                ready = download_done + check_latency
+            # Materialize the render as a real event.
+            sim.schedule_at(ready, lambda t=ready: milestones["rendered"].append(t))
+
+    sim.schedule_at(html_done, after_html)
+    sim.run()
+    page_complete = max([milestones["fcp"]] + milestones["rendered"])
+    return milestones["fcp"], page_complete
+
+
+@pytest.mark.parametrize("num_images", [1, 5, 17])
+@pytest.mark.parametrize(
+    "mode,check",
+    [
+        (CheckMode.OFF, None),
+        (CheckMode.PIPELINED, 0.08),
+        (CheckMode.PIPELINED, 0.4),
+        (CheckMode.BLOCKING, 0.08),
+    ],
+)
+def test_analytic_matches_event_driven(num_images, mode, check):
+    rtt, bandwidth, connections = 0.03, 4e6, 6
+    page = _page(num_images)
+    model = PageLoadModel(
+        rtt=ConstantLatency(rtt),
+        bandwidth_bps=bandwidth,
+        connections=connections,
+        check_latency=ConstantLatency(check) if check else None,
+        mode=mode,
+    )
+    analytic = model.load(page, np.random.default_rng(0))
+    fcp, complete = _simulate_event_driven(
+        page, rtt, bandwidth, connections, check, mode
+    )
+    assert analytic.first_contentful_paint == pytest.approx(fcp, abs=1e-9)
+    assert analytic.page_complete == pytest.approx(complete, abs=1e-9)
+
+
+def test_agreement_without_aux_resources():
+    page = _page(4, aux=False)
+    model = PageLoadModel(
+        rtt=ConstantLatency(0.02),
+        bandwidth_bps=8e6,
+        connections=2,
+        check_latency=ConstantLatency(0.1),
+        mode=CheckMode.PIPELINED,
+    )
+    analytic = model.load(page, np.random.default_rng(0))
+    fcp, complete = _simulate_event_driven(
+        page, 0.02, 8e6, 2, 0.1, CheckMode.PIPELINED
+    )
+    assert analytic.page_complete == pytest.approx(complete, abs=1e-9)
+    assert analytic.first_contentful_paint == pytest.approx(fcp, abs=1e-9)

@@ -1,0 +1,160 @@
+"""Integration: the bootstrap stack over the discrete-event network.
+
+The other integration tests call components directly; here the
+browser -> proxy -> ledger path runs as actual RPC over simulated links
+with sampled latencies, verifying that (a) the wiring carries real
+status answers, (b) end-to-end check latency decomposes the way the
+section 4.3 budget assumes, and (c) filter short-circuits eliminate the
+proxy->ledger leg entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.identifiers import PhotoIdentifier
+from repro.filters.sizing import bloom_bits_for_fpr, bloom_optimal_hashes
+from repro.ledger.export import FilterExporter
+from repro.netsim.latency import ConstantLatency, LogNormalLatency
+from repro.netsim.link import Network
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import RpcEndpoint
+from repro.proxy.filterset import ProxyFilterSet
+from repro.workload.population import populate_ledger
+
+
+@pytest.fixture()
+def wired():
+    """Browser, proxy and ledger nodes joined by latency links."""
+    irs = IrsDeployment.create(seed=131)
+    rng = np.random.default_rng(131)
+    population = populate_ledger(irs.ledger, 2000, 0.5, rng)
+
+    sim = Simulator()
+    net = Network(sim, rng)
+    browser = net.add_node(Node("browser", sim))
+    proxy_node = net.add_node(Node("proxy", sim))
+    ledger_node = net.add_node(Node("ledger", sim))
+    net.connect("browser", "proxy", LogNormalLatency(median=0.008, sigma=0.3))
+    net.connect("proxy", "ledger", LogNormalLatency(median=0.012, sigma=0.3))
+
+    # Ledger endpoint: status queries served with a small service time.
+    ledger_endpoint = RpcEndpoint(
+        ledger_node, net, service_time=ConstantLatency(0.001)
+    )
+    ledger_endpoint.register(
+        "status",
+        lambda identifier_string: irs.registry.status(
+            PhotoIdentifier.from_string(identifier_string)
+        ),
+    )
+
+    # Proxy endpoint: filter front, then async upstream RPC to the ledger.
+    nbits = bloom_bits_for_fpr(population.num_revoked, 0.02)
+    k = bloom_optimal_hashes(nbits, population.num_revoked)
+    exporter = FilterExporter(irs.ledger, nbits=nbits, num_hashes=k)
+    exporter.publish()
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    filterset.refresh()
+
+    proxy_endpoint = RpcEndpoint(proxy_node, net)
+    upstream_queries = {"count": 0}
+
+    def proxy_status(identifier_string, respond):
+        """Async handler: responds via callback, possibly after an
+        upstream RPC."""
+        identifier = PhotoIdentifier.from_string(identifier_string)
+        if not filterset.might_be_revoked(identifier.to_compact()):
+            respond({"revoked": False, "source": "filter"})
+            return
+        upstream_queries["count"] += 1
+
+        def on_upstream(result):
+            proof = result.unwrap()
+            respond({"revoked": proof.revoked, "source": "ledger"})
+
+        ledger_endpoint.call("proxy", "status", identifier_string, on_upstream)
+
+    # Adapt the async handler onto the RPC endpoint: the registered
+    # handler returns a sentinel and completion goes through a manual
+    # response path, so we implement the proxy call inline instead.
+    def browser_check(identifier, callback):
+        start = sim.now
+
+        def deliver_to_proxy():
+            proxy_node.messages_received += 1
+            proxy_status(
+                identifier.to_string(),
+                lambda answer: net.deliver(
+                    "proxy",
+                    "browser",
+                    lambda: callback(answer, sim.now - start),
+                ),
+            )
+
+        browser.messages_sent += 1
+        net.deliver("browser", "proxy", deliver_to_proxy)
+
+    return irs, population, sim, browser_check, upstream_queries
+
+
+class TestRpcPipeline:
+    def test_answers_are_correct(self, wired):
+        irs, population, sim, browser_check, _ = wired
+        answers = {}
+        for i in (0, 1, 2, 3, 4):
+            identifier = population.identifiers[i]
+            browser_check(
+                identifier,
+                lambda answer, rtt, key=identifier.to_string(): answers.__setitem__(
+                    key, answer
+                ),
+            )
+        sim.run()
+        assert len(answers) == 5
+        for i in range(5):
+            identifier = population.identifiers[i]
+            expected = bool(population.revoked_mask[i])
+            assert answers[identifier.to_string()]["revoked"] == expected
+
+    def test_filter_miss_skips_ledger_leg(self, wired):
+        irs, population, sim, browser_check, upstream = wired
+        unrevoked = [
+            identifier
+            for i, identifier in enumerate(population.identifiers[:200])
+            if not population.revoked_mask[i]
+        ]
+        rtts = []
+        for identifier in unrevoked:
+            browser_check(identifier, lambda answer, rtt: rtts.append((answer, rtt)))
+        sim.run()
+        filter_rtts = [rtt for answer, rtt in rtts if answer["source"] == "filter"]
+        ledger_rtts = [rtt for answer, rtt in rtts if answer["source"] == "ledger"]
+        # Almost everything short-circuits; the few false positives pay
+        # the extra proxy->ledger round trip.
+        assert len(filter_rtts) > 0.9 * len(rtts)
+        assert upstream["count"] == len(ledger_rtts)
+        if ledger_rtts:
+            assert float(np.mean(ledger_rtts)) > float(np.mean(filter_rtts))
+        # Filter-path RTT ~ one browser<->proxy round trip (~16 ms).
+        assert 0.005 < float(np.mean(filter_rtts)) < 0.08
+
+    def test_revoked_photos_pay_full_path_and_block(self, wired):
+        irs, population, sim, browser_check, _ = wired
+        revoked = [
+            identifier
+            for i, identifier in enumerate(population.identifiers[:100])
+            if population.revoked_mask[i]
+        ]
+        results = []
+        for identifier in revoked:
+            browser_check(identifier, lambda answer, rtt: results.append((answer, rtt)))
+        sim.run()
+        assert all(answer["revoked"] for answer, _ in results)
+        assert all(answer["source"] == "ledger" for answer, _ in results)
+        # Full path: two round trips + service, still well under the
+        # 100 ms budget of section 4.3.
+        mean_rtt = float(np.mean([rtt for _, rtt in results]))
+        assert mean_rtt < 0.1

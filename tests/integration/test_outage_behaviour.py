@@ -1,0 +1,148 @@
+"""Integration: ledger outages and degraded-network behaviour.
+
+The validation policies encode the availability stance: viewing fails
+open (an outage must not blank the web), uploads fail closed (an outage
+must not let revoked content in).  These tests exercise both through
+real component wiring, plus RPC-level timeouts on a dead ledger node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.errors import LedgerUnavailableError
+from repro.core.validation import ValidationDecision, ValidationPolicy, Validator
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.link import Network
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import RpcEndpoint
+
+
+@pytest.fixture()
+def env():
+    irs = IrsDeployment.create(seed=160)
+    photo = irs.new_photo()
+    receipt, labeled = irs.owner_toolkit.claim_and_label(photo, irs.ledger)
+    return irs, photo, receipt, labeled
+
+
+class _FlakySource:
+    """Status source that fails for a configurable window."""
+
+    def __init__(self, registry):
+        self._registry = registry
+        self.down = False
+        self.calls = 0
+
+    def __call__(self, identifier):
+        self.calls += 1
+        if self.down:
+            raise LedgerUnavailableError("ledger outage (injected)")
+        return self._registry.status(identifier)
+
+
+class TestOutagePolicies:
+    def test_viewing_fails_open_during_outage(self, env):
+        irs, _, _, labeled = env
+        source = _FlakySource(irs.registry)
+        validator = Validator(
+            status_source=source,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy.viewing(),
+        )
+        source.down = True
+        result = validator.validate(labeled)
+        assert result.allowed
+        assert "fail-open" in result.detail
+
+    def test_upload_fails_closed_during_outage(self, env):
+        irs, _, _, labeled = env
+        source = _FlakySource(irs.registry)
+        validator = Validator(
+            status_source=source,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy.upload(),
+            registry=irs.registry,
+        )
+        source.down = True
+        result = validator.validate(labeled)
+        assert result.decision is ValidationDecision.DENY_LEDGER_UNAVAILABLE
+
+    def test_recovery_restores_normal_answers(self, env):
+        irs, _, receipt, labeled = env
+        source = _FlakySource(irs.registry)
+        validator = Validator(
+            status_source=source,
+            watermark_codec=irs.watermark_codec,
+            policy=ValidationPolicy.upload(),
+            registry=irs.registry,
+        )
+        source.down = True
+        assert not validator.validate(labeled).allowed
+        source.down = False
+        assert validator.validate(labeled).allowed
+        irs.owner_toolkit.revoke(receipt, irs.ledger)
+        assert (
+            validator.validate(labeled).decision is ValidationDecision.DENY_REVOKED
+        )
+
+    def test_extension_fail_open_via_proxy_cache(self, env):
+        """A proxy whose cache holds the verdict keeps answering through
+        a ledger outage — the availability benefit of caching."""
+        from repro.netsim.simulator import ManualClock
+        from repro.proxy.cache import TtlLruCache
+        from repro.proxy.proxy import IrsProxy
+
+        irs, _, receipt, labeled = env
+        clock = ManualClock()
+        proxy = IrsProxy(
+            "p",
+            irs.registry,
+            cache=TtlLruCache(100, ttl=3600, clock=clock.now),
+            clock=clock.now,
+        )
+        first = proxy.status(receipt.identifier)
+        assert first.source == "ledger"
+        # Outage: replace the registry routing with a failing one.
+        proxy._registry = None  # any ledger call would now crash
+        cached = proxy.status(receipt.identifier)
+        assert cached.source == "cache"
+        assert cached.revoked == first.revoked
+
+
+class TestRpcOutage:
+    def test_dead_ledger_node_times_out_and_browser_fails_open(self):
+        """Full RPC wiring: the ledger node stops answering; with a
+        timeout, the browser-side policy converts the RPC error into a
+        fail-open render decision."""
+        sim = Simulator()
+        net = Network(sim, np.random.default_rng(1))
+        net.add_node(Node("browser", sim))
+        net.add_node(Node("ledger", sim))
+        # Requests reach the ledger but responses are lost (the link is
+        # fine; the service hangs): model by a handler that never
+        # responds — i.e. don't register the method at all would error
+        # immediately, so instead use a link that loses everything.
+        net.connect(
+            "browser", "ledger", ConstantLatency(0.01), loss_probability=0.99999
+        )
+        endpoint = RpcEndpoint(net.node("ledger"), net)
+        endpoint.register("status", lambda p: {"revoked": False})
+
+        decisions = []
+
+        def on_result(result):
+            if result.ok:
+                decisions.append(not result.value["revoked"])
+            else:
+                decisions.append(True)  # fail-open viewing
+
+        for _ in range(5):
+            endpoint.call(
+                "browser", "status", "irs1:l:1", on_result, timeout=0.5, retries=1
+            )
+        sim.run()
+        assert len(decisions) == 5
+        assert all(decisions)  # every image rendered despite the outage
+        assert sim.now < 10.0  # timeouts bounded the wait

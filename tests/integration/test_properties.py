@@ -1,0 +1,141 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These cover invariants spanning modules: watermark payload
+transparency, cache correctness against a model, simulator ordering,
+and the claim/revoke state machine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.media.image import generate_photo
+from repro.media.watermark import WatermarkCodec
+from repro.netsim.simulator import ManualClock, Simulator
+from repro.proxy.cache import TtlLruCache
+
+
+# One photo and codec shared across hypothesis examples (embedding is
+# pure; extraction does not mutate).
+_CODEC = WatermarkCodec(payload_len=12)
+_PHOTO = generate_photo(seed=424, height=160, width=160)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=12, max_size=12))
+def test_property_watermark_payload_transparent(payload):
+    """Property: any 12-byte payload embeds and extracts exactly."""
+    marked = _CODEC.embed(_PHOTO, payload)
+    result = _CODEC.extract(marked, search_offsets=False)
+    assert result.payload == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "advance"]),
+            st.integers(min_value=0, max_value=5),  # key universe
+        ),
+        max_size=60,
+    )
+)
+def test_property_cache_matches_model(operations):
+    """Property: TtlLruCache agrees with a brute-force model."""
+    capacity, ttl = 3, 10.0
+    clock = ManualClock()
+    cache = TtlLruCache(capacity, ttl=ttl, clock=clock.now)
+    # Model: list of (key, value, stored_at, last_used) in recency order.
+    model: list = []
+
+    def model_get(key):
+        for i, (k, v, stored, _) in enumerate(model):
+            if k == key:
+                if clock.now() - stored > ttl:
+                    del model[i]
+                    return None
+                entry = model.pop(i)
+                model.append(entry)
+                return v
+        return None
+
+    def model_put(key, value):
+        for i, (k, *_rest) in enumerate(model):
+            if k == key:
+                del model[i]
+                break
+        model.append((key, value, clock.now(), clock.now()))
+        while len(model) > capacity:
+            model.pop(0)
+
+    counter = 0
+    for op, key in operations:
+        if op == "put":
+            counter += 1
+            cache.put(key, counter)
+            model_put(key, counter)
+        elif op == "get":
+            assert cache.get(key) == model_get(key)
+        else:
+            clock.advance(3.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=40))
+def test_property_simulator_runs_in_time_order(delays):
+    """Property: events always execute in non-decreasing time order."""
+    sim = Simulator()
+    executed = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(st.sampled_from(["revoke", "unrevoke", "status"]), max_size=12))
+def test_property_revocation_state_machine(actions):
+    """Property: the ledger's revocation flag always equals the last
+    effective action, and every status proof verifies."""
+    from repro.crypto.hashing import sha256_hex
+    from repro.crypto.signatures import KeyPair
+    from repro.crypto.timestamp import TimestampAuthority
+    from repro.ledger.ledger import Ledger
+
+    keypair = _STATE_KEYPAIR
+    ledger = Ledger("prop-ledger", TimestampAuthority())
+    content_hash = sha256_hex(b"prop")
+    record = ledger.claim(
+        content_hash,
+        keypair.sign(content_hash.encode("utf-8")),
+        keypair.public,
+    )
+    expected = False
+    for action in actions:
+        if action == "status":
+            proof = ledger.status(record.identifier)
+            assert proof.revoked == expected
+            assert proof.verify(ledger.public_key)
+            continue
+        nonce = ledger.make_challenge(record.identifier)
+        payload = Ledger.ownership_payload(action, record.identifier, nonce)
+        signature = keypair.sign_struct(payload)
+        if action == "revoke":
+            ledger.revoke(record.identifier, nonce, signature)
+            expected = True
+        else:
+            ledger.unrevoke(record.identifier, nonce, signature)
+            expected = False
+    assert ledger.status(record.identifier).revoked == expected
+
+
+_STATE_KEYPAIR = __import__("numpy").random.default_rng(77)
+# Generate once at import: keygen is the expensive part.
+from repro.crypto.signatures import KeyPair as _KP  # noqa: E402
+
+_STATE_KEYPAIR = _KP.generate(bits=512, rng=_STATE_KEYPAIR)

@@ -1,0 +1,179 @@
+"""Tests for the appeals process — the section 3.2/5 adjudication."""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.core.errors import AppealError
+from repro.ledger.appeals import AppealsProcess, AppealVerdict
+from repro.ledger.records import RevocationState
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.transforms import resize, tint
+
+
+@pytest.fixture()
+def setup():
+    """Original owner claims a photo; attacker re-claims a copy."""
+    irs = IrsDeployment.create(seed=31)
+    original = irs.new_photo(height=128, width=128)
+    receipt, labeled = irs.owner_toolkit.claim_and_label(original, irs.ledger)
+    # Attacker strips and re-claims a lightly edited copy.
+    copy_photo = jpeg_roundtrip(
+        tint(labeled, (1.05, 1.0, 0.95)), 70, preserve_metadata=False
+    )
+    attacker_receipt = irs.owner_toolkit.claim(copy_photo, irs.ledger)
+    process = AppealsProcess(irs.ledger, [irs.timestamp_authority])
+    return irs, original, receipt, copy_photo, attacker_receipt, process
+
+
+class TestUpheldAppeals:
+    def test_derived_copy_permanently_revoked(self, setup):
+        irs, original, receipt, copy_photo, attacker_receipt, process = setup
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, attacker_receipt.identifier, copy_photo
+        )
+        decision = process.adjudicate(appeal)
+        assert decision.upheld
+        assert decision.robust_distance is not None
+        record = irs.ledger.record(attacker_receipt.identifier)
+        assert record.state is RevocationState.PERMANENTLY_REVOKED
+
+    def test_resized_copy_caught_by_robust_hash(self, setup):
+        """The watermark dies under resize, but appeals still win."""
+        irs, original, receipt, _, _, process = setup
+        resized_copy = resize(original, 96, 96, preserve_metadata=False)
+        attacker_receipt = irs.owner_toolkit.claim(resized_copy, irs.ledger)
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, attacker_receipt.identifier, resized_copy
+        )
+        assert process.adjudicate(appeal).upheld
+
+    def test_appeals_counter(self, setup):
+        irs, original, receipt, copy_photo, attacker_receipt, process = setup
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, attacker_receipt.identifier, copy_photo
+        )
+        process.adjudicate(appeal)
+        assert process.appeals_heard == 1
+
+
+class TestRejectedAppeals:
+    def test_unrelated_photo_rejected(self, setup):
+        """Appealing against someone's *different* photo must fail --
+        otherwise appeals become a censorship tool."""
+        irs, original, receipt, _, _, process = setup
+        unrelated = irs.new_photo(height=128, width=128)
+        unrelated_receipt = irs.owner_toolkit.claim(unrelated, irs.ledger)
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, unrelated_receipt.identifier, unrelated
+        )
+        decision = process.adjudicate(appeal)
+        assert decision.verdict is AppealVerdict.REJECTED
+        assert "derived" in decision.reason
+
+    def test_later_claim_cannot_appeal_against_earlier(self, setup):
+        """Priority: the attacker cannot appeal against the *original*."""
+        irs, original, receipt, copy_photo, attacker_receipt, process = setup
+        # The attacker (holding the copy's receipt) appeals against the
+        # original claim.
+        appeal = irs.owner_toolkit.prepare_appeal(
+            attacker_receipt,
+            copy_photo,
+            process,
+            receipt.identifier,
+            original,
+        )
+        decision = process.adjudicate(appeal)
+        assert decision.verdict is AppealVerdict.REJECTED
+        assert "predate" in decision.reason
+
+    def test_wrong_original_photo_rejected(self, setup):
+        irs, original, receipt, copy_photo, attacker_receipt, process = setup
+        from repro.core.errors import ClaimError
+
+        other = irs.new_photo()
+        with pytest.raises(ClaimError):
+            irs.owner_toolkit.prepare_appeal(
+                receipt, other, process, attacker_receipt.identifier, copy_photo
+            )
+
+    def test_reused_nonce_rejected(self, setup):
+        irs, original, receipt, copy_photo, attacker_receipt, process = setup
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, attacker_receipt.identifier, copy_photo
+        )
+        process.adjudicate(appeal)
+        with pytest.raises(AppealError):
+            process.adjudicate(appeal)  # nonce already consumed
+
+    def test_untrusted_authority_rejected(self, setup):
+        from repro.crypto.timestamp import TimestampAuthority
+
+        irs, original, receipt, copy_photo, attacker_receipt, _ = setup
+        stranger_process = AppealsProcess(irs.ledger, [TimestampAuthority()])
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, stranger_process, attacker_receipt.identifier, copy_photo
+        )
+        decision = stranger_process.adjudicate(appeal)
+        assert decision.verdict is AppealVerdict.REJECTED
+        assert "untrusted" in decision.reason
+
+    def test_unknown_copy_identifier(self, setup):
+        irs, original, receipt, copy_photo, _, process = setup
+        from repro.core.identifiers import PhotoIdentifier
+
+        ghost = PhotoIdentifier(ledger_id=irs.ledger.ledger_id, serial=999)
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, ghost, copy_photo
+        )
+        with pytest.raises(AppealError):
+            process.adjudicate(appeal)
+
+
+class TestHumanOracle:
+    def test_uncertain_distance_escalates(self, setup):
+        irs, original, receipt, _, _, _ = setup
+        calls = []
+
+        def oracle(a, b):
+            calls.append(True)
+            return True
+
+        process = AppealsProcess(
+            irs.ledger,
+            [irs.timestamp_authority],
+            match_threshold=0.0,  # force everything into the band
+            uncertainty_band=0.2,
+            human_oracle=oracle,
+        )
+        # A lightly compressed copy: distance > 0 but < 0.2.
+        copy_photo = jpeg_roundtrip(original, 60, preserve_metadata=False)
+        attacker_receipt = irs.owner_toolkit.claim(copy_photo, irs.ledger)
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, attacker_receipt.identifier, copy_photo
+        )
+        decision = process.adjudicate(appeal)
+        assert decision.upheld
+        assert decision.used_human_inspection
+        assert calls
+
+    def test_no_oracle_means_uncertain_rejects(self, setup):
+        irs, original, receipt, _, _, _ = setup
+        process = AppealsProcess(
+            irs.ledger,
+            [irs.timestamp_authority],
+            match_threshold=0.0,
+            uncertainty_band=0.2,
+            human_oracle=None,
+        )
+        copy_photo = jpeg_roundtrip(original, 60, preserve_metadata=False)
+        attacker_receipt = irs.owner_toolkit.claim(copy_photo, irs.ledger)
+        appeal = irs.owner_toolkit.prepare_appeal(
+            receipt, original, process, attacker_receipt.identifier, copy_photo
+        )
+        assert not process.adjudicate(appeal).upheld
+
+    def test_requires_trusted_authority_list(self, setup):
+        irs, *_ = setup
+        with pytest.raises(ValueError):
+            AppealsProcess(irs.ledger, [])

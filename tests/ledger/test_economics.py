@@ -1,0 +1,72 @@
+"""Tests for the ledger hosting-cost model."""
+
+import pytest
+
+from repro.ledger.economics import BootstrapScale, ServingCostModel
+
+
+@pytest.fixture()
+def model():
+    return ServingCostModel()
+
+
+class TestScale:
+    def test_labeled_view_rate(self):
+        scale = BootstrapScale(
+            irs_users=1e6, photo_views_per_user_day=200, labeled_fraction=0.1
+        )
+        # 1e6 * 200 * 0.1 / 86400 ~ 231 qps.
+        assert scale.labeled_views_per_second() == pytest.approx(231.5, rel=0.01)
+
+
+class TestCosts:
+    def test_cost_scales_with_users(self, model):
+        small = model.monthly_cost(BootstrapScale(irs_users=1e5))
+        large = model.monthly_cost(BootstrapScale(irs_users=1e8))
+        # Query rate is exactly linear in users; cost is superlinear
+        # relative to the one-server floor the small deployment sits on.
+        assert large.query_rate_per_s == pytest.approx(
+            small.query_rate_per_s * 1000
+        )
+        assert large.total > small.total * 15
+        assert large.servers > small.servers
+
+    def test_load_reduction_cuts_cost(self, model):
+        scale = BootstrapScale(irs_users=1e8)
+        naive = model.monthly_cost(scale, load_reduction=1.0)
+        offloaded = model.monthly_cost(scale, load_reduction=50.0)
+        assert offloaded.total < naive.total / 10
+        assert offloaded.query_rate_per_s == pytest.approx(
+            naive.query_rate_per_s / 50.0
+        )
+
+    def test_filter_publication_cost_present_but_small(self, model):
+        scale = BootstrapScale(irs_users=1e8, claimed_photos=1e9)
+        cost = model.monthly_cost(scale, load_reduction=50.0, publish_filters=True)
+        assert cost.filter_hosting_cost > 0
+        naive = model.monthly_cost(scale, load_reduction=1.0)
+        assert cost.filter_hosting_cost < naive.total / 10
+
+    def test_offload_ratio(self, model):
+        scale = BootstrapScale(irs_users=1e8)
+        ratio = model.offload_ratio(scale, load_reduction=50.0)
+        assert ratio > 5.0
+
+    def test_at_least_one_server(self, model):
+        tiny = model.monthly_cost(BootstrapScale(irs_users=10))
+        assert tiny.servers == 1
+
+    def test_invalid_reduction(self, model):
+        with pytest.raises(ValueError):
+            model.monthly_cost(BootstrapScale(irs_users=1e6), load_reduction=0.5)
+
+    def test_filter_size_tracks_revoked_set(self, model):
+        scale_small = BootstrapScale(
+            irs_users=1e6, claimed_photos=1e8, revoked_fraction=0.5
+        )
+        scale_large = BootstrapScale(
+            irs_users=1e6, claimed_photos=1e10, revoked_fraction=0.5
+        )
+        assert model.filter_size_bytes(scale_large) == pytest.approx(
+            model.filter_size_bytes(scale_small) * 100
+        )

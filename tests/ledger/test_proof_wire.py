@@ -1,0 +1,48 @@
+"""Property tests for the status-proof wire format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.signatures import Signature
+from repro.ledger.proofs import StatusProof
+
+_LEDGER_ID = st.text(
+    alphabet=st.characters(blacklist_characters=":|", min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ledger_id=_LEDGER_ID,
+    serial=st.integers(min_value=0, max_value=2**64 - 1),
+    revoked=st.booleans(),
+    permanent=st.booleans(),
+    checked_at=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+    sig_value=st.integers(min_value=0, max_value=2**512),
+    fingerprint=st.text(alphabet="0123456789abcdef", min_size=16, max_size=16),
+)
+def test_property_wire_roundtrip(
+    ledger_id, serial, revoked, permanent, checked_at, sig_value, fingerprint
+):
+    """Property: any proof survives to_wire/from_wire exactly."""
+    proof = StatusProof(
+        identifier=f"irs1:{ledger_id}:{serial}",
+        revoked=revoked,
+        permanently_revoked=permanent,
+        checked_at=checked_at,
+        ledger_fingerprint=fingerprint,
+        signature=Signature(value=sig_value, signer_fingerprint=fingerprint),
+    )
+    restored = StatusProof.from_wire(proof.to_wire())
+    assert restored == proof
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "a:b", "too:few:parts:here", "i:1:0:x:l:notanint:f"],
+)
+def test_malformed_wire_rejected(bad):
+    with pytest.raises(ValueError):
+        StatusProof.from_wire(bad)

@@ -1,0 +1,103 @@
+"""Tests for provenance-gated claims (C2PA integration, section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ClaimError
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.signatures import KeyPair
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.ledger import Ledger, LedgerConfig
+from repro.media.image import generate_photo
+from repro.media.provenance import ProvenanceManifest
+from repro.media.transforms import crop
+
+
+@pytest.fixture()
+def gated_ledger():
+    return Ledger(
+        "provenance-gated",
+        TimestampAuthority(),
+        config=LedgerConfig(require_provenance=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def camera_key():
+    return KeyPair.generate(bits=512, rng=np.random.default_rng(300))
+
+
+def _claim(ledger, keypair, content_hash, provenance=None):
+    signature = keypair.sign(content_hash.encode("utf-8"))
+    return ledger.claim(
+        content_hash, signature, keypair.public, provenance=provenance
+    )
+
+
+class TestProvenanceGate:
+    def test_valid_chain_accepted(self, gated_ledger, camera_key, session_keypair):
+        photo = generate_photo(seed=50)
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        record = _claim(
+            gated_ledger, session_keypair, photo.content_hash(), manifest
+        )
+        assert record.identifier.serial == 1
+
+    def test_missing_manifest_rejected(self, gated_ledger, session_keypair):
+        with pytest.raises(ClaimError, match="provenance"):
+            _claim(gated_ledger, session_keypair, sha256_hex(b"x"))
+
+    def test_chain_for_other_content_rejected(
+        self, gated_ledger, camera_key, session_keypair
+    ):
+        """The thief's move: attach a valid chain for a *different*
+        photo to the stolen content."""
+        own_photo = generate_photo(seed=51)
+        stolen_photo = generate_photo(seed=52)
+        manifest = ProvenanceManifest.capture(own_photo, "Cam", camera_key)
+        with pytest.raises(ClaimError, match="terminate"):
+            _claim(
+                gated_ledger, session_keypair, stolen_photo.content_hash(), manifest
+            )
+
+    def test_tampered_chain_rejected(self, gated_ledger, camera_key, session_keypair):
+        from dataclasses import replace
+
+        photo = generate_photo(seed=53)
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        manifest.assertions[0] = replace(
+            manifest.assertions[0], actor="DifferentCam"
+        )
+        with pytest.raises(ClaimError, match="invalid"):
+            _claim(gated_ledger, session_keypair, photo.content_hash(), manifest)
+
+    def test_edit_chain_accepted(self, gated_ledger, camera_key, session_keypair):
+        """Chains through edits remain claimable: the final hash is what
+        must match."""
+        photo = generate_photo(seed=54)
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        edited = crop(photo, 0, 0, 64, 64)
+        editor_key = KeyPair.generate(bits=512, rng=np.random.default_rng(301))
+        manifest.record_edit(edited, "Editor", "crop", editor_key)
+        record = _claim(
+            gated_ledger, session_keypair, edited.content_hash(), manifest
+        )
+        assert record.content_hash == edited.content_hash()
+
+    def test_ungated_ledger_ignores_provenance(self, session_keypair):
+        ledger = Ledger("open", TimestampAuthority())
+        record = _claim(ledger, session_keypair, sha256_hex(b"anything"))
+        assert record.identifier.serial == 1
+
+    def test_gate_raises_reclaim_bar(self, gated_ledger, camera_key):
+        """The section-5 attacker without camera provenance cannot claim
+        a stolen copy on a gated ledger at all."""
+        from repro.attacks.attackers import SophisticatedAttacker
+        from repro.core.owner import OwnerToolkit
+
+        photo = generate_photo(seed=55)
+        attacker = SophisticatedAttacker(
+            gated_ledger, rng=np.random.default_rng(302)
+        )
+        with pytest.raises(ClaimError, match="provenance"):
+            attacker.reclaim_copy(photo)

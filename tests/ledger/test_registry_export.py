@@ -1,0 +1,192 @@
+"""Tests for the ledger registry and Bloom filter export."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import LedgerUnavailableError
+from repro.core.identifiers import PhotoIdentifier
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.export import FilterExporter
+from repro.ledger.ledger import Ledger
+from repro.ledger.registry import LedgerRegistry
+from repro.workload.population import populate_ledger
+
+
+@pytest.fixture()
+def registry_with_ledgers():
+    tsa = TimestampAuthority()
+    registry = LedgerRegistry()
+    ledgers = [registry.add(Ledger(f"ledger-{i}", tsa)) for i in range(3)]
+    return registry, ledgers
+
+
+class TestRegistry:
+    def test_lookup_by_id(self, registry_with_ledgers):
+        registry, ledgers = registry_with_ledgers
+        assert registry.get("ledger-1") is ledgers[1]
+        assert registry.require("ledger-2") is ledgers[2]
+
+    def test_unknown_ledger(self, registry_with_ledgers):
+        registry, _ = registry_with_ledgers
+        assert registry.get("nope") is None
+        with pytest.raises(LedgerUnavailableError):
+            registry.require("nope")
+
+    def test_duplicate_rejected(self, registry_with_ledgers):
+        registry, _ = registry_with_ledgers
+        tsa = TimestampAuthority()
+        with pytest.raises(ValueError):
+            registry.add(Ledger("ledger-0", tsa))
+
+    def test_iteration_sorted(self, registry_with_ledgers):
+        registry, _ = registry_with_ledgers
+        assert [l.ledger_id for l in registry] == [
+            "ledger-0",
+            "ledger-1",
+            "ledger-2",
+        ]
+        assert len(registry) == 3
+
+    def test_resolve_identifier(self, registry_with_ledgers):
+        registry, ledgers = registry_with_ledgers
+        identifier = PhotoIdentifier(ledger_id="ledger-1", serial=5)
+        assert registry.resolve(identifier) is ledgers[1]
+
+    def test_resolve_compact_roundtrip(self, registry_with_ledgers):
+        registry, _ = registry_with_ledgers
+        identifier = PhotoIdentifier(ledger_id="ledger-2", serial=77)
+        resolved = registry.resolve_compact(identifier.to_compact())
+        assert resolved == identifier
+
+    def test_resolve_compact_unknown_tag(self, registry_with_ledgers):
+        registry, _ = registry_with_ledgers
+        foreign = PhotoIdentifier(ledger_id="unregistered", serial=1)
+        with pytest.raises(LedgerUnavailableError):
+            registry.resolve_compact(foreign.to_compact())
+
+    def test_status_routing(self, registry_with_ledgers, rng):
+        registry, ledgers = registry_with_ledgers
+        pop = populate_ledger(ledgers[1], 10, 0.5, rng)
+        proof = registry.status(pop.identifiers[0])
+        assert proof.identifier == pop.identifiers[0].to_string()
+        assert registry.total_status_queries() == 1
+
+
+class TestFilterExport:
+    def _exporter(self, rng, count=500, revoked=0.4, contents="revoked"):
+        tsa = TimestampAuthority()
+        ledger = Ledger("exp-ledger", tsa)
+        population = populate_ledger(ledger, count, revoked, rng)
+        exporter = FilterExporter(
+            ledger, nbits=1 << 15, num_hashes=5, contents=contents
+        )
+        return ledger, population, exporter
+
+    def test_publish_contains_revoked_only(self, rng):
+        _, population, exporter = self._exporter(rng)
+        snapshot = exporter.publish()
+        assert snapshot.version == 1
+        assert snapshot.num_keys == population.num_revoked
+        for i, identifier in enumerate(population.identifiers):
+            if population.revoked_mask[i]:
+                assert identifier.to_compact() in snapshot.filter
+
+    def test_unrevoked_mostly_miss(self, rng):
+        _, population, exporter = self._exporter(rng)
+        snapshot = exporter.publish()
+        misses = sum(
+            1
+            for i, identifier in enumerate(population.identifiers)
+            if not population.revoked_mask[i]
+            and identifier.to_compact() not in snapshot.filter
+        )
+        not_revoked = population.size - population.num_revoked
+        assert misses / not_revoked > 0.9  # only FP hits allowed
+
+    def test_claimed_contents_option(self, rng):
+        _, population, exporter = self._exporter(rng, contents="claimed")
+        snapshot = exporter.publish()
+        assert snapshot.num_keys == population.size
+
+    def test_versions_increment(self, rng):
+        _, _, exporter = self._exporter(rng)
+        assert exporter.publish().version == 1
+        assert exporter.publish().version == 2
+        assert exporter.versions == [1, 2]
+
+    def test_delta_between_versions(self, rng):
+        ledger, population, exporter = self._exporter(rng, count=300, revoked=0.3)
+        exporter.publish()
+        extra = populate_ledger(ledger, 50, 1.0, rng)
+        exporter.publish()
+        delta = exporter.delta_between(1, 2)
+        assert delta.from_version == 1 and delta.to_version == 2
+        from repro.filters.delta import apply_delta
+
+        snapshot1 = exporter._snapshot(1)
+        restored = apply_delta(snapshot1.filter, delta, 1)
+        for identifier in extra.identifiers:
+            assert identifier.to_compact() in restored
+
+    def test_latest_delta_for_current_subscriber_is_none(self, rng):
+        _, _, exporter = self._exporter(rng)
+        snap = exporter.publish()
+        assert exporter.latest_delta_for(snap.version) is None
+
+    def test_latest_delta_before_publish_raises(self, rng):
+        _, _, exporter = self._exporter(rng)
+        with pytest.raises(ValueError):
+            exporter.latest_delta_for(0)
+
+    def test_prune_keeps_latest(self, rng):
+        _, _, exporter = self._exporter(rng)
+        for _ in range(5):
+            exporter.publish()
+        exporter.prune(keep_latest=2)
+        assert exporter.versions == [4, 5]
+        with pytest.raises(KeyError):
+            exporter.delta_between(1, 5)
+
+
+class TestCoordinatedExporters:
+    def test_shared_geometry_merges(self, rng):
+        from repro.ledger.export import coordinated_exporters
+        from repro.proxy.filterset import ProxyFilterSet
+
+        tsa = TimestampAuthority()
+        registry = LedgerRegistry()
+        populations = []
+        for i in range(3):
+            ledger = registry.add(Ledger(f"co-{i}", tsa))
+            populations.append(populate_ledger(ledger, 200, 0.5, rng))
+        exporters = coordinated_exporters(registry, expected_keys=600)
+        assert len(exporters) == 3
+        geometries = {
+            (e.current.filter.nbits, e.current.filter.num_hashes)
+            for e in exporters
+        }
+        assert len(geometries) == 1  # identical across ledgers
+        filterset = ProxyFilterSet()
+        for exporter in exporters:
+            filterset.subscribe(exporter)
+        filterset.refresh()
+        for population in populations:
+            for i, identifier in enumerate(population.identifiers):
+                if population.revoked_mask[i]:
+                    assert filterset.might_be_revoked(identifier.to_compact())
+
+    def test_publish_optional(self, rng):
+        from repro.ledger.export import coordinated_exporters
+
+        tsa = TimestampAuthority()
+        registry = LedgerRegistry()
+        registry.add(Ledger("co-x", tsa))
+        exporters = coordinated_exporters(registry, expected_keys=100, publish=False)
+        assert exporters[0].current is None
+
+    def test_validation(self, rng):
+        from repro.ledger.export import coordinated_exporters
+
+        registry = LedgerRegistry()
+        with pytest.raises(ValueError):
+            coordinated_exporters(registry, expected_keys=0)

@@ -1,0 +1,117 @@
+"""Tests for the watermark payload coding layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media import ecc
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert ecc.crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert ecc.crc16(b"") == 0xFFFF  # just the init value
+
+    def test_attach_and_strip(self):
+        protected = ecc.attach_crc(b"payload")
+        assert len(protected) == len(b"payload") + 2
+        assert ecc.check_and_strip_crc(protected) == b"payload"
+
+    def test_corruption_detected(self):
+        protected = bytearray(ecc.attach_crc(b"payload"))
+        protected[0] ^= 0x01
+        with pytest.raises(ecc.PayloadError):
+            ecc.check_and_strip_crc(bytes(protected))
+
+    def test_crc_corruption_detected(self):
+        protected = bytearray(ecc.attach_crc(b"payload"))
+        protected[-1] ^= 0x80
+        with pytest.raises(ecc.PayloadError):
+            ecc.check_and_strip_crc(bytes(protected))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ecc.PayloadError):
+            ecc.check_and_strip_crc(b"ab")
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert ecc.bits_to_bytes(ecc.bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        bits = ecc.bytes_to_bits(b"\x80")
+        assert bits[0] == 1 and bits[1:].sum() == 0
+
+    def test_empty(self):
+        assert ecc.bytes_to_bits(b"").size == 0
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ValueError):
+            ecc.bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+
+class TestRepetitionMajority:
+    def test_clean_decode(self):
+        bits = np.array([1, 0, 1, 1], dtype=np.uint8)
+        received = ecc.repeat_bits(bits, 5).astype(float)
+        decoded, confidence = ecc.majority_vote(received, 4, 5)
+        assert np.array_equal(decoded, bits)
+        assert (confidence == 1.0).all()
+
+    def test_sparse_errors_corrected(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=32).astype(np.uint8)
+        received = ecc.repeat_bits(bits, 15).astype(float)
+        # Flip 10% of copies: with 15 votes per bit, a per-bit majority
+        # flip needs >= 8 errors (p ~ 3e-6), so decoding is reliable.
+        flips = rng.uniform(size=received.size) < 0.10
+        received[flips] = 1.0 - received[flips]
+        decoded, _ = ecc.majority_vote(received, 32, 15)
+        assert np.array_equal(decoded, bits)
+
+    def test_truncated_stream_still_decodes(self):
+        bits = np.array([1, 0, 1, 0, 1], dtype=np.uint8)
+        received = ecc.repeat_bits(bits, 4).astype(float)[:12]  # lose 8 copies
+        decoded, _ = ecc.majority_vote(received, 5, 4)
+        assert np.array_equal(decoded, bits)
+
+    def test_insufficient_coverage_raises(self):
+        with pytest.raises(ecc.PayloadError):
+            ecc.majority_vote(np.ones(3), payload_bits=5, copies=1)
+
+    def test_confidence_reflects_disagreement(self):
+        # Bit 0: copies vote 1,1,0 -> confidence 1/3; bit 1: unanimous.
+        received = np.array([1, 1, 1, 1, 0, 1], dtype=float)
+        decoded, confidence = ecc.majority_vote(received, 2, 3)
+        assert decoded.tolist() == [1, 1]
+        assert confidence[0] < confidence[1]
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            ecc.repeat_bits(np.ones(4, dtype=np.uint8), 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=20))
+def test_property_crc_roundtrip(payload):
+    """Property: attach then strip recovers any payload."""
+    assert ecc.check_and_strip_crc(ecc.attach_crc(payload)) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=12), st.integers(min_value=3, max_value=9))
+def test_property_majority_corrects_minority_flips(payload, copies):
+    """Property: fewer than half the copies flipped per bit always decodes."""
+    bits = ecc.bytes_to_bits(payload)
+    received = ecc.repeat_bits(bits, copies).astype(float)
+    # Flip a strict minority of copies of bit 0 only.
+    flips = (copies - 1) // 2
+    for c in range(flips):
+        idx = c * bits.size  # bit 0's c-th copy
+        received[idx] = 1.0 - received[idx]
+    decoded, _ = ecc.majority_vote(received, bits.size, copies)
+    assert np.array_equal(decoded, bits)

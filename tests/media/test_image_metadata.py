@@ -1,0 +1,145 @@
+"""Tests for Photo, the synthetic generator, and metadata."""
+
+import numpy as np
+import pytest
+
+from repro.media.image import Photo, PhotoGenerator, generate_photo
+from repro.media.metadata import (
+    IRS_IDENTIFIER_FIELD,
+    MetadataContainer,
+    STANDARD_FIELDS,
+)
+
+
+class TestPhoto:
+    def test_pixels_clipped_to_unit_range(self):
+        raw = np.full((8, 8, 3), 2.0)
+        photo = Photo(pixels=raw)
+        assert photo.pixels.max() <= 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Photo(pixels=np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            Photo(pixels=np.zeros((8, 8, 4)))
+
+    def test_dimensions(self, base_photo):
+        assert base_photo.shape == (128, 128)
+        assert base_photo.height == 128 and base_photo.width == 128
+
+    def test_luminance_range(self, base_photo):
+        luma = base_photo.luminance()
+        assert luma.min() >= 0.0 and luma.max() <= 255.0
+        assert luma.shape == (128, 128)
+
+    def test_content_hash_stable(self, base_photo):
+        assert base_photo.content_hash() == base_photo.content_hash()
+
+    def test_content_hash_changes_with_pixels(self, base_photo):
+        altered = base_photo.copy()
+        altered.pixels[0, 0, 0] = 1.0 - altered.pixels[0, 0, 0]
+        assert altered.content_hash() != base_photo.content_hash()
+
+    def test_content_hash_ignores_metadata(self, base_photo):
+        tagged = base_photo.copy()
+        tagged.metadata.set("exif:make", "TestCam")
+        assert tagged.content_hash() == base_photo.content_hash()
+
+    def test_copy_without_metadata(self, base_photo):
+        tagged = base_photo.copy()
+        tagged.metadata.set("exif:make", "TestCam")
+        bare = tagged.copy(with_metadata=False)
+        assert len(bare.metadata) == 0
+
+    def test_psnr_identical_is_infinite(self, base_photo):
+        assert base_photo.psnr_against(base_photo) == float("inf")
+
+    def test_psnr_shape_mismatch(self, base_photo):
+        other = generate_photo(seed=1, height=64, width=64)
+        with pytest.raises(ValueError):
+            base_photo.psnr_against(other)
+
+
+class TestGenerator:
+    def test_seeded_reproducibility(self):
+        a = generate_photo(seed=5)
+        b = generate_photo(seed=5)
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_different_seeds_differ(self):
+        a = generate_photo(seed=5)
+        b = generate_photo(seed=6)
+        assert not np.array_equal(a.pixels, b.pixels)
+
+    def test_custom_size(self):
+        photo = generate_photo(seed=1, height=96, width=160)
+        assert photo.shape == (96, 160)
+
+    def test_has_spectral_energy(self):
+        """Generated photos must have mid/high-frequency content (else
+        watermark experiments would be trivially easy)."""
+        photo = generate_photo(seed=2, height=128, width=128)
+        luma = photo.luminance()
+        grad = np.abs(np.diff(luma, axis=0)).mean()
+        assert grad > 0.5  # real texture, not a flat card
+
+    def test_generator_stream_advances(self):
+        gen = PhotoGenerator(np.random.default_rng(3))
+        a, b = gen.generate(), gen.generate()
+        assert not np.array_equal(a.pixels, b.pixels)
+
+
+class TestMetadata:
+    def test_set_get(self):
+        md = MetadataContainer()
+        md.set("exif:make", "Cam")
+        assert md.get("exif:make") == "Cam"
+        assert "exif:make" in md
+
+    def test_type_validation(self):
+        md = MetadataContainer()
+        with pytest.raises(TypeError):
+            md.set("k", 5)  # type: ignore[arg-type]
+
+    def test_irs_identifier_property(self):
+        md = MetadataContainer()
+        assert not md.has_irs_label()
+        md.irs_identifier = "irs1:ledger-0:5"
+        assert md.has_irs_label()
+        assert md.irs_identifier == "irs1:ledger-0:5"
+        assert md.get(IRS_IDENTIFIER_FIELD) == "irs1:ledger-0:5"
+
+    def test_strip_everything(self):
+        md = MetadataContainer()
+        for f in STANDARD_FIELDS:
+            md.set(f, "v")
+        md.irs_identifier = "irs1:l:1"
+        stripped = md.stripped(preserve_irs=False)
+        assert len(stripped) == 0
+
+    def test_strip_preserving_irs(self):
+        md = MetadataContainer()
+        md.set("exif:gps-latitude", "37.77")
+        md.irs_identifier = "irs1:l:1"
+        stripped = md.stripped(preserve_irs=True)
+        assert stripped.irs_identifier == "irs1:l:1"
+        assert stripped.get("exif:gps-latitude") is None
+
+    def test_copy_independent(self):
+        md = MetadataContainer({"a": "1"})
+        clone = md.copy()
+        clone.set("b", "2")
+        assert "b" not in md
+
+    def test_equality(self):
+        assert MetadataContainer({"a": "1"}) == MetadataContainer({"a": "1"})
+        assert MetadataContainer({"a": "1"}) != MetadataContainer({"a": "2"})
+
+    def test_iteration_sorted(self):
+        md = MetadataContainer({"b": "2", "a": "1"})
+        assert list(md) == ["a", "b"]
+        assert md.items() == [("a", "1"), ("b", "2")]
+
+    def test_remove_absent_is_noop(self):
+        md = MetadataContainer()
+        md.remove("missing")  # no raise

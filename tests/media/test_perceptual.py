@@ -1,0 +1,152 @@
+"""Tests for the PhotoDNA-style robust hash — calibrating the
+match/no-match envelope the appeals process relies on."""
+
+import numpy as np
+import pytest
+
+from repro.media.image import generate_photo
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.perceptual import (
+    DEFAULT_MATCH_THRESHOLD,
+    RobustHash,
+    hash_distance,
+    robust_hash,
+)
+from repro.media.transforms import (
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    crop_fraction,
+    overlay_caption,
+    resize,
+    tint,
+)
+
+
+@pytest.fixture(scope="module")
+def photo():
+    return generate_photo(seed=20, height=192, width=192)
+
+
+class TestBasics:
+    def test_self_distance_zero(self, photo):
+        assert hash_distance(photo, photo) == 0.0
+
+    def test_signature_length(self, photo):
+        assert len(robust_hash(photo).bits) == 64  # 512 bits
+
+    def test_invalid_signature_length(self):
+        with pytest.raises(ValueError):
+            RobustHash(bits=b"short")
+
+    def test_deterministic(self, photo):
+        assert robust_hash(photo).bits == robust_hash(photo).bits
+
+    def test_distance_symmetric(self, photo):
+        other = generate_photo(seed=21, height=192, width=192)
+        assert hash_distance(photo, other) == hash_distance(other, photo)
+
+    def test_flat_image_hashable(self):
+        from repro.media.image import Photo
+
+        flat = Photo(pixels=np.full((64, 64, 3), 0.5))
+        robust_hash(flat)  # no crash on zero-variance input
+
+
+class TestInvariance:
+    """Benign edits must stay within the match threshold."""
+
+    @pytest.mark.parametrize("quality", [90, 70, 50, 30])
+    def test_compression(self, photo, quality):
+        degraded = jpeg_roundtrip(photo, quality)
+        assert robust_hash(photo).matches(robust_hash(degraded))
+
+    def test_tint(self, photo):
+        tinted = tint(photo, (1.2, 1.0, 0.8))
+        assert hash_distance(photo, tinted) < DEFAULT_MATCH_THRESHOLD / 2
+
+    def test_brightness_contrast(self, photo):
+        edited = adjust_contrast(adjust_brightness(photo, 0.1), 1.2)
+        assert robust_hash(photo).matches(robust_hash(edited))
+
+    @pytest.mark.parametrize("size", [256, 128, 64])
+    def test_resize(self, photo, size):
+        scaled = resize(photo, size, size)
+        assert robust_hash(photo).matches(robust_hash(scaled))
+
+    def test_noise(self, photo):
+        noisy = add_noise(photo, 0.02, np.random.default_rng(6))
+        assert robust_hash(photo).matches(robust_hash(noisy))
+
+    def test_combined_edits(self, photo):
+        abused = jpeg_roundtrip(resize(tint(photo, (1.1, 1.0, 0.95)), 150, 150), 60)
+        assert robust_hash(photo).matches(robust_hash(abused))
+
+
+class TestDiscrimination:
+    """Different photos must land far from the threshold."""
+
+    def test_independent_photos_far(self):
+        distances = []
+        for i in range(6):
+            a = generate_photo(seed=100 + i, height=128, width=128)
+            b = generate_photo(seed=200 + i, height=128, width=128)
+            distances.append(hash_distance(a, b))
+        # Every pair must clear the threshold; typical pairs are ~0.4-0.5.
+        assert min(distances) > DEFAULT_MATCH_THRESHOLD
+        assert float(np.mean(distances)) > DEFAULT_MATCH_THRESHOLD + 0.1
+
+    def test_no_match_across_seeds(self, photo):
+        other = generate_photo(seed=99, height=192, width=192)
+        assert not robust_hash(photo).matches(robust_hash(other))
+
+
+class TestMetricProperties:
+    """The normalized Hamming distance is a true metric — appeals and
+    hash-DB thresholds rely on that."""
+
+    def _hashes(self, n=4):
+        return [
+            robust_hash(generate_photo(seed=300 + i, height=96, width=96))
+            for i in range(n)
+        ]
+
+    def test_symmetry(self):
+        a, b, *_ = self._hashes()
+        assert a.distance(b) == b.distance(a)
+
+    def test_identity(self):
+        a, *_ = self._hashes()
+        assert a.distance(a) == 0.0
+
+    def test_range(self):
+        hashes = self._hashes()
+        for x in hashes:
+            for y in hashes:
+                assert 0.0 <= x.distance(y) <= 1.0
+
+    def test_triangle_inequality(self):
+        hashes = self._hashes(4)
+        for x in hashes:
+            for y in hashes:
+                for z in hashes:
+                    assert x.distance(z) <= x.distance(y) + y.distance(z) + 1e-12
+
+    def test_hashable_and_equal_by_bits(self):
+        a, *_ = self._hashes()
+        clone = RobustHash(bits=a.bits)
+        assert hash(a) == hash(clone)
+        assert a.distance(clone) == 0.0
+
+
+class TestEdgeOfEnvelope:
+    def test_severe_crop_raises_distance(self, photo):
+        cropped = crop_fraction(photo, 0.5)
+        assert hash_distance(photo, cropped) > hash_distance(
+            photo, jpeg_roundtrip(photo, 50)
+        )
+
+    def test_caption_increases_distance_modestly(self, photo):
+        captioned = overlay_caption(photo)
+        d = hash_distance(photo, captioned)
+        assert 0.0 < d < 0.35  # detectable change, usually still matchable

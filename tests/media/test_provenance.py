@@ -1,0 +1,119 @@
+"""Tests for C2PA-style provenance manifests."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.signatures import KeyPair
+from repro.media.image import generate_photo
+from repro.media.provenance import (
+    ASSERTION_CAPTURE,
+    ASSERTION_EDIT,
+    ASSERTION_IRS_CLAIM,
+    ProvenanceError,
+    ProvenanceManifest,
+)
+from repro.media.transforms import crop
+
+
+@pytest.fixture(scope="module")
+def camera_key():
+    return KeyPair.generate(bits=512, rng=np.random.default_rng(201))
+
+
+@pytest.fixture(scope="module")
+def editor_key():
+    return KeyPair.generate(bits=512, rng=np.random.default_rng(202))
+
+
+@pytest.fixture()
+def photo():
+    return generate_photo(seed=30, height=96, width=96)
+
+
+class TestChainConstruction:
+    def test_capture_starts_chain(self, photo, camera_key):
+        manifest = ProvenanceManifest.capture(photo, "TestCam X1", camera_key)
+        assert len(manifest) == 1
+        assert manifest.assertions[0].kind == ASSERTION_CAPTURE
+        assert manifest.origin_actor() == "TestCam X1"
+        manifest.verify_chain()
+
+    def test_edit_extends_chain(self, photo, camera_key, editor_key):
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        edited = crop(photo, 0, 0, 64, 64)
+        manifest.record_edit(edited, "PhotoEditor", "crop to 64x64", editor_key)
+        assert len(manifest) == 2
+        assert manifest.assertions[1].kind == ASSERTION_EDIT
+        manifest.verify_chain()
+        assert manifest.matches_photo(edited)
+        assert not manifest.matches_photo(photo)
+
+    def test_irs_claim_recorded(self, photo, camera_key):
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        owner_key = KeyPair.generate(bits=512, rng=np.random.default_rng(203))
+        manifest.record_irs_claim(photo, "irs1:ledger-0:7", owner_key)
+        assert manifest.irs_identifier() == "irs1:ledger-0:7"
+        manifest.verify_chain()
+
+    def test_no_claim_returns_none(self, photo, camera_key):
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        assert manifest.irs_identifier() is None
+
+    def test_edit_before_capture_rejected(self, photo, editor_key):
+        manifest = ProvenanceManifest()
+        with pytest.raises(ProvenanceError):
+            manifest.record_edit(photo, "Editor", "edit", editor_key)
+        with pytest.raises(ProvenanceError):
+            manifest.record_irs_claim(photo, "irs1:l:1", editor_key)
+
+
+class TestChainVerification:
+    def _chain(self, photo, camera_key, editor_key):
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        edited = crop(photo, 0, 0, 64, 64)
+        manifest.record_edit(edited, "Editor", "crop", editor_key)
+        return manifest, edited
+
+    def test_empty_manifest_fails(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceManifest().verify_chain()
+
+    def test_tampered_detail_detected(self, photo, camera_key, editor_key):
+        from dataclasses import replace
+
+        manifest, _ = self._chain(photo, camera_key, editor_key)
+        manifest.assertions[1] = replace(
+            manifest.assertions[1], detail="innocent edit"
+        )
+        with pytest.raises(ProvenanceError, match="signature"):
+            manifest.verify_chain()
+
+    def test_reordered_chain_detected(self, photo, camera_key, editor_key):
+        manifest, edited = self._chain(photo, camera_key, editor_key)
+        manifest.record_edit(photo, "Editor", "revert", editor_key)
+        manifest.assertions[1], manifest.assertions[2] = (
+            manifest.assertions[2],
+            manifest.assertions[1],
+        )
+        with pytest.raises(ProvenanceError):
+            manifest.verify_chain()
+
+    def test_dropped_link_detected(self, photo, camera_key, editor_key):
+        manifest, edited = self._chain(photo, camera_key, editor_key)
+        manifest.record_edit(photo, "Editor", "revert", editor_key)
+        del manifest.assertions[1]
+        with pytest.raises(ProvenanceError, match="chain"):
+            manifest.verify_chain()
+
+    def test_chain_not_starting_with_capture(self, photo, camera_key, editor_key):
+        manifest, _ = self._chain(photo, camera_key, editor_key)
+        del manifest.assertions[0]
+        with pytest.raises(ProvenanceError):
+            manifest.verify_chain()
+
+    def test_irs_claim_latest_wins(self, photo, camera_key):
+        manifest = ProvenanceManifest.capture(photo, "Cam", camera_key)
+        key = KeyPair.generate(bits=512, rng=np.random.default_rng(204))
+        manifest.record_irs_claim(photo, "irs1:l:1", key)
+        manifest.record_irs_claim(photo, "irs1:l:2", key)
+        assert manifest.irs_identifier() == "irs1:l:2"

@@ -1,0 +1,136 @@
+"""Tests for video labeling — the section-2 generalization."""
+
+import numpy as np
+import pytest
+
+from repro.media.image import Photo
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.transforms import overlay_caption, tint
+from repro.media.video import (
+    Video,
+    VideoWatermarkCodec,
+    generate_video,
+    video_match_coverage,
+)
+from repro.media.watermark import WatermarkError
+
+PAYLOAD = bytes(range(12))
+
+
+@pytest.fixture(scope="module")
+def video():
+    return generate_video(seed=5, num_frames=8, height=128, width=128)
+
+
+@pytest.fixture(scope="module")
+def vcodec():
+    return VideoWatermarkCodec()
+
+
+@pytest.fixture(scope="module")
+def marked(video, vcodec):
+    return vcodec.embed(video, PAYLOAD)
+
+
+class TestVideoModel:
+    def test_generation(self, video):
+        assert video.num_frames == 8
+        assert video.duration == pytest.approx(8 / 24.0)
+
+    def test_frames_cohere_but_differ(self, video):
+        from repro.media.perceptual import hash_distance
+
+        d = hash_distance(video.frames[0], video.frames[1])
+        assert d < 0.25  # consecutive frames are perceptually close
+        assert not np.array_equal(video.frames[0].pixels, video.frames[1].pixels)
+
+    def test_content_hash_sensitive_to_any_frame(self, video):
+        altered = video.copy()
+        pixels = altered.frames[3].pixels.copy()
+        pixels[0, 0, 0] = 1.0 - pixels[0, 0, 0]
+        altered.frames[3] = Photo(pixels=pixels)
+        assert altered.content_hash() != video.content_hash()
+
+    def test_clip(self, video):
+        clipped = video.clip(2, 6)
+        assert clipped.num_frames == 4
+        assert np.array_equal(clipped.frames[0].pixels, video.frames[2].pixels)
+        with pytest.raises(ValueError):
+            video.clip(5, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Video(frames=[])
+        frame = Photo(pixels=np.zeros((16, 16, 3)))
+        other = Photo(pixels=np.zeros((8, 8, 3)))
+        with pytest.raises(ValueError):
+            Video(frames=[frame, other])
+        with pytest.raises(ValueError):
+            Video(frames=[frame], fps=0)
+
+
+class TestVideoWatermark:
+    def test_roundtrip(self, vcodec, marked):
+        assert vcodec.extract(marked, search_offsets=False) == PAYLOAD
+
+    def test_unmarked_raises(self, vcodec, video):
+        with pytest.raises(WatermarkError):
+            vcodec.extract(video, search_offsets=False)
+
+    def test_survives_clipping(self, vcodec, marked):
+        clipped = marked.clip(3, 7)
+        assert vcodec.extract(clipped, search_offsets=False) == PAYLOAD
+
+    def test_survives_per_frame_compression(self, vcodec, marked):
+        compressed = Video(
+            frames=[jpeg_roundtrip(f, 60) for f in marked.frames],
+            metadata=marked.metadata.copy(),
+            fps=marked.fps,
+        )
+        assert vcodec.extract(compressed, search_offsets=False) == PAYLOAD
+
+    def test_majority_survives_damaged_frames(self, vcodec, marked):
+        """Burned-in captions on a minority of frames don't matter."""
+        frames = list(marked.frames)
+        rng = np.random.default_rng(2)
+        for i in (1, 4):
+            frames[i] = Photo(
+                pixels=np.clip(
+                    frames[i].pixels + rng.standard_normal(frames[i].pixels.shape) * 0.2,
+                    0, 1,
+                )
+            )
+        damaged = Video(frames=frames, fps=marked.fps)
+        assert vcodec.extract(damaged, search_offsets=False) == PAYLOAD
+
+    def test_min_agreeing_frames(self, vcodec, marked):
+        clipped = marked.clip(0, 2)
+        with pytest.raises(WatermarkError):
+            vcodec.extract(clipped, min_agreeing_frames=5, search_offsets=False)
+
+    def test_has_watermark(self, vcodec, marked, video):
+        assert vcodec.has_watermark(marked, search_offsets=False)
+        assert not vcodec.has_watermark(video, search_offsets=False)
+
+
+class TestVideoMatching:
+    def test_self_coverage_full(self, video):
+        assert video_match_coverage(video, video) == 1.0
+
+    def test_clipped_copy_high_coverage(self, video):
+        clipped = video.clip(2, 7)
+        tinted = Video(
+            frames=[tint(f, (1.08, 1.0, 0.94)) for f in clipped.frames],
+            fps=clipped.fps,
+        )
+        assert video_match_coverage(video, tinted) >= 0.8
+
+    def test_unrelated_video_low_coverage(self, video):
+        other = generate_video(seed=99, num_frames=6, height=128, width=128)
+        assert video_match_coverage(video, other) <= 0.2
+
+    def test_captioned_copy_still_covered(self, video):
+        captioned = Video(
+            frames=[overlay_caption(f) for f in video.frames], fps=video.fps
+        )
+        assert video_match_coverage(video, captioned) >= 0.7

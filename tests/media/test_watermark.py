@@ -1,0 +1,186 @@
+"""Tests for the QIM watermark codec — Goal #5's robustness envelope."""
+
+import numpy as np
+import pytest
+
+from repro.media.image import generate_photo
+from repro.media.jpeg import jpeg_roundtrip
+from repro.media.transforms import (
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    crop,
+    flip_horizontal,
+    overlay_caption,
+    resize,
+    tint,
+)
+from repro.media.watermark import WatermarkCodec, WatermarkError
+
+PAYLOAD = bytes(range(12))
+
+
+@pytest.fixture(scope="module")
+def marked_photo(codec, large_photo):
+    return codec.embed(large_photo, PAYLOAD)
+
+
+class TestEmbedding:
+    def test_imperceptible(self, codec, large_photo, marked_photo):
+        assert marked_photo.psnr_against(large_photo) > 34.0
+
+    def test_metadata_preserved(self, codec, large_photo):
+        tagged = large_photo.copy()
+        tagged.metadata.set("exif:make", "Cam")
+        marked = codec.embed(tagged, PAYLOAD)
+        assert marked.metadata.get("exif:make") == "Cam"
+
+    def test_wrong_payload_length_rejected(self, codec, large_photo):
+        with pytest.raises(WatermarkError):
+            codec.embed(large_photo, b"short")
+
+    def test_too_small_photo_rejected(self, codec):
+        tiny = generate_photo(seed=1, height=16, width=16)
+        with pytest.raises(WatermarkError):
+            codec.embed(tiny, PAYLOAD)
+
+    def test_capacity_math(self, codec):
+        # 256x256 -> 32x32 blocks * 4 coeffs = 4096 slots >= 112 bits.
+        assert codec.capacity_bits(256, 256) == 4096
+        assert codec.min_photo_blocks() == 28
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WatermarkCodec(payload_len=0)
+        with pytest.raises(ValueError):
+            WatermarkCodec(delta=-1.0)
+        with pytest.raises(ValueError):
+            WatermarkCodec(positions=[(0, 0)])
+        with pytest.raises(ValueError):
+            WatermarkCodec(positions=[(9, 1)])
+
+    def test_tile_must_carry_payload(self):
+        # 4x7 tile x 2 positions = 56 slots < 112 payload bits.
+        with pytest.raises(ValueError, match="tile carries"):
+            WatermarkCodec(payload_len=12, positions=((1, 2), (2, 1)))
+        # An 8x7 tile fits exactly.
+        WatermarkCodec(
+            payload_len=12, positions=((1, 2), (2, 1)), tile_rows=8, tile_cols=7
+        )
+
+
+class TestCleanExtraction:
+    def test_roundtrip(self, codec, marked_photo):
+        result = codec.extract(marked_photo, search_offsets=False)
+        assert result.payload == PAYLOAD
+        assert result.pixel_offset == (0, 0)
+        assert result.mean_confidence > 0.9
+
+    def test_has_watermark_helper(self, codec, marked_photo, large_photo):
+        assert codec.has_watermark(marked_photo, search_offsets=False)
+        assert not codec.has_watermark(large_photo, search_offsets=False)
+
+    def test_unmarked_photo_raises(self, codec, large_photo):
+        with pytest.raises(WatermarkError):
+            codec.extract(large_photo)
+
+    def test_distinct_payloads_distinct(self, codec, large_photo):
+        other = codec.embed(large_photo, bytes(range(12, 24)))
+        assert codec.extract(other, search_offsets=False).payload == bytes(
+            range(12, 24)
+        )
+
+    def test_min_confidence_accepts_clean_decode(self, codec, marked_photo):
+        result = codec.extract(
+            marked_photo, search_offsets=False, min_confidence=0.9
+        )
+        assert result.payload == PAYLOAD
+
+    def test_min_confidence_never_resurrects_destroyed_marks(
+        self, codec, marked_photo
+    ):
+        destroyed = resize(marked_photo, 230, 230)
+        for threshold in (0.0, 0.5):
+            with pytest.raises(WatermarkError):
+                codec.extract(
+                    destroyed, search_offsets=False, min_confidence=threshold
+                )
+
+    def test_reembedding_overwrites(self, codec, large_photo):
+        """Section 5: the sophisticated attacker's re-labeling erases
+        the old watermark."""
+        first = codec.embed(large_photo, PAYLOAD)
+        second = codec.embed(first, bytes(range(100, 112)))
+        assert codec.extract(second, search_offsets=False).payload == bytes(
+            range(100, 112)
+        )
+
+
+class TestRobustness:
+    """Goal #5: compression, cropping, tinting must survive."""
+
+    def test_jpeg_quality_sweep(self, codec, marked_photo):
+        for quality in (90, 75, 60, 50):
+            degraded = jpeg_roundtrip(marked_photo, quality)
+            result = codec.extract(degraded, search_offsets=False)
+            assert result.payload == PAYLOAD, f"failed at quality {quality}"
+
+    def test_tint(self, codec, marked_photo):
+        for gains in ((1.1, 1.0, 0.9), (0.9, 1.05, 1.1)):
+            tinted = tint(marked_photo, gains)
+            assert codec.extract(tinted, search_offsets=False).payload == PAYLOAD
+
+    def test_brightness(self, codec, marked_photo):
+        bright = adjust_brightness(marked_photo, 0.08)
+        assert codec.extract(bright, search_offsets=False).payload == PAYLOAD
+
+    def test_contrast(self, codec, marked_photo):
+        adjusted = adjust_contrast(marked_photo, 1.1)
+        assert codec.extract(adjusted, search_offsets=False).payload == PAYLOAD
+
+    def test_mild_noise(self, codec, marked_photo):
+        noisy = add_noise(marked_photo, 0.01, np.random.default_rng(4))
+        assert codec.extract(noisy, search_offsets=False).payload == PAYLOAD
+
+    def test_crop_with_resync(self, codec, marked_photo):
+        cropped = crop(marked_photo, 13, 21, 200, 216)
+        result = codec.extract(cropped)
+        assert result.payload == PAYLOAD
+        assert result.pixel_offset != (0, 0) or result.tile_phase != (0, 0)
+
+    def test_block_aligned_crop(self, codec, marked_photo):
+        cropped = crop(marked_photo, 16, 24, 192, 192)
+        assert codec.extract(cropped).payload == PAYLOAD
+
+    def test_caption_overlay(self, codec, marked_photo):
+        captioned = overlay_caption(marked_photo)
+        assert codec.extract(captioned, search_offsets=False).payload == PAYLOAD
+
+    def test_flip_with_option(self, codec, marked_photo):
+        flipped = flip_horizontal(marked_photo)
+        result = codec.extract(flipped, try_flip=True)
+        assert result.payload == PAYLOAD
+
+    def test_combined_jpeg_and_tint(self, codec, marked_photo):
+        abused = jpeg_roundtrip(tint(marked_photo, (1.08, 1.0, 0.92)), 65)
+        assert codec.extract(abused, search_offsets=False).payload == PAYLOAD
+
+
+class TestDestruction:
+    """Nongoal #3: some transforms legitimately destroy the watermark
+    (and the label system falls back to metadata / appeals)."""
+
+    def test_resize_destroys(self, codec, marked_photo):
+        resized = resize(marked_photo, 230, 230)
+        with pytest.raises(WatermarkError):
+            codec.extract(resized)
+
+    def test_heavy_noise_destroys(self, codec, marked_photo):
+        destroyed = add_noise(marked_photo, 0.15, np.random.default_rng(5))
+        with pytest.raises(WatermarkError):
+            codec.extract(destroyed, search_offsets=False)
+
+    def test_flip_without_option_fails(self, codec, marked_photo):
+        flipped = flip_horizontal(marked_photo)
+        with pytest.raises(WatermarkError):
+            codec.extract(flipped, try_flip=False)

@@ -1,0 +1,103 @@
+"""Tests for summary statistics and table reporting."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.reporting import Table, format_row, format_table
+from repro.metrics.stats import confidence_interval_mean, percentile, summarize
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.p50 == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.mean == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict(self):
+        assert summarize([1.0, 2.0]).as_dict()["count"] == 2
+
+    def test_percentile_helper(self):
+        values = list(range(101))
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == pytest.approx(99.0)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10.0, 2.0, size=100)
+        low, high = confidence_interval_mean(values)
+        assert low < values.mean() < high
+
+    def test_tightens_with_samples(self):
+        rng = np.random.default_rng(2)
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=1000)
+        s_low, s_high = confidence_interval_mean(small)
+        l_low, l_high = confidence_interval_mean(large)
+        assert (l_high - l_low) < (s_high - s_low)
+
+    def test_degenerate_cases(self):
+        with pytest.raises(ValueError):
+            confidence_interval_mean([1.0])
+        low, high = confidence_interval_mean([5.0, 5.0, 5.0])
+        assert low == high == 5.0
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_row(self):
+        row = format_row(["x", 1.5], [4, 6])
+        assert "x" in row and "1.5" in row
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000012345], [123456.789], [1.5]])
+        assert "1.23e-05" in text
+        assert "1.5" in text
+
+    def test_table_accumulator(self):
+        table = Table(headers=["a", "b"], title="demo")
+        table.add(1, 2)
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "1" in rendered
+
+    def test_table_wrong_arity(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_table_csv_output(self):
+        table = Table(headers=["name", "value"], title="E99: demo, test")
+        table.add("plain", 1)
+        table.add('has "quotes", commas', 2.5)
+        csv_text = table.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "plain,1"
+        assert '"has ""quotes"", commas"' in lines[2]
+
+    def test_table_slug(self):
+        table = Table(headers=["x"], title="E5: ledger load (0 revoked)")
+        slug = table.slug()
+        assert slug == "e5_ledger_load_0_revoked"
+        assert Table(headers=["x"]).slug() == "table"

@@ -1,0 +1,135 @@
+"""Tests for network fault injection: lossy links, timeouts, retries."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.latency import ConstantLatency
+from repro.netsim.link import Link, Network, NetworkError
+from repro.netsim.node import Node
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import RpcEndpoint
+
+
+def _fabric(loss=0.0, latency=0.01, rng_seed=1):
+    sim = Simulator()
+    net = Network(sim, np.random.default_rng(rng_seed))
+    net.add_node(Node("a", sim))
+    net.add_node(Node("b", sim))
+    net.connect("a", "b", ConstantLatency(latency), loss_probability=loss)
+    return sim, net
+
+
+class TestLossyLinks:
+    def test_loss_probability_validated(self):
+        with pytest.raises(NetworkError):
+            Link("a", "b", ConstantLatency(0.01), loss_probability=1.0)
+        with pytest.raises(NetworkError):
+            Link("a", "b", ConstantLatency(0.01), loss_probability=-0.1)
+
+    def test_lossless_link_delivers_everything(self):
+        sim, net = _fabric(loss=0.0)
+        delivered = []
+        for i in range(50):
+            net.deliver("a", "b", delivered.append, i)
+        sim.run()
+        assert len(delivered) == 50
+
+    def test_lossy_link_drops_fraction(self):
+        sim, net = _fabric(loss=0.3, rng_seed=7)
+        delivered = []
+        for i in range(1000):
+            net.deliver("a", "b", delivered.append, i)
+        sim.run()
+        link = net.link_between("a", "b")
+        assert link.messages_dropped + link.messages_carried == 1000
+        assert 0.2 < link.messages_dropped / 1000 < 0.4
+        assert len(delivered) == link.messages_carried
+
+    def test_drop_returns_none(self):
+        sim, net = _fabric(loss=0.999999, rng_seed=3)
+        result = net.deliver("a", "b", lambda: None)
+        assert result is None
+
+
+class TestRpcTimeouts:
+    def test_timeout_fires_on_total_loss(self):
+        sim, net = _fabric(loss=0.999999, rng_seed=5)
+        endpoint = RpcEndpoint(net.node("b"), net)
+        endpoint.register("ping", lambda p: p)
+        results = []
+        endpoint.call("a", "ping", 1, results.append, timeout=0.1)
+        sim.run()
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "timed out" in str(results[0].error)
+
+    def test_retries_recover_from_loss(self):
+        sim, net = _fabric(loss=0.5, rng_seed=11)
+        endpoint = RpcEndpoint(net.node("b"), net)
+        endpoint.register("ping", lambda p: p * 2)
+        results = []
+        # 8 retries at 50% loss: failure odds ~ (1 - 0.25)^9 ~ 7.5%,
+        # and the seed is fixed.
+        endpoint.call("a", "ping", 21, results.append, timeout=0.1, retries=8)
+        sim.run()
+        assert len(results) == 1
+        assert results[0].ok
+        assert results[0].unwrap() == 42
+
+    def test_exactly_one_callback_even_with_late_response(self):
+        """A response slower than the timeout must not double-fire."""
+        sim, net = _fabric(loss=0.0, latency=0.2)
+        endpoint = RpcEndpoint(net.node("b"), net)
+        endpoint.register("slow", lambda p: p)
+        results = []
+        endpoint.call("a", "slow", 1, results.append, timeout=0.1, retries=0)
+        sim.run()
+        assert len(results) == 1
+        assert not results[0].ok
+
+    def test_retry_succeeds_when_latency_varies(self):
+        """First attempt times out; the retry's response is accepted."""
+        from repro.netsim.latency import LatencyModel
+
+        class FlakySlowThenFast(LatencyModel):
+            def __init__(self):
+                self.calls = 0
+
+            def sample(self, rng):
+                self.calls += 1
+                # Attempt 1 (request+response legs) slow; later fast.
+                return 0.5 if self.calls <= 2 else 0.01
+
+            def mean(self):
+                return 0.1
+
+        sim = Simulator()
+        net = Network(sim, np.random.default_rng(1))
+        net.add_node(Node("a", sim))
+        net.add_node(Node("b", sim))
+        net.connect("a", "b", FlakySlowThenFast())
+        endpoint = RpcEndpoint(net.node("b"), net)
+        endpoint.register("ping", lambda p: p)
+        results = []
+        endpoint.call("a", "ping", "ok", results.append, timeout=0.3, retries=2)
+        sim.run()
+        assert len(results) == 1
+        assert results[0].ok
+
+    def test_no_timeout_behaves_as_before(self):
+        sim, net = _fabric()
+        endpoint = RpcEndpoint(net.node("b"), net)
+        endpoint.register("ping", lambda p: p)
+        results = []
+        endpoint.call("a", "ping", 7, results.append)
+        sim.run()
+        assert results[0].unwrap() == 7
+
+    def test_parameter_validation(self):
+        sim, net = _fabric()
+        endpoint = RpcEndpoint(net.node("b"), net)
+        endpoint.register("ping", lambda p: p)
+        with pytest.raises(ValueError):
+            endpoint.call("a", "ping", 1, lambda r: None, timeout=0.0)
+        with pytest.raises(ValueError):
+            endpoint.call("a", "ping", 1, lambda r: None, timeout=1.0, retries=-1)

@@ -1,0 +1,139 @@
+"""Tests for latency models and RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    LogNormalLatency,
+    UniformLatency,
+    dns_like_latency,
+    lan_latency,
+    wan_latency,
+)
+from repro.netsim.rand import RngRegistry
+
+
+class TestConstant:
+    def test_samples_fixed(self, rng):
+        model = ConstantLatency(0.05)
+        assert model.sample(rng) == 0.05
+        assert (model.sample_many(rng, 10) == 0.05).all()
+        assert model.mean() == 0.05
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+
+class TestUniform:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(0.01, 0.02)
+        samples = model.sample_many(rng, 1000)
+        assert samples.min() >= 0.01 and samples.max() <= 0.02
+
+    def test_mean(self):
+        assert UniformLatency(0.0, 0.1).mean() == pytest.approx(0.05)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.2, 0.1)
+
+
+class TestLogNormal:
+    def test_median_accuracy(self, rng):
+        model = LogNormalLatency(median=0.025, sigma=0.5)
+        samples = model.sample_many(rng, 20_000)
+        assert np.median(samples) == pytest.approx(0.025, rel=0.05)
+
+    def test_cap_applies(self, rng):
+        model = LogNormalLatency(median=0.025, sigma=1.0, cap=0.05)
+        samples = model.sample_many(rng, 5000)
+        assert samples.max() <= 0.05
+
+    def test_analytic_mean_close_to_empirical(self, rng):
+        model = LogNormalLatency(median=0.03, sigma=0.4)
+        samples = model.sample_many(rng, 50_000)
+        assert model.mean() == pytest.approx(float(samples.mean()), rel=0.05)
+
+    def test_percentile_monotone(self):
+        model = LogNormalLatency(median=0.03, sigma=0.4)
+        assert model.percentile(0.5) == pytest.approx(0.03, rel=1e-6)
+        assert model.percentile(0.99) > model.percentile(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+
+
+class TestEmpirical:
+    def test_interpolates_percentiles(self, rng):
+        model = EmpiricalLatency([(0.0, 0.01), (0.5, 0.02), (1.0, 0.10)])
+        samples = model.sample_many(rng, 20_000)
+        assert np.median(samples) == pytest.approx(0.02, rel=0.1)
+        assert samples.min() >= 0.01 and samples.max() <= 0.10
+
+    def test_mean_is_integral(self):
+        model = EmpiricalLatency([(0.0, 0.0), (1.0, 1.0)])
+        assert model.mean() == pytest.approx(0.5)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalLatency([(0.0, 0.05), (1.0, 0.01)])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalLatency([(0.5, 0.02)])
+
+
+class TestPresets:
+    def test_dns_like_under_100ms_p99ish(self, rng):
+        """Section 4.3's budget: responsive ledgers answer 'under 100ms'."""
+        samples = dns_like_latency().sample_many(rng, 20_000)
+        assert np.median(samples) < 0.05
+        assert np.percentile(samples, 95) < 0.1
+
+    def test_ordering_of_presets(self, rng):
+        lan = lan_latency().sample_many(rng, 1000).mean()
+        dns = dns_like_latency().sample_many(rng, 1000).mean()
+        wan = wan_latency().sample_many(rng, 1000).mean()
+        assert lan < dns
+        assert lan < wan
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        rngs = RngRegistry(seed=1)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(seed=1).stream("x").uniform(size=5)
+        b = RngRegistry(seed=1).stream("x").uniform(size=5)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent_of_creation_order(self):
+        r1 = RngRegistry(seed=1)
+        r1.stream("a")
+        x1 = r1.stream("x").uniform(size=3)
+        r2 = RngRegistry(seed=1)
+        x2 = r2.stream("x").uniform(size=3)
+        assert np.array_equal(x1, x2)
+
+    def test_different_names_differ(self):
+        rngs = RngRegistry(seed=1)
+        assert not np.array_equal(
+            rngs.stream("a").uniform(size=5), rngs.stream("b").uniform(size=5)
+        )
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x").uniform(size=5)
+        b = RngRegistry(seed=2).stream("x").uniform(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_fork_independent(self):
+        parent = RngRegistry(seed=1)
+        child = parent.fork("child")
+        assert not np.array_equal(
+            parent.stream("x").uniform(size=5), child.stream("x").uniform(size=5)
+        )

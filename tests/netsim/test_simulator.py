@@ -1,0 +1,131 @@
+"""Tests for the discrete-event simulator and clocks."""
+
+import pytest
+
+from repro.netsim.simulator import ManualClock, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_time_advances_to_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+        assert sim.now == 5.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControl:
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(10.0, seen.append, 10)
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_run_until_advances_time_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_step(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "x")
+        assert sim.step() is True
+        assert seen == ["x"]
+        assert sim.step() is False
+
+    def test_runaway_loop_detected(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestClocks:
+    def test_sim_clock_tracks_simulator(self):
+        sim = Simulator()
+        clock = sim.clock()
+        readings = []
+        sim.schedule(2.5, lambda: readings.append(clock.now()))
+        sim.run()
+        assert readings == [2.5]
+
+    def test_manual_clock(self):
+        clock = ManualClock(start=10.0)
+        assert clock.now() == 10.0
+        clock.advance(2.0)
+        assert clock.now() == 12.0
+
+    def test_manual_clock_no_backwards(self):
+        clock = ManualClock()
+        with pytest.raises(SimulationError):
+            clock.advance(-1.0)

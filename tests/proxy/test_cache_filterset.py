@@ -1,0 +1,162 @@
+"""Tests for the proxy cache and filter subscription machinery."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.export import FilterExporter
+from repro.ledger.ledger import Ledger
+from repro.netsim.simulator import ManualClock
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+from repro.workload.population import populate_ledger
+
+
+class TestTtlLruCache:
+    def test_put_get(self):
+        cache = TtlLruCache(10)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self):
+        cache = TtlLruCache(10)
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+
+    def test_ttl_expiry(self):
+        clock = ManualClock()
+        cache = TtlLruCache(10, ttl=5.0, clock=clock.now)
+        cache.put("k", "v")
+        clock.advance(4.0)
+        assert cache.get("k") == "v"
+        clock.advance(2.0)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_lru_eviction(self):
+        cache = TtlLruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_overwrite_refreshes(self):
+        clock = ManualClock()
+        cache = TtlLruCache(10, ttl=5.0, clock=clock.now)
+        cache.put("k", "old")
+        clock.advance(4.0)
+        cache.put("k", "new")
+        clock.advance(3.0)
+        assert cache.get("k") == "new"
+
+    def test_invalidate(self):
+        cache = TtlLruCache(10)
+        cache.put("k", 1)
+        cache.invalidate("k")
+        assert cache.get("k") is None
+
+    def test_hit_rate(self):
+        cache = TtlLruCache(10)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("x")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TtlLruCache(0)
+        with pytest.raises(ValueError):
+            TtlLruCache(5, ttl=0.0)
+
+
+class TestProxyFilterSet:
+    def _env(self, rng, num_ledgers=2, count=400, revoked=0.5):
+        tsa = TimestampAuthority()
+        ledgers, exporters, populations = [], [], []
+        for i in range(num_ledgers):
+            ledger = Ledger(f"l{i}", tsa)
+            populations.append(populate_ledger(ledger, count, revoked, rng))
+            exporter = FilterExporter(ledger, nbits=1 << 15, num_hashes=5)
+            exporter.publish()
+            ledgers.append(ledger)
+            exporters.append(exporter)
+        return ledgers, exporters, populations
+
+    def test_first_refresh_is_full_transfer(self, rng):
+        _, exporters, _ = self._env(rng)
+        filterset = ProxyFilterSet()
+        for exporter in exporters:
+            filterset.subscribe(exporter)
+        transferred = filterset.refresh()
+        assert transferred == sum(e.current.filter.nbytes for e in exporters)
+
+    def test_merged_filter_covers_all_ledgers(self, rng):
+        _, exporters, populations = self._env(rng)
+        filterset = ProxyFilterSet()
+        for exporter in exporters:
+            filterset.subscribe(exporter)
+        filterset.refresh()
+        for population in populations:
+            for i, identifier in enumerate(population.identifiers):
+                if population.revoked_mask[i]:
+                    assert filterset.might_be_revoked(identifier.to_compact())
+
+    def test_subsequent_refresh_uses_deltas(self, rng):
+        ledgers, exporters, _ = self._env(rng)
+        filterset = ProxyFilterSet()
+        for exporter in exporters:
+            filterset.subscribe(exporter)
+        filterset.refresh()
+        # Small churn, republish.
+        populate_ledger(ledgers[0], 20, 1.0, rng)
+        for exporter in exporters:
+            exporter.publish()
+        transferred = filterset.refresh()
+        subs = [filterset._subscriptions[l] for l in filterset.ledger_ids]
+        assert all(s.delta_transfers >= 1 for s in subs)
+        assert transferred < exporters[0].current.filter.nbytes
+
+    def test_refresh_noop_when_current(self, rng):
+        _, exporters, _ = self._env(rng, num_ledgers=1)
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporters[0])
+        filterset.refresh()
+        assert filterset.refresh() == 0
+
+    def test_no_filter_means_everything_might_be_revoked(self):
+        filterset = ProxyFilterSet()
+        assert filterset.might_be_revoked(b"x" * 12)
+
+    def test_duplicate_subscription_rejected(self, rng):
+        _, exporters, _ = self._env(rng, num_ledgers=1)
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporters[0])
+        with pytest.raises(ValueError):
+            filterset.subscribe(exporters[0])
+
+    def test_refresh_before_publish_rejected(self, rng):
+        tsa = TimestampAuthority()
+        ledger = Ledger("empty", tsa)
+        exporter = FilterExporter(ledger, nbits=1 << 10, num_hashes=3)
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporter)
+        with pytest.raises(RuntimeError):
+            filterset.refresh()
+
+    def test_delta_keeps_filter_exact(self, rng):
+        """After delta refreshes, the local filter must equal a fresh
+        full download (no drift)."""
+        ledgers, exporters, _ = self._env(rng, num_ledgers=1)
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporters[0])
+        filterset.refresh()
+        for _ in range(3):
+            populate_ledger(ledgers[0], 15, 0.8, rng)
+            exporters[0].publish()
+            filterset.refresh()
+        local = filterset._subscriptions["l0"].local_filter
+        assert local.bits == exporters[0].current.filter.bits

@@ -1,0 +1,179 @@
+"""Tests for the IRS proxy and the privacy measurement machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.ledger.export import FilterExporter
+from repro.netsim.simulator import ManualClock
+from repro.proxy.anonymity import ObservationLog, anonymity_report
+from repro.proxy.cache import TtlLruCache
+from repro.proxy.filterset import ProxyFilterSet
+from repro.proxy.proxy import IrsProxy
+from repro.workload.population import populate_ledger
+
+
+@pytest.fixture()
+def env(rng):
+    irs = IrsDeployment.create(seed=41)
+    population = populate_ledger(irs.ledger, 500, 0.3, rng)
+    exporter = FilterExporter(irs.ledger, nbits=1 << 14, num_hashes=5)
+    exporter.publish()
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    filterset.refresh()
+    return irs, population, filterset
+
+
+class TestProxyAnswers:
+    def test_filter_short_circuit_for_unrevoked(self, env):
+        irs, population, filterset = env
+        proxy = IrsProxy("p", irs.registry, filterset=filterset)
+        unrevoked = [
+            identifier
+            for i, identifier in enumerate(population.identifiers)
+            if not population.revoked_mask[i]
+        ]
+        # Find one that misses the filter (almost all do).
+        answers = [proxy.status(identifier) for identifier in unrevoked[:50]]
+        filter_answers = [a for a in answers if a.source == "filter"]
+        assert len(filter_answers) > 40
+        assert all(not a.revoked for a in filter_answers)
+
+    def test_revoked_always_reaches_ledger(self, env):
+        irs, population, filterset = env
+        proxy = IrsProxy("p", irs.registry, filterset=filterset)
+        revoked = [
+            identifier
+            for i, identifier in enumerate(population.identifiers)
+            if population.revoked_mask[i]
+        ]
+        for identifier in revoked[:20]:
+            answer = proxy.status(identifier)
+            assert answer.revoked
+            assert answer.source == "ledger"
+            assert answer.proof is not None
+
+    def test_cache_replays_ledger_answers(self, env):
+        irs, population, filterset = env
+        clock = ManualClock()
+        proxy = IrsProxy(
+            "p",
+            irs.registry,
+            filterset=filterset,
+            cache=TtlLruCache(1000, ttl=600, clock=clock.now),
+            clock=clock.now,
+        )
+        revoked_id = population.identifiers[
+            int(np.nonzero(population.revoked_mask)[0][0])
+        ]
+        first = proxy.status(revoked_id)
+        second = proxy.status(revoked_id)
+        assert first.source == "ledger"
+        assert second.source == "cache"
+        assert proxy.stats.ledger_queries == 1
+
+    def test_cache_ttl_bounds_staleness(self, env):
+        """After the TTL, a revocation becomes visible (Nongoal #4:
+        bounded, not instantaneous)."""
+        irs, population, filterset = env
+        clock = ManualClock()
+        proxy = IrsProxy(
+            "p",
+            irs.registry,
+            cache=TtlLruCache(1000, ttl=60, clock=clock.now),
+            clock=clock.now,
+        )
+        # An unrevoked photo, no filter (forces cache/ledger path).
+        idx = int(np.nonzero(~population.revoked_mask)[0][0])
+        identifier = population.identifiers[idx]
+        assert not proxy.status(identifier).revoked
+        # Owner revokes; cached answer persists until TTL.
+        record = irs.ledger.record(identifier)
+        from repro.ledger.records import RevocationState
+
+        record.state = RevocationState.REVOKED
+        assert not proxy.status(identifier).revoked  # stale cache
+        clock.advance(61.0)
+        assert proxy.status(identifier).revoked  # TTL expired
+
+    def test_no_filter_no_cache_always_queries(self, env):
+        irs, population, _ = env
+        proxy = IrsProxy("naive", irs.registry)
+        for identifier in population.identifiers[:30]:
+            proxy.status(identifier)
+        assert proxy.stats.ledger_queries == 30
+        assert proxy.stats.load_reduction_factor == pytest.approx(1.0)
+
+    def test_load_reduction_factor(self, env):
+        irs, population, filterset = env
+        proxy = IrsProxy("p", irs.registry, filterset=filterset)
+        unrevoked = [
+            identifier
+            for i, identifier in enumerate(population.identifiers)
+            if not population.revoked_mask[i]
+        ]
+        for identifier in unrevoked:
+            proxy.status(identifier)
+        assert proxy.stats.load_reduction_factor > 10
+
+    def test_refresh_filters_passthrough(self, env):
+        irs, _, filterset = env
+        proxy = IrsProxy("p", irs.registry, filterset=filterset)
+        assert proxy.refresh_filters() == 0  # already current
+        assert IrsProxy("bare", irs.registry).refresh_filters() == 0
+
+
+class TestObservationLog:
+    def test_ledger_sees_proxy_not_viewer(self, env):
+        irs, population, filterset = env
+        log = ObservationLog()
+        proxy = IrsProxy("proxy-A", irs.registry, observation_log=log)
+        for identifier in population.identifiers[:10]:
+            proxy.status(identifier)
+        assert log.requesters() == {"proxy-A"}
+        assert len(log) == 10
+
+
+class TestAnonymityReport:
+    def test_direct_browsing_fully_attributed(self):
+        log = ObservationLog()
+        for i in range(10):
+            log.record(f"user-{i % 2}", "l", f"irs1:l:{i}", float(i))
+        report = anonymity_report(
+            log,
+            requester_populations={"user-0": ["user-0"], "user-1": ["user-1"]},
+            viewer_checks={"user-0": 5, "user-1": 5},
+        )
+        assert report.attribution_rate == 1.0
+        assert report.mean_anonymity_set == 1.0
+        assert report.profile_leakage == 1.0
+
+    def test_proxied_browsing_hides_viewers(self):
+        log = ObservationLog()
+        for i in range(10):
+            log.record("proxy", "l", f"irs1:l:{i}", float(i))
+        users = [f"user-{i}" for i in range(100)]
+        report = anonymity_report(
+            log,
+            requester_populations={"proxy": users},
+            viewer_checks={u: 1 for u in users},
+        )
+        assert report.attribution_rate == 0.0
+        assert report.mean_anonymity_set == 100.0
+        assert report.profile_leakage == 0.0
+
+    def test_filter_short_circuits_reduce_visible_requests(self):
+        log = ObservationLog()
+        log.record("proxy", "l", "irs1:l:1", 0.0)
+        report = anonymity_report(
+            log,
+            requester_populations={"proxy": ["u1", "u2"]},
+            viewer_checks={"u1": 50, "u2": 50},
+        )
+        assert report.total_viewer_checks == 100
+        assert report.ledger_visible_requests == 1
+
+    def test_empty_checks_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity_report(ObservationLog(), {}, {})

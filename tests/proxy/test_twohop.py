@@ -1,0 +1,114 @@
+"""Tests for the two-hop oblivious proxy construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.ledger.export import FilterExporter
+from repro.proxy.anonymity import ObservationLog
+from repro.proxy.filterset import ProxyFilterSet
+from repro.proxy.twohop import EgressHop, IngressHop, ObliviousClient, SecretBox
+from repro.workload.population import populate_ledger
+
+
+class TestSecretBox:
+    def test_roundtrip(self):
+        box = SecretBox(b"k" * 16)
+        for message in (b"", b"x", b"hello world", bytes(range(256))):
+            assert box.open(box.seal(message)) == message
+
+    def test_nonces_randomize_ciphertext(self):
+        box = SecretBox(b"k" * 16)
+        assert box.seal(b"same") != box.seal(b"same")
+
+    def test_tamper_detected(self):
+        box = SecretBox(b"k" * 16)
+        sealed = bytearray(box.seal(b"secret"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(ValueError):
+            box.open(bytes(sealed))
+
+    def test_wrong_key_rejected(self):
+        sealed = SecretBox(b"k" * 16).seal(b"secret")
+        with pytest.raises(ValueError):
+            SecretBox(b"j" * 16).open(sealed)
+
+    def test_short_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SecretBox(b"short")
+        with pytest.raises(ValueError):
+            SecretBox(b"k" * 16).open(b"tiny")
+
+
+@pytest.fixture()
+def oblivious(rng):
+    irs = IrsDeployment.create(seed=150)
+    population = populate_ledger(irs.ledger, 1000, 0.4, rng)
+    exporter = FilterExporter(irs.ledger, nbits=1 << 14, num_hashes=5)
+    exporter.publish()
+    filterset = ProxyFilterSet()
+    filterset.subscribe(exporter)
+    filterset.refresh()
+    box = SecretBox(b"shared-key-material!")
+    observations = ObservationLog()
+    egress = EgressHop(
+        "egress", irs.registry, box, filterset=filterset,
+        observation_log=observations,
+    )
+    ingress = IngressHop("ingress", egress)
+    clients = {
+        f"user-{u}": ObliviousClient(f"user-{u}", ingress, box) for u in range(5)
+    }
+    return irs, population, ingress, egress, clients, observations
+
+
+class TestTwoHopPrivacy:
+    def test_answers_correct(self, oblivious):
+        irs, population, _, _, clients, _ = oblivious
+        client = clients["user-0"]
+        for i in range(30):
+            answer = client.status(population.identifiers[i])
+            assert answer.revoked == bool(population.revoked_mask[i])
+
+    def test_ingress_never_sees_identifiers(self, oblivious):
+        """The ingress log contains only blob digests; sealed queries
+        for the same identifier differ every time (nonce), so the
+        ingress cannot even link repeat views."""
+        irs, population, ingress, _, clients, _ = oblivious
+        identifier = population.identifiers[0]
+        clients["user-0"].status(identifier)
+        clients["user-0"].status(identifier)
+        digests = ingress.observed_queries()
+        assert len(digests) == 2
+        assert digests[0] != digests[1]
+        for record in ingress.log:
+            assert identifier.to_string() not in str(record.blob_digest)
+
+    def test_egress_never_sees_users(self, oblivious):
+        irs, population, _, egress, clients, _ = oblivious
+        for user, client in clients.items():
+            client.status(population.identifiers[1])
+        peers = {peer for peer, _ in egress.log}
+        assert peers == {"ingress"}
+
+    def test_ledger_sees_only_egress(self, oblivious):
+        irs, population, _, _, clients, observations = oblivious
+        revoked_index = int(np.nonzero(population.revoked_mask)[0][0])
+        clients["user-2"].status(population.identifiers[revoked_index])
+        assert observations.requesters() <= {"egress"}
+
+    def test_filter_short_circuit_in_egress(self, oblivious):
+        irs, population, _, egress, clients, observations = oblivious
+        unrevoked = [
+            identifier
+            for i, identifier in enumerate(population.identifiers[:100])
+            if not population.revoked_mask[i]
+        ]
+        before = len(observations)
+        filter_answers = 0
+        for identifier in unrevoked:
+            if clients["user-3"].status(identifier).source == "filter":
+                filter_answers += 1
+        assert filter_answers > 0.9 * len(unrevoked)
+        # Only false positives reached any ledger.
+        assert len(observations) - before <= len(unrevoked) - filter_answers

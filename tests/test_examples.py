@@ -1,0 +1,57 @@
+"""Smoke tests: every example script and CLI demo runs to completion.
+
+The examples are user-facing documentation; regressing one silently is
+worse than regressing an internal helper.  Each runs in a subprocess so
+import-time failures are also caught.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "bootstrap_phase.py",
+    "eventual_phase.py",
+    "adoption_dynamics.py",
+    "attack_and_appeal.py",
+    "video_lifecycle.py",
+    "full_ecosystem.py",
+]
+
+
+def _run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        args,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    result = _run([sys.executable, str(path)])
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.parametrize("demo", ["quickstart", "scaling", "adoption"])
+def test_cli_demo_runs(demo):
+    result = _run([sys.executable, "-m", "repro", demo])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_cli_rejects_unknown_demo():
+    result = _run([sys.executable, "-m", "repro", "nonsense"])
+    assert result.returncode != 0

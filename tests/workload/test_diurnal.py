@@ -1,0 +1,97 @@
+"""Tests for the diurnal traffic profile."""
+
+import numpy as np
+import pytest
+
+from repro.workload.diurnal import DiurnalProfile
+
+
+class TestProfileShape:
+    def test_mean_is_one(self):
+        profile = DiurnalProfile()
+        times = np.linspace(0, 86_400, 10_000, endpoint=False)
+        assert float(profile.intensities(times).mean()) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_intensity_positive_everywhere(self):
+        profile = DiurnalProfile()
+        times = np.linspace(0, 86_400, 10_000, endpoint=False)
+        assert profile.intensities(times).min() > 0
+
+    def test_peak_in_the_evening(self):
+        profile = DiurnalProfile()
+        assert 20.0 <= profile.peak_hour() <= 23.5
+
+    def test_peak_to_mean_reasonable(self):
+        ratio = DiurnalProfile().peak_to_mean()
+        assert 1.4 < ratio < 1.8
+
+    def test_trough_is_deep_and_off_peak(self):
+        profile = DiurnalProfile()
+        trough_hour = profile.trough_hour()
+        assert profile.intensity(trough_hour * 3600) < 0.6
+        assert profile.intensity(profile.peak_hour() * 3600) > 1.4
+        # Trough and peak are far apart (at least 6 hours around the clock).
+        gap = abs(profile.peak_hour() - trough_hour)
+        assert min(gap, 24 - gap) >= 6.0
+
+    def test_wraps_across_midnight(self):
+        profile = DiurnalProfile()
+        assert profile.intensity(0.0) == pytest.approx(
+            profile.intensity(86_400.0)
+        )
+
+    def test_scalar_matches_vector(self):
+        profile = DiurnalProfile()
+        t = 12_345.0
+        assert profile.intensity(t) == pytest.approx(
+            float(profile.intensities(np.array([t]))[0])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(primary_amplitude=1.2)
+        with pytest.raises(ValueError):
+            DiurnalProfile(primary_amplitude=0.7, secondary_amplitude=0.4)
+
+
+class TestThinning:
+    def test_thinned_stream_follows_profile(self):
+        profile = DiurnalProfile()
+        rng = np.random.default_rng(5)
+        # A flat stream across one day.
+        flat = np.sort(rng.uniform(0, 86_400, size=200_000))
+        kept = np.asarray(profile.thin_events(flat, rng))
+        # Volume in the peak hour dwarfs volume in the trough hour.
+        peak_h = profile.peak_hour()
+        trough_h = profile.trough_hour()
+        peak_count = (
+            (kept > (peak_h - 1) * 3600) & (kept < (peak_h + 1) * 3600)
+        ).sum()
+        trough_count = (
+            (kept > (trough_h - 1) * 3600) & (kept < (trough_h + 1) * 3600)
+        ).sum()
+        assert peak_count > trough_count * 2
+
+    def test_thinning_keeps_subset(self):
+        profile = DiurnalProfile()
+        rng = np.random.default_rng(6)
+        flat = list(np.linspace(0, 86_400, 1000, endpoint=False))
+        kept = profile.thin_events(flat, rng)
+        assert 0 < len(kept) < len(flat)
+        assert set(kept) <= set(float(t) for t in flat)
+
+    def test_empty_stream(self):
+        profile = DiurnalProfile()
+        assert profile.thin_events([], np.random.default_rng(7)) == []
+
+
+class TestEconomicsIntegration:
+    def test_provision_factor_covers_measured_peak(self):
+        """The cost model's headroom must cover the diurnal peak."""
+        from repro.ledger.economics import ServingCostModel
+
+        model = ServingCostModel()
+        profile = DiurnalProfile()
+        assert model.peak_provision_factor >= profile.peak_to_mean()

@@ -1,0 +1,167 @@
+"""Tests for workload generation: populations, Zipf, traces, pages."""
+
+import numpy as np
+import pytest
+
+from repro.core import IrsDeployment
+from repro.workload.pages import pinterest_like_page
+from repro.workload.population import populate_ledger
+from repro.workload.traces import BrowsingTraceGenerator
+from repro.workload.zipf import ZipfSampler
+
+
+class TestPopulation:
+    def test_fast_population_shape(self, deployment, rng):
+        population = populate_ledger(deployment.ledger, 1000, 0.6, rng)
+        assert population.size == 1000
+        assert 0.5 < population.revoked_fraction < 0.7
+        assert len(deployment.ledger.store) == 1000
+
+    def test_identifiers_queryable(self, deployment, rng):
+        population = populate_ledger(deployment.ledger, 50, 0.5, rng)
+        for i, identifier in enumerate(population.identifiers):
+            proof = deployment.ledger.status(identifier)
+            assert proof.revoked == bool(population.revoked_mask[i])
+
+    def test_full_crypto_mode(self, deployment, rng):
+        population = populate_ledger(
+            deployment.ledger, 20, 0.5, rng, full_crypto=True
+        )
+        # Every record's timestamp and signature are individually valid.
+        for identifier in population.identifiers:
+            record = deployment.ledger.record(identifier)
+            assert record.timestamp.verify(
+                deployment.timestamp_authority.public_key
+            )
+            assert record.public_key.verify(
+                record.content_hash.encode("utf-8"), record.content_signature
+            )
+
+    def test_revoked_fraction_extremes(self, deployment, rng):
+        all_revoked = populate_ledger(deployment.ledger, 100, 1.0, rng)
+        assert all_revoked.num_revoked == 100
+        assert all_revoked.viewable_mask().sum() == 0
+
+    def test_zero_count(self, deployment, rng):
+        population = populate_ledger(deployment.ledger, 0, 0.5, rng)
+        assert population.size == 0
+
+    def test_validation(self, deployment, rng):
+        with pytest.raises(ValueError):
+            populate_ledger(deployment.ledger, -1, 0.5, rng)
+        with pytest.raises(ValueError):
+            populate_ledger(deployment.ledger, 10, 1.5, rng)
+
+    def test_populations_compose_on_one_ledger(self, deployment, rng):
+        p1 = populate_ledger(deployment.ledger, 100, 0.5, rng)
+        p2 = populate_ledger(deployment.ledger, 100, 0.5, rng)
+        serials = {i.serial for i in p1.identifiers} | {
+            i.serial for i in p2.identifiers
+        }
+        assert len(serials) == 200
+
+
+class TestZipf:
+    def test_uniform_at_zero_exponent(self):
+        sampler = ZipfSampler(100, 0.0, np.random.default_rng(1))
+        samples = sampler.sample(50_000)
+        counts = np.bincount(samples, minlength=100)
+        assert counts.min() > 300  # roughly uniform (500 expected)
+
+    def test_skew_at_one(self):
+        sampler = ZipfSampler(1000, 1.0, np.random.default_rng(2))
+        samples = sampler.sample(50_000)
+        counts = np.bincount(samples, minlength=1000)
+        # Rank-0 item should dominate rank-99 by roughly 100x.
+        assert counts[0] > counts[99] * 20
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(500, 1.2, np.random.default_rng(3))
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+
+    def test_expected_hit_rate(self):
+        sampler = ZipfSampler(10, 0.0, np.random.default_rng(4))
+        mask = np.zeros(10, dtype=bool)
+        mask[:3] = True
+        assert sampler.expected_hit_rate(mask) == pytest.approx(0.3)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(7, 2.0, np.random.default_rng(5))
+        samples = sampler.sample(1000)
+        assert samples.min() >= 0 and samples.max() < 7
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, rng)
+        sampler = ZipfSampler(10, 1.0, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+        with pytest.raises(ValueError):
+            sampler.expected_hit_rate(np.zeros(5, dtype=bool))
+
+
+class TestTraces:
+    def _population(self, deployment, rng, revoked=0.5):
+        return populate_ledger(deployment.ledger, 200, revoked, rng)
+
+    def test_trace_sorted_by_time(self, deployment, rng):
+        population = self._population(deployment, rng)
+        gen = BrowsingTraceGenerator(population, num_users=5, rng=rng)
+        events = gen.generate(views_per_user=20)
+        assert len(events) == 100
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_default_views_avoid_revoked(self, deployment, rng):
+        population = self._population(deployment, rng)
+        gen = BrowsingTraceGenerator(
+            population, num_users=4, rng=rng, revoked_view_fraction=0.0
+        )
+        events = gen.generate(views_per_user=50)
+        assert all(not population.revoked_mask[e.photo_index] for e in events)
+
+    def test_leak_rate_hits_revoked(self, deployment, rng):
+        population = self._population(deployment, rng)
+        gen = BrowsingTraceGenerator(
+            population, num_users=4, rng=rng, revoked_view_fraction=0.3
+        )
+        events = gen.generate(views_per_user=200)
+        revoked_views = sum(
+            1 for e in events if population.revoked_mask[e.photo_index]
+        )
+        assert 0.2 < revoked_views / len(events) < 0.4
+
+    def test_stream_yields_requested_count(self, deployment, rng):
+        population = self._population(deployment, rng)
+        gen = BrowsingTraceGenerator(population, num_users=3, rng=rng)
+        events = list(gen.stream(total_views=77))
+        assert len(events) == 77
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_all_revoked_population_rejected(self, deployment, rng):
+        population = populate_ledger(deployment.ledger, 50, 1.0, rng)
+        with pytest.raises(ValueError):
+            BrowsingTraceGenerator(population, num_users=2, rng=rng)
+
+    def test_validation(self, deployment, rng):
+        population = self._population(deployment, rng)
+        with pytest.raises(ValueError):
+            BrowsingTraceGenerator(population, num_users=0, rng=rng)
+        with pytest.raises(ValueError):
+            BrowsingTraceGenerator(
+                population, num_users=1, rng=rng, mean_interarrival=0.0
+            )
+
+
+class TestPagesWithRealIdentifiers:
+    def test_page_uses_population_identifiers(self, deployment, rng):
+        population = populate_ledger(deployment.ledger, 100, 0.0, rng)
+        page = pinterest_like_page(
+            rng, num_images=20, identifiers=population.identifiers
+        )
+        for image in page.images:
+            assert image.identifier in population.identifiers
