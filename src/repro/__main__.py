@@ -51,6 +51,70 @@ def _demo_adoption() -> None:
         )
 
 
+def _demo_cluster(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from repro.cluster import ClusterConfig, SimulatedCluster
+
+    for name in ("shards", "replication", "queries"):
+        if getattr(args, name) < 1:
+            raise SystemExit(
+                f"python -m repro cluster: --{name} must be at least 1"
+            )
+    replication = min(args.replication, args.shards)
+    cluster = SimulatedCluster(
+        args.shards,
+        config=ClusterConfig(replication_factor=replication),
+        seed=0,
+        rpc_timeout=0.1,
+    )
+    population = cluster.seed_population(
+        max(args.queries, 200), revoked_fraction=0.3
+    )
+    sim = cluster.simulator
+    rng = np.random.default_rng(1)
+    indices = rng.integers(0, population.size, size=args.queries)
+    answers: dict = {}
+    latencies: dict = {}
+
+    def ask(slot: int, identifier) -> None:
+        started = sim.now
+        cluster.frontend.status_async(
+            identifier,
+            lambda answer: (
+                answers.__setitem__(slot, answer),
+                latencies.__setitem__(slot, sim.now - started),
+            ),
+        )
+
+    for slot, index in enumerate(indices):
+        sim.schedule(slot * 0.001, ask, slot, population.identifiers[index])
+    victim = None
+    if args.kill_shard:
+        victim = f"shard-{args.shards - 1}"
+        sim.schedule(args.queries * 0.001 / 2, cluster.kill_shard, victim)
+    sim.run(until=60.0)
+
+    correct = sum(
+        1
+        for slot, index in enumerate(indices)
+        if answers[slot].ok and answers[slot].revoked == population.revoked(index)
+    )
+    ordered = sorted(latencies.values())
+    p99 = ordered[int(len(ordered) * 0.99) - 1] if ordered else 0.0
+    print(
+        f"cluster: {args.shards} shard(s), replication {replication}, "
+        f"{args.queries} status checks"
+    )
+    if victim is not None:
+        print(f"  killed {victim} mid-run; "
+              f"suspects now: {cluster.detector.suspects() or 'none'}")
+    print(f"  correct answers: {correct}/{len(indices)}")
+    print(f"  p50 latency: {ordered[len(ordered) // 2] * 1e3:.1f} ms, "
+          f"p99: {p99 * 1e3:.1f} ms")
+    print(f"  frontend: {cluster.frontend.stats}")
+
+
 _DEMOS = {
     "quickstart": (_demo_quickstart, "claim/label/revoke/validate lifecycle"),
     "scaling": (_demo_scaling, "section 4.4 Bloom filter scaling table"),
@@ -63,13 +127,33 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="IRS reproduction demos (full examples live in examples/)",
     )
-    parser.add_argument(
-        "demo",
-        choices=sorted(_DEMOS),
-        help="; ".join(f"{name}: {desc}" for name, (_, desc) in sorted(_DEMOS.items())),
+    subparsers = parser.add_subparsers(dest="demo", required=True, metavar="demo")
+    for name, (_, description) in sorted(_DEMOS.items()):
+        subparsers.add_parser(name, help=description)
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="sharded, replicated ledger cluster under simulated load",
+    )
+    cluster_parser.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default 4)"
+    )
+    cluster_parser.add_argument(
+        "--replication", type=int, default=3,
+        help="replicas per record, capped at the shard count (default 3)",
+    )
+    cluster_parser.add_argument(
+        "--queries", type=int, default=400,
+        help="status checks to drive through the frontend (default 400)",
+    )
+    cluster_parser.add_argument(
+        "--kill-shard", action="store_true",
+        help="crash one replica mid-run to exercise quorum failover",
     )
     args = parser.parse_args(argv)
-    _DEMOS[args.demo][0]()
+    if args.demo == "cluster":
+        _demo_cluster(args)
+    else:
+        _DEMOS[args.demo][0]()
     return 0
 
 

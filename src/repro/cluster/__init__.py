@@ -1,0 +1,71 @@
+"""Horizontally scaled ledger service: sharding, replication, batching.
+
+The single wire-agnostic :class:`~repro.ledger.ledger.Ledger` of the
+paper's section 3.2 reproduces the *protocol*; this package reproduces
+the *service* the Appendix economics assume — a ledger that serves
+planetary status-check load and survives node failures:
+
+* :mod:`repro.cluster.ring` — consistent-hash placement of records
+  over N shards (virtual nodes, ~1/N movement on membership change).
+* :mod:`repro.cluster.shard` — replica nodes wrapping ``Ledger`` with
+  per-shard ``StatusProof`` signing and content-derived serials.
+* :mod:`repro.cluster.replication` — R-way quorum writes and reads
+  with read repair on divergence.
+* :mod:`repro.cluster.frontend` — the stateless router: per-shard
+  batching, bounded in-flight backpressure, Bloom pre-check.
+* :mod:`repro.cluster.health` — timeout-based failure suspicion with
+  half-open probation.
+* :mod:`repro.cluster.simnet` — the whole cluster as netsim nodes with
+  RPC latency, finite shard capacity, and injectable crashes (E17).
+"""
+
+from repro.cluster.ring import HashRing, RingError, DEFAULT_VNODES
+from repro.cluster.shard import ClusterShard, ClusterDirectory, content_serial
+from repro.cluster.replication import (
+    LocalShardTransport,
+    QuorumExecutor,
+    QuorumResult,
+    ShardReply,
+    ShardTransport,
+    StatusCollector,
+    StatusOutcome,
+    majority,
+)
+from repro.cluster.frontend import (
+    ClusterAnswer,
+    ClusterConfig,
+    ClusterFrontend,
+    FrontendStats,
+)
+from repro.cluster.health import FailureDetector, ShardHealth
+from repro.cluster.simnet import (
+    NetsimShardTransport,
+    ShardCostModel,
+    SimulatedCluster,
+)
+
+__all__ = [
+    "HashRing",
+    "RingError",
+    "DEFAULT_VNODES",
+    "ClusterShard",
+    "ClusterDirectory",
+    "content_serial",
+    "LocalShardTransport",
+    "QuorumExecutor",
+    "QuorumResult",
+    "ShardReply",
+    "ShardTransport",
+    "StatusCollector",
+    "StatusOutcome",
+    "majority",
+    "ClusterAnswer",
+    "ClusterConfig",
+    "ClusterFrontend",
+    "FrontendStats",
+    "FailureDetector",
+    "ShardHealth",
+    "NetsimShardTransport",
+    "ShardCostModel",
+    "SimulatedCluster",
+]

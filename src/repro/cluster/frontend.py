@@ -1,0 +1,570 @@
+"""The cluster frontend: a stateless batching router.
+
+Clients (proxies, aggregators, the CLI demo) speak to one frontend,
+which owns no record state at all — everything it needs to route is the
+ring (a pure function) and the shard transport.  Any number of
+frontends can run side by side; killing one loses only its in-flight
+batches.
+
+The hot path is the section 4.4 status check, and three mechanisms keep
+shard load sub-linear in client load:
+
+* **Filter pre-check** — an optional proxy-style
+  :class:`~repro.proxy.filterset.ProxyFilterSet`: a Bloom miss means
+  *definitely not revoked* and the query never reaches a shard.
+* **Per-shard batching** — concurrent lookups routed to the same shard
+  coalesce into one ``status`` RPC (up to ``max_batch``, or whatever
+  accumulated within ``batch_window`` of sim time), amortizing the
+  per-request overhead exactly as the aggregator recheck path does.
+* **Backpressure** — at most ``max_inflight`` batch RPCs are
+  outstanding; further batches queue at the frontend instead of
+  piling onto a saturated shard, which keeps the cluster in the
+  well-behaved region of its latency curve during overload.
+
+Reads default to hedged quorum reads (all R replicas asked, completion
+at ``read_quorum``) so one dead replica costs nothing but a timeout
+that the failure detector turns into suspicion; ``read_quorum=1`` gives
+primary reads with explicit failover through surviving replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import ClaimError, LedgerUnavailableError, RevocationError
+from repro.core.identifiers import PhotoIdentifier
+from repro.crypto.signatures import KeyPair, PublicKey, Signature
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.ledger import Ledger
+from repro.ledger.proofs import StatusProof
+from repro.ledger.records import claim_digest
+from repro.cluster.health import FailureDetector
+from repro.cluster.replication import (
+    QuorumExecutor,
+    ShardTransport,
+    StatusCollector,
+    StatusOutcome,
+    majority,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import content_serial
+
+__all__ = ["ClusterFrontend", "ClusterConfig", "ClusterAnswer", "FrontendStats"]
+
+
+class ClusterError(Exception):
+    """Raised on cluster-level coordination failures."""
+
+
+@dataclass
+class ClusterConfig:
+    """Replication and batching knobs.
+
+    ``write_quorum``/``read_quorum`` default to majorities of
+    ``replication_factor``, which guarantees read-write overlap; set
+    ``read_quorum=1`` for primary reads (cheapest, used by the
+    scale-out bench) at the price of bounded staleness while a write's
+    propagation is incomplete.
+    """
+
+    replication_factor: int = 3
+    write_quorum: Optional[int] = None
+    read_quorum: Optional[int] = None
+    hedged_reads: Optional[bool] = None  # default: quorum > 1
+    max_batch: int = 32
+    batch_window: float = 0.002
+    max_inflight: int = 16
+
+    def resolved(self) -> "ClusterConfig":
+        r = self.replication_factor
+        if r < 1:
+            raise ValueError("replication factor must be at least 1")
+        cfg = ClusterConfig(
+            replication_factor=r,
+            write_quorum=self.write_quorum or majority(r),
+            read_quorum=self.read_quorum or majority(r),
+            hedged_reads=self.hedged_reads,
+            max_batch=self.max_batch,
+            batch_window=self.batch_window,
+            max_inflight=self.max_inflight,
+        )
+        if cfg.hedged_reads is None:
+            cfg.hedged_reads = cfg.read_quorum > 1
+        if not 1 <= cfg.write_quorum <= r or not 1 <= cfg.read_quorum <= r:
+            raise ValueError("quorums must lie in [1, replication_factor]")
+        if cfg.max_batch < 1 or cfg.max_inflight < 1:
+            raise ValueError("max_batch and max_inflight must be positive")
+        return cfg
+
+
+@dataclass
+class ClusterAnswer:
+    """The frontend's answer to one status query."""
+
+    identifier: str
+    revoked: bool
+    source: str  # 'filter' | 'shard'
+    proof: Optional[StatusProof] = None
+    state: Optional[str] = None
+    epoch: int = -1
+    answered_by: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class FrontendStats:
+    queries: int = 0
+    filter_short_circuits: int = 0
+    shard_lookups: int = 0  # per-replica status sub-queries issued
+    batches_sent: int = 0
+    batch_items: int = 0
+    read_repairs: int = 0
+    failovers: int = 0
+    claims: int = 0
+    revocations: int = 0
+    throttled: int = 0  # batch sends deferred by the in-flight window
+    peak_inflight: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_items / self.batches_sent if self.batches_sent else 0.0
+
+
+class ClusterFrontend:
+    """Stateless coordinator over a sharded, replicated ledger cluster.
+
+    Parameters
+    ----------
+    cluster_id:
+        The logical ledger id all shards share.
+    ring / transport:
+        Placement function and the wire to the shards.
+    timestamp_authority:
+        TSA used to prepare claim records (one token per claim, chosen
+        by the coordinator so replicas store identical records).
+    detector:
+        Shared failure detector; created from ``clock`` when omitted.
+    scheduler:
+        ``scheduler(delay_s, callback)`` for batch-window timers (the
+        simulator's ``schedule`` in netsim mode).  When None the
+        frontend runs in synchronous mode: every public call flushes
+        its batches before returning.
+    filterset:
+        Optional Bloom pre-check (see module docstring).
+    """
+
+    def __init__(
+        self,
+        cluster_id: str,
+        ring: HashRing,
+        transport: ShardTransport,
+        timestamp_authority: TimestampAuthority,
+        detector: Optional[FailureDetector] = None,
+        config: Optional[ClusterConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        scheduler: Optional[Callable[[float, Callable[[], None]], None]] = None,
+        filterset=None,
+    ):
+        self.cluster_id = cluster_id
+        self.ring = ring
+        self.transport = transport
+        self._tsa = timestamp_authority
+        self._clock = clock or (lambda: 0.0)
+        self._scheduler = scheduler
+        self.detector = detector or FailureDetector(self._clock)
+        self.config = (config or ClusterConfig()).resolved()
+        if self.config.replication_factor > len(ring):
+            raise ValueError(
+                f"replication factor {self.config.replication_factor} "
+                f"exceeds ring size {len(ring)}"
+            )
+        self.filterset = filterset
+        self.executor = QuorumExecutor(transport, detector=self.detector)
+        self.stats = FrontendStats()
+        # Per-shard pending (serial, collector) batches.
+        self._queues: Dict[str, List[tuple]] = {}
+        self._ready: List[str] = []  # FIFO of shards with sendable batches
+        self._timer_armed: set = set()
+        self._inflight = 0
+
+    # -- placement ---------------------------------------------------------------
+
+    def replicas_for(self, identifier: PhotoIdentifier) -> List[str]:
+        return self.ring.replicas(
+            identifier.to_compact(), self.config.replication_factor
+        )
+
+    def _identifier(self, serial: int) -> PhotoIdentifier:
+        return PhotoIdentifier(ledger_id=self.cluster_id, serial=serial)
+
+    # -- status (hot path) --------------------------------------------------------
+
+    def status_async(
+        self,
+        identifier: PhotoIdentifier,
+        callback: Callable[[ClusterAnswer], None],
+        use_filter: bool = True,
+    ) -> None:
+        """Queue one status lookup; ``callback`` fires on completion."""
+        self.stats.queries += 1
+        key = identifier.to_string()
+        if (
+            use_filter
+            and self.filterset is not None
+            and not self.filterset.might_be_revoked(identifier.to_compact())
+        ):
+            self.stats.filter_short_circuits += 1
+            callback(
+                ClusterAnswer(identifier=key, revoked=False, source="filter")
+            )
+            return
+        replicas = self.replicas_for(identifier)
+        if self.config.hedged_reads:
+            self._read_attempt(identifier, replicas, [], callback)
+        else:
+            ordered = self.detector.live(replicas) or list(replicas)
+            read_set = ordered[: self.config.read_quorum]
+            rest = [s for s in replicas if s not in read_set]
+            self._read_attempt(identifier, read_set, rest, callback)
+
+    def _read_attempt(
+        self,
+        identifier: PhotoIdentifier,
+        read_set: List[str],
+        fallback: List[str],
+        callback: Callable[[ClusterAnswer], None],
+    ) -> None:
+        key = identifier.to_string()
+        quorum = min(self.config.read_quorum, len(read_set))
+
+        def _on_done(outcome: StatusOutcome) -> None:
+            if not outcome.ok and fallback:
+                # Failover: retry on the untried survivors.
+                self.stats.failovers += 1
+                retry = fallback[: self.config.read_quorum]
+                rest = fallback[len(retry):]
+                self._read_attempt(identifier, retry, rest, callback)
+                return
+            callback(self._answer_from(key, outcome))
+
+        collector = StatusCollector(
+            serial=identifier.serial,
+            replicas=read_set,
+            quorum=quorum,
+            on_done=_on_done,
+            on_stale=self._repair,
+        )
+        for shard_id in read_set:
+            self.stats.shard_lookups += 1
+            self._enqueue(shard_id, identifier.serial, collector)
+        self._maybe_flush()
+
+    def _answer_from(self, key: str, outcome: StatusOutcome) -> ClusterAnswer:
+        if not outcome.ok:
+            return ClusterAnswer(
+                identifier=key,
+                revoked=True,  # fail-safe verdict; callers see .error
+                source="shard",
+                error=outcome.error,
+            )
+        return ClusterAnswer(
+            identifier=key,
+            revoked=outcome.proof.revoked,
+            source="shard",
+            proof=outcome.proof,
+            state=outcome.state,
+            epoch=outcome.epoch,
+            answered_by=outcome.answered_by,
+        )
+
+    def _repair(self, shard_id: str, outcome: StatusOutcome) -> None:
+        """Push the winning state to a replica that answered stale."""
+        self.stats.read_repairs += 1
+        self.transport.invoke(
+            shard_id,
+            "apply_state",
+            {
+                "serial": outcome.serial,
+                "state": outcome.state,
+                "epoch": outcome.epoch,
+            },
+            lambda reply: None,  # best effort; next read re-detects
+        )
+
+    # -- status: synchronous conveniences ------------------------------------------
+
+    def status(self, identifier: PhotoIdentifier) -> ClusterAnswer:
+        """Synchronous status (in-process transports only)."""
+        box: List[ClusterAnswer] = []
+        self.status_async(identifier, box.append)
+        self.flush()
+        if not box:
+            raise ClusterError(
+                "status did not complete synchronously; use status_async "
+                "with the netsim transport"
+            )
+        return box[0]
+
+    def status_proof(self, identifier: PhotoIdentifier) -> StatusProof:
+        """Authoritative signed proof — a Validator ``StatusSource``.
+
+        Bypasses the Bloom pre-check (validators want a signed
+        statement, not a probabilistic shortcut) and raises
+        :class:`LedgerUnavailableError` when no quorum answered, which
+        is what validation policies key their fail-open/closed on.
+        """
+        box: List[ClusterAnswer] = []
+        self.status_async(identifier, box.append, use_filter=False)
+        self.flush()
+        if not box:
+            raise ClusterError("status did not complete synchronously")
+        answer = box[0]
+        if not answer.ok or answer.proof is None:
+            raise LedgerUnavailableError(
+                answer.error or "cluster returned no proof"
+            )
+        return answer.proof
+
+    # -- claims ----------------------------------------------------------------------
+
+    def claim_async(
+        self,
+        content_hash: str,
+        content_signature: Signature,
+        public_key: PublicKey,
+        callback: Callable[[PhotoIdentifier, Optional[str]], None],
+        initially_revoked: bool = False,
+        custodial: bool = False,
+    ) -> PhotoIdentifier:
+        """Quorum-write a claim; returns the (deterministic) identifier.
+
+        ``callback(identifier, error)`` fires when the write quorum is
+        reached (``error is None``) or proven unreachable.
+        """
+        serial = content_serial(content_hash)
+        identifier = self._identifier(serial)
+        payload = {
+            "serial": serial,
+            "content_hash": content_hash,
+            "content_signature": content_signature,
+            "public_key": public_key,
+            "timestamp": self._tsa.issue(claim_digest(content_hash, public_key)),
+            "initially_revoked": initially_revoked,
+            "custodial": custodial,
+        }
+        replicas = self.replicas_for(identifier)
+
+        def _on_result(result) -> None:
+            if result.ok:
+                self.stats.claims += 1
+                callback(identifier, None)
+            else:
+                callback(identifier, result.error)
+
+        self.executor.execute(
+            replicas, "claim", payload, self.config.write_quorum, _on_result
+        )
+        return identifier
+
+    def claim(
+        self,
+        content_hash: str,
+        content_signature: Signature,
+        public_key: PublicKey,
+        initially_revoked: bool = False,
+        custodial: bool = False,
+    ) -> PhotoIdentifier:
+        """Synchronous claim (in-process transports only)."""
+        box: List[tuple] = []
+        self.claim_async(
+            content_hash,
+            content_signature,
+            public_key,
+            lambda ident, err: box.append((ident, err)),
+            initially_revoked=initially_revoked,
+            custodial=custodial,
+        )
+        if not box:
+            raise ClusterError("claim did not complete synchronously")
+        identifier, error = box[0]
+        if error is not None:
+            raise ClaimError(error)
+        return identifier
+
+    # -- revocation -------------------------------------------------------------------
+
+    def make_challenge(self, identifier: PhotoIdentifier) -> tuple:
+        """Obtain an ownership challenge from a coordinating replica.
+
+        Returns ``(coordinator_shard_id, nonce)``; the owner signs
+        :meth:`Ledger.ownership_payload` over the nonce and passes both
+        back to :meth:`complete_revocation` — challenge state is
+        per-shard, so verify must land on the same replica.  Candidates
+        are tried in ring order (trusted replicas first), so a dead
+        primary only costs one failed probe.
+        """
+        replicas = self.replicas_for(identifier)
+        candidates = self.detector.live(replicas) + [
+            s for s in replicas if self.detector.is_suspect(s)
+        ]
+        errors = []
+        for i, coordinator in enumerate(candidates):
+            box: List = []
+            self.transport.invoke(
+                coordinator, "challenge", {"serial": identifier.serial}, box.append
+            )
+            if box and box[0].ok:
+                self.detector.record_success(coordinator)
+                if i > 0:
+                    self.stats.failovers += 1
+                return coordinator, box[0].value
+            error = box[0].error if box else "no reply"
+            self.detector.record_failure(coordinator)
+            errors.append(f"{coordinator}: {error}")
+        raise RevocationError(
+            f"challenge failed on all replicas ({'; '.join(errors)})"
+        )
+
+    def complete_revocation(
+        self,
+        identifier: PhotoIdentifier,
+        coordinator: str,
+        nonce: bytes,
+        signature: Signature,
+        action: str = "revoke",
+    ) -> Dict[str, Any]:
+        """Verify on the coordinator, then quorum-propagate the flip."""
+        if action not in ("revoke", "unrevoke"):
+            raise ValueError(f"unknown revocation action {action!r}")
+        replicas = self.replicas_for(identifier)
+        box: List = []
+        self.transport.invoke(
+            coordinator,
+            action,
+            {"serial": identifier.serial, "nonce": nonce, "signature": signature},
+            box.append,
+        )
+        if not box or not box[0].ok:
+            error = box[0].error if box else "no reply"
+            self.detector.record_failure(coordinator)
+            raise RevocationError(f"{action} via {coordinator} failed: {error}")
+        self.detector.record_success(coordinator)
+        verdict = box[0].value  # {'state': ..., 'epoch': ...}
+        others = [s for s in replicas if s != coordinator]
+        needed = self.config.write_quorum - 1  # coordinator already holds it
+        outcome: Dict[str, Any] = dict(verdict)
+        if others:
+            payload = {"serial": identifier.serial, **verdict}
+            results: List = []
+            self.executor.execute(
+                others, "apply_state", payload, max(needed, 1), results.append
+            )
+            if needed > 0 and results and not results[0].ok:
+                raise RevocationError(
+                    f"{action} verified but replication quorum failed: "
+                    f"{results[0].error}"
+                )
+        self.stats.revocations += 1
+        return outcome
+
+    def revoke(self, identifier: PhotoIdentifier, keypair: KeyPair) -> Dict[str, Any]:
+        """Challenge-sign-revoke convenience (owner holds the key)."""
+        return self._owner_action(identifier, keypair, "revoke")
+
+    def unrevoke(self, identifier: PhotoIdentifier, keypair: KeyPair) -> Dict[str, Any]:
+        return self._owner_action(identifier, keypair, "unrevoke")
+
+    def _owner_action(
+        self, identifier: PhotoIdentifier, keypair: KeyPair, action: str
+    ) -> Dict[str, Any]:
+        coordinator, nonce = self.make_challenge(identifier)
+        signature = keypair.sign_struct(
+            Ledger.ownership_payload(action, identifier, nonce)
+        )
+        return self.complete_revocation(
+            identifier, coordinator, nonce, signature, action=action
+        )
+
+    # -- batching engine ---------------------------------------------------------------
+
+    def _enqueue(self, shard_id: str, serial: int, collector) -> None:
+        queue = self._queues.setdefault(shard_id, [])
+        queue.append((serial, collector))
+        if shard_id in self._ready or shard_id in self._timer_armed:
+            return
+        if self._scheduler is None or len(queue) >= self.config.max_batch:
+            self._mark_ready(shard_id)
+        else:
+            self._timer_armed.add(shard_id)
+            self._scheduler(self.config.batch_window, lambda: self._expire(shard_id))
+
+    def _expire(self, shard_id: str) -> None:
+        self._timer_armed.discard(shard_id)
+        if self._queues.get(shard_id):
+            self._mark_ready(shard_id)
+            self._pump()
+
+    def _mark_ready(self, shard_id: str) -> None:
+        if shard_id not in self._ready:
+            self._ready.append(shard_id)
+        self._timer_armed.discard(shard_id)
+
+    def _maybe_flush(self) -> None:
+        if self._scheduler is None:
+            self.flush()
+        else:
+            self._pump()
+
+    def flush(self) -> None:
+        """Force every pending batch out (subject to the window)."""
+        for shard_id, queue in self._queues.items():
+            if queue:
+                self._mark_ready(shard_id)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._ready:
+            if self._inflight >= self.config.max_inflight:
+                self.stats.throttled += 1
+                return
+            shard_id = self._ready.pop(0)
+            queue = self._queues.get(shard_id, [])
+            if not queue:
+                continue
+            batch = queue[: self.config.max_batch]
+            self._queues[shard_id] = queue[self.config.max_batch:]
+            if self._queues[shard_id]:
+                self._ready.append(shard_id)  # remainder already waited
+            self._send_batch(shard_id, batch)
+
+    def _send_batch(self, shard_id: str, batch: List[tuple]) -> None:
+        self._inflight += 1
+        self.stats.peak_inflight = max(self.stats.peak_inflight, self._inflight)
+        self.stats.batches_sent += 1
+        self.stats.batch_items += len(batch)
+        serials = [serial for serial, _ in batch]
+
+        def _on_reply(reply) -> None:
+            self._inflight -= 1
+            if reply.ok:
+                self.detector.record_success(shard_id)
+                for (serial, collector), entry in zip(batch, reply.value):
+                    collector.record(shard_id, entry)
+            else:
+                self.detector.record_failure(shard_id)
+                for serial, collector in batch:
+                    collector.record_error(shard_id, reply.error)
+            self._pump()
+
+        self.transport.invoke(shard_id, "status", {"serials": serials}, _on_reply)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterFrontend({self.cluster_id!r}, shards={len(self.ring)}, "
+            f"r={self.config.replication_factor})"
+        )

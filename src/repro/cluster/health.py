@@ -1,0 +1,136 @@
+"""Failure detection: timeout-based suspicion and recovery probation.
+
+The cluster has no heartbeat plane; evidence of shard health is the
+request traffic itself.  Every RPC outcome is reported here: a
+completed call clears a shard, a timeout or transport error counts
+against it.  After ``failure_threshold`` *consecutive* failures a shard
+becomes suspect, and routing (frontend and quorum executor) stops
+sending it primary traffic.  Suspicion is not permanent: after
+``probation`` seconds of sim/wall time the detector lets one request
+through again (half-open, circuit-breaker style), so a recovered or
+wrongly accused shard rejoins without operator action.
+
+Timeout-based suspicion is deliberately conservative — a slow shard and
+a dead shard look identical from the frontend, which is exactly the
+ambiguity quorum reads are built to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List
+
+__all__ = ["FailureDetector", "ShardHealth"]
+
+
+@dataclass
+class ShardHealth:
+    """Per-shard evidence ledger."""
+
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    suspected_at: float = field(default=float("nan"))
+    last_probe_at: float = field(default=float("nan"))
+
+    @property
+    def suspected(self) -> bool:
+        return self.suspected_at == self.suspected_at  # not NaN
+
+
+class FailureDetector:
+    """Consecutive-timeout suspicion with half-open probation.
+
+    Parameters
+    ----------
+    clock:
+        Time source (sim clock in netsim mode, any monotonic callable
+        otherwise).
+    failure_threshold:
+        Consecutive failures before a shard is suspected.
+    probation:
+        Seconds a suspect waits before the detector admits one probe
+        request to test recovery.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        failure_threshold: int = 3,
+        probation: float = 10.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if probation <= 0:
+            raise ValueError("probation must be positive")
+        self._clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.probation = float(probation)
+        self._health: Dict[str, ShardHealth] = {}
+        self.suspicions_raised = 0
+        self.recoveries = 0
+
+    def _entry(self, shard_id: str) -> ShardHealth:
+        if shard_id not in self._health:
+            self._health[shard_id] = ShardHealth()
+        return self._health[shard_id]
+
+    # -- evidence ---------------------------------------------------------------
+
+    def record_success(self, shard_id: str) -> None:
+        entry = self._entry(shard_id)
+        if entry.suspected:
+            self.recoveries += 1
+            entry.suspected_at = float("nan")
+            entry.last_probe_at = float("nan")
+        entry.consecutive_failures = 0
+        entry.total_successes += 1
+
+    def record_failure(self, shard_id: str) -> None:
+        entry = self._entry(shard_id)
+        entry.consecutive_failures += 1
+        entry.total_failures += 1
+        if (
+            not entry.suspected
+            and entry.consecutive_failures >= self.failure_threshold
+        ):
+            entry.suspected_at = self._clock()
+            self.suspicions_raised += 1
+
+    # -- verdicts ----------------------------------------------------------------
+
+    def is_suspect(self, shard_id: str) -> bool:
+        """True while a shard should receive no routine traffic.
+
+        A suspect past its probation window is allowed one probe: the
+        first ``is_suspect`` call after the window returns False (and
+        arms the next window), so exactly one request flows through
+        until its outcome is reported.
+        """
+        entry = self._health.get(shard_id)
+        if entry is None or not entry.suspected:
+            return False
+        now = self._clock()
+        since = entry.last_probe_at if entry.last_probe_at == entry.last_probe_at else entry.suspected_at
+        if now - since >= self.probation:
+            entry.last_probe_at = now
+            return False
+        return True
+
+    def live(self, shard_ids: Iterable[str]) -> List[str]:
+        """The subset of ``shard_ids`` currently trusted, in input order."""
+        return [s for s in shard_ids if not self.is_suspect(s)]
+
+    def suspects(self) -> List[str]:
+        return sorted(
+            shard for shard, entry in self._health.items() if entry.suspected
+        )
+
+    def health(self, shard_id: str) -> ShardHealth:
+        return self._entry(shard_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FailureDetector(threshold={self.failure_threshold}, "
+            f"suspects={self.suspects()})"
+        )

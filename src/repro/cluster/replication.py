@@ -1,0 +1,329 @@
+"""Replica groups: quorum writes, quorum reads, read repair.
+
+Replication here is leaderless in the Dynamo style, scoped per key by
+the ring: a key's R replicas are peers, and the frontend coordinates.
+
+* **Writes** (claim, state propagation) go to all R replicas and
+  succeed at ``write_quorum`` acks (:class:`QuorumExecutor`).  Claims
+  are idempotent (content-derived serials), so retries and duplicate
+  deliveries converge.
+* **Reads** (status) complete at ``read_quorum`` answers
+  (:class:`StatusCollector`).  With W + R > R-total the read quorum is
+  guaranteed to overlap the last write quorum, so the merged answer —
+  highest ``revocation_epoch`` wins — reflects every acknowledged
+  revocation even while some replica is down or stale.
+* **Read repair**: when a quorum read observes replicas at different
+  epochs, the collector names the stale ones and the frontend pushes
+  the winning state back to them (``apply_state``), so divergence
+  created by a down replica heals with normal read traffic instead of
+  requiring an anti-entropy sweep.
+
+Everything is callback-style so the identical logic runs on the
+synchronous in-process transport (unit tests, demos) and the
+discrete-event netsim transport (latency/fault experiments) — the same
+duality the wire-agnostic ``Ledger`` already has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+__all__ = [
+    "ShardReply",
+    "ShardTransport",
+    "LocalShardTransport",
+    "QuorumExecutor",
+    "QuorumResult",
+    "StatusCollector",
+    "StatusOutcome",
+    "majority",
+]
+
+
+def majority(n: int) -> int:
+    """Smallest quorum overlapping any other majority of ``n``."""
+    return n // 2 + 1
+
+
+@dataclass
+class ShardReply:
+    """One shard's answer to one replicated call."""
+
+    shard_id: str
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ShardTransport(Protocol):
+    """How coordinators reach shards; implementations decide the wire.
+
+    ``invoke`` must always call ``callback`` exactly once, with an
+    error reply rather than an exception on failure (a dead shard is an
+    experiment condition, not a bug).
+    """
+
+    def invoke(
+        self,
+        shard_id: str,
+        method: str,
+        payload: Any,
+        callback: Callable[[ShardReply], None],
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+    def shard_ids(self) -> List[str]:  # pragma: no cover - protocol
+        ...
+
+
+class LocalShardTransport:
+    """Synchronous in-process transport over a dict of shards.
+
+    ``kill``/``revive`` model a crashed node: invocations fail fast
+    with a "shard down" reply (connection refused, as opposed to the
+    netsim transport's silent timeout).
+    """
+
+    def __init__(self, shards: Dict[str, Any]):
+        self._shards = dict(shards)
+        self._down: set = set()
+        self.calls = 0
+
+    def shard_ids(self) -> List[str]:
+        return sorted(self._shards)
+
+    def kill(self, shard_id: str) -> None:
+        if shard_id not in self._shards:
+            raise KeyError(shard_id)
+        self._down.add(shard_id)
+
+    def revive(self, shard_id: str) -> None:
+        self._down.discard(shard_id)
+
+    def invoke(
+        self,
+        shard_id: str,
+        method: str,
+        payload: Any,
+        callback: Callable[[ShardReply], None],
+    ) -> None:
+        self.calls += 1
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            callback(ShardReply(shard_id, error=f"unknown shard {shard_id!r}"))
+            return
+        if shard_id in self._down:
+            callback(ShardReply(shard_id, error="shard down"))
+            return
+        handler = shard.rpc_handlers().get(method)
+        if handler is None:
+            callback(ShardReply(shard_id, error=f"unknown method {method!r}"))
+            return
+        try:
+            callback(ShardReply(shard_id, value=handler(payload)))
+        except Exception as exc:  # noqa: BLE001 - fault isolation
+            callback(ShardReply(shard_id, error=str(exc)))
+
+
+@dataclass
+class QuorumResult:
+    """Outcome of a quorum write."""
+
+    ok: bool
+    quorum: int
+    acks: List[ShardReply] = field(default_factory=list)
+    failures: List[ShardReply] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def value(self) -> Any:
+        """The first ack's value (replicas return identical answers)."""
+        return self.acks[0].value if self.acks else None
+
+
+class QuorumExecutor:
+    """Fans a write out to a replica group; completes at quorum.
+
+    The callback fires as soon as the outcome is decided — ``quorum``
+    acks (success) or enough failures that success is impossible.  Late
+    replies are still recorded with the failure detector, so a slow
+    shard's eventual answer updates its health even after the write
+    completed without it.
+    """
+
+    def __init__(self, transport: ShardTransport, detector=None):
+        self._transport = transport
+        self._detector = detector
+        self.writes_started = 0
+        self.writes_succeeded = 0
+        self.writes_failed = 0
+
+    def _note(self, reply: ShardReply) -> None:
+        if self._detector is None:
+            return
+        if reply.ok:
+            self._detector.record_success(reply.shard_id)
+        else:
+            self._detector.record_failure(reply.shard_id)
+
+    def execute(
+        self,
+        shard_ids: List[str],
+        method: str,
+        payload: Any,
+        quorum: int,
+        callback: Callable[[QuorumResult], None],
+    ) -> None:
+        if not 1 <= quorum <= len(shard_ids):
+            raise ValueError(
+                f"quorum {quorum} invalid for {len(shard_ids)} replica(s)"
+            )
+        self.writes_started += 1
+        result = QuorumResult(ok=False, quorum=quorum)
+        state = {"done": False}
+
+        def _finish(ok: bool, error: Optional[str] = None) -> None:
+            state["done"] = True
+            result.ok = ok
+            result.error = error
+            if ok:
+                self.writes_succeeded += 1
+            else:
+                self.writes_failed += 1
+            callback(result)
+
+        def _on_reply(reply: ShardReply) -> None:
+            self._note(reply)
+            if reply.ok:
+                result.acks.append(reply)
+            else:
+                result.failures.append(reply)
+            if state["done"]:
+                return
+            if len(result.acks) >= quorum:
+                _finish(True)
+            elif len(shard_ids) - len(result.failures) < quorum:
+                _finish(
+                    False,
+                    error=(
+                        f"{method}: quorum {quorum}/{len(shard_ids)} "
+                        f"unreachable ({len(result.failures)} failure(s), "
+                        f"e.g. {result.failures[0].error})"
+                    ),
+                )
+
+        for shard_id in shard_ids:
+            self._transport.invoke(shard_id, method, payload, _on_reply)
+
+
+@dataclass
+class StatusOutcome:
+    """Merged result of one quorum status read."""
+
+    serial: int
+    ok: bool
+    proof: Any = None  # winning StatusProof
+    state: Optional[str] = None
+    epoch: int = -1
+    answered_by: Optional[str] = None  # shard whose proof won
+    stale_shards: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+class StatusCollector:
+    """Accumulates one key's per-replica status answers.
+
+    Completion fires at ``quorum`` good answers; the winner is the
+    answer with the highest ``revocation_epoch`` (write quorums
+    guarantee at least one read-quorum member saw the newest epoch).
+    Every answer observed *below* the winning epoch — before or after
+    completion — is reported through ``on_stale`` for read repair.
+    """
+
+    def __init__(
+        self,
+        serial: int,
+        replicas: List[str],
+        quorum: int,
+        on_done: Callable[[StatusOutcome], None],
+        on_stale: Optional[Callable[[str, StatusOutcome], None]] = None,
+    ):
+        if not 1 <= quorum <= len(replicas):
+            raise ValueError(
+                f"quorum {quorum} invalid for {len(replicas)} replica(s)"
+            )
+        self.serial = serial
+        self.expected = list(replicas)
+        self.quorum = quorum
+        self._on_done = on_done
+        self._on_stale = on_stale
+        self._answers: Dict[str, Dict[str, Any]] = {}
+        self._errors: Dict[str, str] = {}
+        self.outcome: Optional[StatusOutcome] = None
+
+    @property
+    def done(self) -> bool:
+        return self.outcome is not None
+
+    def record(self, shard_id: str, entry: Dict[str, Any]) -> None:
+        """Feed one replica's answer (an entry from ``shard.status``)."""
+        if "error" in entry:
+            self.record_error(shard_id, entry["error"])
+            return
+        if self.done:
+            self._check_stale(shard_id, entry)
+            return
+        self._answers[shard_id] = entry
+        if len(self._answers) >= self.quorum:
+            self._complete()
+
+    def record_error(self, shard_id: str, error: str) -> None:
+        if self.done:
+            return
+        self._errors[shard_id] = error
+        if len(self.expected) - len(self._errors) < self.quorum:
+            outcome = StatusOutcome(
+                serial=self.serial,
+                ok=False,
+                error=(
+                    f"status quorum {self.quorum}/{len(self.expected)} "
+                    f"unreachable: {sorted(self._errors.values())[0]}"
+                ),
+            )
+            self.outcome = outcome
+            self._on_done(outcome)
+
+    def _complete(self) -> None:
+        winner_shard, winner = max(
+            self._answers.items(), key=lambda item: item[1]["epoch"]
+        )
+        outcome = StatusOutcome(
+            serial=self.serial,
+            ok=True,
+            proof=winner["proof"],
+            state=winner["state"],
+            epoch=winner["epoch"],
+            answered_by=winner_shard,
+        )
+        self.outcome = outcome
+        for shard_id, entry in self._answers.items():
+            if entry["epoch"] < winner["epoch"]:
+                outcome.stale_shards.append(shard_id)
+        self._on_done(outcome)
+        if self._on_stale is not None:
+            for shard_id in outcome.stale_shards:
+                self._on_stale(shard_id, outcome)
+
+    def _check_stale(self, shard_id: str, entry: Dict[str, Any]) -> None:
+        """A reply that arrived after completion may still need repair."""
+        outcome = self.outcome
+        if outcome is None or not outcome.ok:
+            return
+        if entry["epoch"] < outcome.epoch:
+            outcome.stale_shards.append(shard_id)
+            if self._on_stale is not None:
+                self._on_stale(shard_id, outcome)

@@ -131,6 +131,8 @@ class Ledger:
         custodial: bool = False,
         initially_revoked: bool = False,
         provenance=None,
+        serial: Optional[int] = None,
+        timestamp=None,
     ) -> ClaimRecord:
         """Enter a photo into the ledger; returns the stored record.
 
@@ -142,6 +144,14 @@ class Ledger:
         :class:`repro.media.provenance.ProvenanceManifest`; mandatory
         (and verified) when the ledger's config sets
         ``require_provenance``.
+
+        ``serial`` and ``timestamp`` support replicated deployments
+        (:mod:`repro.cluster`): every replica of a claim must store a
+        byte-identical record, so the coordinator picks the serial
+        (content-derived) and fetches one TSA token, then hands both to
+        each replica instead of letting them allocate/fetch their own.
+        A provided timestamp must verify under this ledger's TSA and
+        bind the claimed (content hash, public key) digest.
         """
         if not public_key.verify(content_hash.encode("utf-8"), content_signature):
             raise ClaimError(
@@ -158,9 +168,18 @@ class Ledger:
                 self._token_issuer.redeem(payment)
             except TokenError as exc:
                 raise ClaimError(f"payment rejected: {exc}") from exc
-        serial = self.store.allocate_serial()
+        if serial is None:
+            serial = self.store.allocate_serial()
+        elif serial in self.store:
+            raise ClaimError(f"serial {serial} is already claimed")
         identifier = PhotoIdentifier(ledger_id=self.ledger_id, serial=serial)
-        timestamp = self._tsa.issue(claim_digest(content_hash, public_key))
+        digest = claim_digest(content_hash, public_key)
+        if timestamp is None:
+            timestamp = self._tsa.issue(digest)
+        elif timestamp.digest != digest or not self._tsa.verify(timestamp):
+            raise ClaimError(
+                "provided timestamp does not authenticate this claim"
+            )
         state = (
             RevocationState.REVOKED
             if initially_revoked

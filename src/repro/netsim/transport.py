@@ -47,6 +47,21 @@ class RpcEndpoint:
 
     Handlers are registered by method name and are called as
     ``handler(payload)``; their return value becomes the response.
+
+    Two service models are available:
+
+    * ``service_time`` — a latency distribution sampled per request,
+      with unbounded concurrency (the original model; fine for services
+      that never saturate in an experiment).
+    * ``cost_fn(method, payload) -> seconds`` — a *serial* server: each
+      request occupies the server for its cost, and requests queue
+      behind one another.  This is the model that makes saturation and
+      horizontal scale-out measurable (E17): a shard has finite
+      capacity, and p99 latency grows when offered load approaches it.
+
+    ``down`` models a crashed process: requests are delivered but never
+    answered, so callers discover the failure only through timeouts —
+    exactly the evidence the cluster's failure detector consumes.
     """
 
     def __init__(
@@ -54,12 +69,19 @@ class RpcEndpoint:
         node: Node,
         network: Network,
         service_time: Optional[LatencyModel] = None,
+        cost_fn: Optional[Callable[[str, Any], float]] = None,
     ):
+        if service_time is not None and cost_fn is not None:
+            raise ValueError("choose service_time or cost_fn, not both")
         self.node = node
         self.network = network
         self.service_time = service_time
+        self.cost_fn = cost_fn
+        self.down = False
+        self._busy_until = 0.0
         self._handlers: Dict[str, Callable[[Any], Any]] = {}
         self.requests_served = 0
+        self.busy_seconds = 0.0
 
     def register(self, method: str, handler: Callable[[Any], Any]) -> None:
         if method in self._handlers:
@@ -114,6 +136,10 @@ class RpcEndpoint:
                 )
 
             def _handle() -> None:
+                if self.down:
+                    # Crashed server: the request is lost; the caller's
+                    # timeout is the only signal.
+                    return
                 self.requests_served += 1
                 handler = self._handlers.get(method)
                 if handler is None:
@@ -123,13 +149,24 @@ class RpcEndpoint:
                     return
 
                 def _execute():
+                    if self.down:
+                        return
                     try:
                         value = handler(payload)
                         _respond(RpcResult(value=value))
                     except Exception as exc:  # noqa: BLE001 - fault isolation
                         _respond(RpcResult(error=RpcError(str(exc))))
 
-                if self.service_time is not None:
+                if self.cost_fn is not None:
+                    now = self.network.simulator.now
+                    cost = max(0.0, float(self.cost_fn(method, payload)))
+                    start = max(self._busy_until, now)
+                    self._busy_until = start + cost
+                    self.busy_seconds += cost
+                    self.network.simulator.schedule(
+                        self._busy_until - now, _execute
+                    )
+                elif self.service_time is not None:
                     delay = self.service_time.sample(self.network._rng)
                     self.network.simulator.schedule(delay, _execute)
                 else:

@@ -44,8 +44,9 @@ class TtlLruCache:
     ttl:
         Seconds an entry stays valid.  ``None`` disables expiry.
     clock:
-        Zero-arg callable returning the current time; defaults to a
-        counter-free 0.0 clock suitable only when ``ttl is None``.
+        Zero-arg callable returning the current time.  Required when
+        ``ttl`` is set — a frozen default clock would silently make
+        every entry immortal, unbounding revocation staleness.
     """
 
     def __init__(
@@ -58,6 +59,11 @@ class TtlLruCache:
             raise ValueError("capacity must be at least 1")
         if ttl is not None and ttl <= 0:
             raise ValueError("ttl must be positive (or None)")
+        if ttl is not None and clock is None:
+            raise ValueError(
+                "a ttl without a clock can never expire anything; "
+                "pass clock= (e.g. the simulator clock or time.monotonic)"
+            )
         self.capacity = int(capacity)
         self.ttl = ttl
         self._clock = clock or (lambda: 0.0)

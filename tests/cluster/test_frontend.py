@@ -1,0 +1,180 @@
+"""Frontend coordination: claims, quorum status, revocation, repair."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterFrontend, content_serial
+from repro.core.errors import ClaimError, LedgerUnavailableError, RevocationError
+from repro.crypto.hashing import sha256_hex
+
+from tests.cluster.conftest import LocalCluster
+
+
+class TestClaims:
+    def test_claim_places_records_on_all_replicas(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        replicas = local_cluster.frontend.replicas_for(identifier)
+        assert len(replicas) == 3
+        for shard_id in replicas:
+            store = local_cluster.shards[shard_id].ledger.store
+            assert identifier.serial in store
+
+    def test_serial_is_content_derived(self, local_cluster):
+        identifier = local_cluster.claim_photo("pic-a")
+        content_hash = sha256_hex(b"cluster:pic-a")
+        assert identifier.serial == content_serial(content_hash)
+        assert identifier.ledger_id == "cluster"
+
+    def test_claim_is_idempotent(self, local_cluster):
+        first = local_cluster.claim_photo("dup")
+        second = local_cluster.claim_photo("dup")
+        assert first == second
+        assert local_cluster.frontend.stats.claims == 2
+
+    def test_claim_fails_without_write_quorum(self, local_cluster):
+        identifier = local_cluster.claim_photo("probe")
+        for shard_id in local_cluster.frontend.replicas_for(identifier)[:2]:
+            local_cluster.transport.kill(shard_id)
+        with pytest.raises(ClaimError):
+            local_cluster.claim_photo("probe")  # same placement, quorum dead
+
+
+class TestStatus:
+    def test_claimed_photo_reads_not_revoked(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        answer = local_cluster.frontend.status(identifier)
+        assert answer.ok and not answer.revoked
+        assert answer.source == "shard"
+        assert answer.epoch == 0
+        assert local_cluster.directory.verify(answer.proof)
+
+    def test_status_survives_one_dead_replica(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        local_cluster.frontend.revoke(identifier, local_cluster.owner)
+        local_cluster.transport.kill(
+            local_cluster.frontend.replicas_for(identifier)[0]
+        )
+        answer = local_cluster.frontend.status(identifier)
+        assert answer.ok and answer.revoked and answer.epoch == 1
+
+    def test_status_fail_safe_without_quorum(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        for shard_id in local_cluster.frontend.replicas_for(identifier)[:2]:
+            local_cluster.transport.kill(shard_id)
+        answer = local_cluster.frontend.status(identifier)
+        assert not answer.ok
+        assert answer.revoked  # fail-safe verdict
+        with pytest.raises(LedgerUnavailableError):
+            local_cluster.frontend.status_proof(identifier)
+
+    def test_status_proof_feeds_validators(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        proof = local_cluster.frontend.status_proof(identifier)
+        assert not proof.revoked
+        assert local_cluster.directory.verify(proof)
+
+    def test_filter_short_circuit(self):
+        class NeverRevoked:
+            def might_be_revoked(self, compact):
+                return False
+
+        cluster = LocalCluster()
+        cluster.frontend.filterset = NeverRevoked()
+        identifier = cluster.claim_photo()
+        answer = cluster.frontend.status(identifier)
+        assert answer.source == "filter" and not answer.revoked
+        assert cluster.frontend.stats.filter_short_circuits == 1
+        # Validators bypass the filter and still get a signed proof.
+        assert cluster.frontend.status_proof(identifier) is not None
+
+
+class TestRevocation:
+    def test_revoke_and_unrevoke_bump_epochs(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        verdict = local_cluster.frontend.revoke(identifier, local_cluster.owner)
+        assert verdict == {"state": "revoked", "epoch": 1}
+        assert local_cluster.frontend.status(identifier).revoked
+        verdict = local_cluster.frontend.unrevoke(identifier, local_cluster.owner)
+        assert verdict == {"state": "not_revoked", "epoch": 2}
+        assert not local_cluster.frontend.status(identifier).revoked
+
+    def test_revocation_reaches_every_replica(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        local_cluster.frontend.revoke(identifier, local_cluster.owner)
+        for shard_id in local_cluster.frontend.replicas_for(identifier):
+            record = local_cluster.shards[shard_id].ledger.store.get(
+                identifier.serial
+            )
+            assert record.revocation_epoch == 1
+
+    def test_challenge_fails_over_a_dead_coordinator(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        primary = local_cluster.frontend.replicas_for(identifier)[0]
+        local_cluster.transport.kill(primary)
+        verdict = local_cluster.frontend.revoke(identifier, local_cluster.owner)
+        assert verdict["state"] == "revoked"
+        assert local_cluster.frontend.stats.failovers >= 1
+
+    def test_revocation_needs_all_replicas_dead_to_fail(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        for shard_id in local_cluster.frontend.replicas_for(identifier):
+            local_cluster.transport.kill(shard_id)
+        with pytest.raises(RevocationError):
+            local_cluster.frontend.revoke(identifier, local_cluster.owner)
+
+
+class TestReadRepair:
+    def test_quorum_read_heals_a_stale_replica(self, local_cluster):
+        identifier = local_cluster.claim_photo()
+        replicas = local_cluster.frontend.replicas_for(identifier)
+        victim = replicas[-1]
+        local_cluster.transport.kill(victim)
+        local_cluster.frontend.revoke(identifier, local_cluster.owner)
+        stale = local_cluster.shards[victim].ledger.store.get(identifier.serial)
+        assert stale.revocation_epoch == 0  # missed the write
+        local_cluster.transport.revive(victim)
+        answer = local_cluster.frontend.status(identifier)
+        assert answer.revoked and answer.epoch == 1
+        assert local_cluster.frontend.stats.read_repairs >= 1
+        healed = local_cluster.shards[victim].ledger.store.get(identifier.serial)
+        assert healed.revocation_epoch == 1
+        assert local_cluster.shards[victim].states_applied >= 1
+
+
+class TestConfig:
+    def test_quorums_default_to_majorities(self):
+        cfg = ClusterConfig(replication_factor=5).resolved()
+        assert cfg.write_quorum == 3 and cfg.read_quorum == 3
+        assert cfg.hedged_reads is True
+        solo = ClusterConfig(replication_factor=1).resolved()
+        assert solo.write_quorum == solo.read_quorum == 1
+        assert solo.hedged_reads is False
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(replication_factor=0).resolved()
+        with pytest.raises(ValueError):
+            ClusterConfig(replication_factor=3, read_quorum=4).resolved()
+        with pytest.raises(ValueError):
+            ClusterConfig(max_batch=0).resolved()
+
+    def test_replication_cannot_exceed_ring(self):
+        cluster = LocalCluster(
+            num_shards=2, config=ClusterConfig(replication_factor=2)
+        )
+        with pytest.raises(ValueError):
+            ClusterFrontend(
+                "cluster",
+                cluster.ring,
+                cluster.transport,
+                cluster.tsa,
+                config=ClusterConfig(replication_factor=3),
+            )
+
+    def test_batching_stats_accumulate(self, local_cluster):
+        for i in range(4):
+            local_cluster.frontend.status(local_cluster.claim_photo(f"p{i}"))
+        stats = local_cluster.frontend.stats
+        assert stats.queries == 4
+        assert stats.batches_sent > 0
+        assert stats.batch_items == stats.shard_lookups
+        assert stats.mean_batch_size >= 1.0

@@ -1,0 +1,81 @@
+"""Failure detector: consecutive suspicion and half-open probation."""
+
+import pytest
+
+from repro.cluster import FailureDetector
+from repro.netsim.simulator import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+def test_fresh_shard_is_trusted(clock):
+    detector = FailureDetector(clock.now)
+    assert not detector.is_suspect("s0")
+    assert detector.live(["s0", "s1"]) == ["s0", "s1"]
+    assert detector.suspects() == []
+
+
+def test_suspicion_requires_consecutive_failures(clock):
+    detector = FailureDetector(clock.now, failure_threshold=3)
+    detector.record_failure("s0")
+    detector.record_failure("s0")
+    detector.record_success("s0")  # streak broken
+    detector.record_failure("s0")
+    detector.record_failure("s0")
+    assert not detector.is_suspect("s0")
+    detector.record_failure("s0")
+    assert detector.is_suspect("s0")
+    assert detector.suspects() == ["s0"]
+    assert detector.suspicions_raised == 1
+
+
+def test_success_clears_suspicion(clock):
+    detector = FailureDetector(clock.now, failure_threshold=1)
+    detector.record_failure("s0")
+    assert detector.is_suspect("s0")
+    detector.record_success("s0")
+    assert not detector.is_suspect("s0")
+    assert detector.recoveries == 1
+
+
+def test_probation_admits_one_probe(clock):
+    detector = FailureDetector(clock.now, failure_threshold=1, probation=10.0)
+    detector.record_failure("s0")
+    assert detector.is_suspect("s0")
+    clock.advance(10.0)
+    # Half-open: exactly one call is let through, then re-armed.
+    assert not detector.is_suspect("s0")
+    assert detector.is_suspect("s0")
+    # The probe failing re-enters the wait; succeeding clears it.
+    clock.advance(10.0)
+    assert not detector.is_suspect("s0")
+    detector.record_success("s0")
+    assert not detector.is_suspect("s0")
+    assert detector.suspects() == []
+
+
+def test_live_preserves_input_order(clock):
+    detector = FailureDetector(clock.now, failure_threshold=1)
+    detector.record_failure("s1")
+    assert detector.live(["s2", "s1", "s0"]) == ["s2", "s0"]
+
+
+def test_health_counters(clock):
+    detector = FailureDetector(clock.now, failure_threshold=2)
+    detector.record_failure("s0")
+    detector.record_success("s0")
+    entry = detector.health("s0")
+    assert entry.total_failures == 1
+    assert entry.total_successes == 1
+    assert entry.consecutive_failures == 0
+    assert not entry.suspected
+
+
+def test_invalid_parameters_rejected(clock):
+    with pytest.raises(ValueError):
+        FailureDetector(clock.now, failure_threshold=0)
+    with pytest.raises(ValueError):
+        FailureDetector(clock.now, probation=0.0)

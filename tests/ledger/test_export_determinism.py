@@ -1,0 +1,92 @@
+"""Published filter snapshots are a pure function of store contents.
+
+Proxies compare and delta-encode filters across versions and across
+mirrors; any byte-level nondeterminism (e.g. insertion-order leakage)
+would break delta transfer and make mirrored exporters disagree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.identifiers import PhotoIdentifier
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.signatures import KeyPair
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.export import FilterExporter
+from repro.ledger.ledger import Ledger
+from repro.ledger.records import ClaimRecord, RevocationState, claim_digest
+from repro.netsim.simulator import ManualClock
+
+
+def _ledger(clock):
+    rng = np.random.default_rng(77)
+    tsa = TimestampAuthority(
+        keypair=KeyPair.generate(bits=512, rng=rng), clock=clock.now
+    )
+    return Ledger(
+        ledger_id="determinism",
+        timestamp_authority=tsa,
+        keypair=KeyPair.generate(bits=512, rng=rng),
+        clock=clock.now,
+    )
+
+
+def _records(ledger, count=120):
+    """Identical record objects for any store, built once per ledger."""
+    rng = np.random.default_rng(7)
+    owner = KeyPair.generate(bits=512, rng=rng)
+    records = []
+    for serial in range(1, count + 1):
+        content_hash = sha256_hex(f"photo:{serial}".encode("utf-8"))
+        timestamp = ledger._tsa.issue(claim_digest(content_hash, owner.public))
+        records.append(
+            ClaimRecord(
+                identifier=PhotoIdentifier(ledger.ledger_id, serial),
+                content_hash=content_hash,
+                content_signature=owner.sign(content_hash.encode("utf-8")),
+                public_key=owner.public,
+                timestamp=timestamp,
+                state=(
+                    RevocationState.REVOKED
+                    if serial % 3 == 0
+                    else RevocationState.NOT_REVOKED
+                ),
+                revocation_epoch=1 if serial % 3 == 0 else 0,
+            )
+        )
+    return records
+
+
+@pytest.mark.parametrize("order_seed", [1, 2, 3])
+def test_snapshot_bytes_ignore_insertion_order(order_seed):
+    clock = ManualClock()
+    baseline_ledger = _ledger(clock)
+    shuffled_ledger = _ledger(clock)
+    records = _records(baseline_ledger)
+
+    for record in records:
+        baseline_ledger.store.put(record)
+    shuffled = list(records)
+    np.random.default_rng(order_seed).shuffle(shuffled)
+    for record in shuffled:
+        shuffled_ledger.store.put(record)
+
+    kwargs = dict(nbits=8192, num_hashes=5, salt=b"irs")
+    baseline = FilterExporter(baseline_ledger, **kwargs).publish(now=0.0)
+    reordered = FilterExporter(shuffled_ledger, **kwargs).publish(now=0.0)
+
+    assert baseline.num_keys == reordered.num_keys > 0
+    assert baseline.filter.to_bytes() == reordered.filter.to_bytes()
+
+
+def test_snapshot_bytes_stable_across_republish():
+    clock = ManualClock()
+    ledger = _ledger(clock)
+    for record in _records(ledger):
+        ledger.store.put(record)
+    exporter = FilterExporter(ledger, nbits=8192, num_hashes=5, salt=b"irs")
+    first = exporter.publish(now=0.0)
+    clock.advance(3600.0)
+    second = exporter.publish()  # no state change in between
+    assert first.version != second.version
+    assert first.filter.to_bytes() == second.filter.to_bytes()

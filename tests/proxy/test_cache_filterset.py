@@ -72,6 +72,16 @@ class TestTtlLruCache:
         with pytest.raises(ValueError):
             TtlLruCache(5, ttl=0.0)
 
+    def test_ttl_without_clock_rejected(self):
+        # Regression: a ttl with the default frozen clock silently made
+        # every entry immortal; it must be a loud constructor error.
+        with pytest.raises(ValueError, match="clock"):
+            TtlLruCache(5, ttl=60.0)
+        # Either knob alone remains fine.
+        assert TtlLruCache(5, ttl=60.0, clock=ManualClock().now) is not None
+        assert TtlLruCache(5) is not None
+        assert TtlLruCache(5, clock=ManualClock().now) is not None
+
 
 class TestProxyFilterSet:
     def _env(self, rng, num_ledgers=2, count=400, revoked=0.5):

@@ -21,6 +21,7 @@ EXAMPLES = [
     "attack_and_appeal.py",
     "video_lifecycle.py",
     "full_ecosystem.py",
+    "cluster_demo.py",
 ]
 
 
@@ -50,6 +51,23 @@ def test_cli_demo_runs(demo):
     result = _run([sys.executable, "-m", "repro", demo])
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip()
+
+
+def test_cli_cluster_demo_runs():
+    result = _run(
+        [
+            sys.executable, "-m", "repro", "cluster",
+            "--shards", "3", "--queries", "200", "--kill-shard",
+        ]
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "correct answers: 200/200" in result.stdout
+
+
+def test_cli_help_lists_cluster():
+    result = _run([sys.executable, "-m", "repro", "--help"])
+    assert result.returncode == 0
+    assert "cluster" in result.stdout
 
 
 def test_cli_rejects_unknown_demo():
