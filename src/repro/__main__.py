@@ -115,6 +115,56 @@ def _demo_cluster(args: argparse.Namespace) -> None:
     print(f"  frontend: {cluster.frontend.stats}")
 
 
+def _demo_chaos(args: argparse.Namespace) -> None:
+    from repro.chaos import run_chaos, run_selftest
+
+    if args.selftest:
+        result = run_selftest(seed=args.seed)
+        print("checker self-test (deliberate last-arrival-wins bug):")
+        print(f"  clean run violations: {result.clean.by_invariant() or 'none'}")
+        print(f"  buggy run violations: {result.buggy.by_invariant()}")
+        print(f"  bug detected: {result.detected}")
+        if not result.detected:
+            raise SystemExit("chaos self-test FAILED: checker missed the bug")
+        return
+    if not 0.0 <= args.intensity:
+        raise SystemExit("python -m repro chaos: --intensity cannot be negative")
+    report = run_chaos(
+        num_shards=args.shards,
+        seed=args.seed,
+        intensity=args.intensity,
+        queries=args.queries,
+    )
+    print(
+        f"chaos: {report.num_shards} shard(s), seed {report.seed}, "
+        f"intensity {report.intensity:.2f}"
+    )
+    print(
+        f"  faults: {report.faults.get('partition', 0)} partition(s), "
+        f"{report.faults.get('crash', 0)} crash(es) "
+        f"({report.faults.get('wipe', 0)} wiped), "
+        f"{report.faults.get('skew', 0)} clock skew(s)"
+    )
+    print(
+        f"  workload: {report.status_ops} status checks "
+        f"({report.availability:.1%} answered), "
+        f"{report.revokes_acked}/{report.revokes_attempted} "
+        f"revocations acknowledged"
+    )
+    print(f"  read repairs: {report.read_repairs}, "
+          f"suspicions: {report.suspicions}, "
+          f"records lost to wipes: {report.records_lost}")
+    print(f"  state digest: {report.digest[:16]}")
+    if report.check.ok:
+        print("  consistency: OK — no invariant violations")
+    else:
+        print(f"  consistency: {report.check.by_invariant()}")
+        for violation in report.check.violations:
+            print(f"    [{violation.invariant}] serial={violation.serial}: "
+                  f"{violation.detail}")
+        raise SystemExit(1)
+
+
 _DEMOS = {
     "quickstart": (_demo_quickstart, "claim/label/revoke/validate lifecycle"),
     "scaling": (_demo_scaling, "section 4.4 Bloom filter scaling table"),
@@ -149,9 +199,34 @@ def main(argv: list[str] | None = None) -> int:
         "--kill-shard", action="store_true",
         help="crash one replica mid-run to exercise quorum failover",
     )
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="deterministic fault injection + consistency check on the cluster",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; identical seeds replay byte-identically (default 0)",
+    )
+    chaos_parser.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default 4)"
+    )
+    chaos_parser.add_argument(
+        "--intensity", type=float, default=0.5,
+        help="fault intensity in [0, 1]; 0 disables all faults (default 0.5)",
+    )
+    chaos_parser.add_argument(
+        "--queries", type=int, default=400,
+        help="status checks driven through the fault windows (default 400)",
+    )
+    chaos_parser.add_argument(
+        "--selftest", action="store_true",
+        help="seed a deliberate replication bug and prove the checker sees it",
+    )
     args = parser.parse_args(argv)
     if args.demo == "cluster":
         _demo_cluster(args)
+    elif args.demo == "chaos":
+        _demo_chaos(args)
     else:
         _DEMOS[args.demo][0]()
     return 0

@@ -1,0 +1,212 @@
+"""The chaos experiment driver: cluster + plan + workload + checker.
+
+:func:`run_chaos` is the one call behind both the ``python -m repro
+chaos`` subcommand and the E18 benchmark sweep.  It stands up a
+:class:`~repro.cluster.simnet.SimulatedCluster`, attaches a
+:class:`~repro.chaos.history.HistoryRecorder` to the frontend, installs
+a seed-generated :class:`~repro.chaos.plan.ChaosPlan`, and drives a
+mixed workload of status checks and live revocations *through* the
+fault windows.  After the plan's heal barrier it issues a full read
+pass over every touched record (read repair is the cluster's only
+anti-divergence mechanism, and repair rides on reads), lets the
+simulation drain, snapshots every replica, and hands history + snapshot
+to the :class:`~repro.chaos.checker.ConsistencyChecker`.
+
+Every random choice — fault schedule, query times, query targets,
+revocation picks — draws from named :class:`~repro.netsim.rand`
+streams under the run's single seed, so a :class:`ChaosReport` is a
+pure function of its arguments: identical seeds reproduce identical CSV
+rows, which is what makes a chaos failure *debuggable*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.chaos.checker import CheckReport, ConsistencyChecker, state_digest
+from repro.chaos.history import HistoryRecorder
+from repro.chaos.plan import ChaosController, ChaosKnobs, ChaosPlan
+from repro.cluster.frontend import ClusterConfig
+from repro.cluster.simnet import SimulatedCluster
+from repro.core.identifiers import PhotoIdentifier
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run proved (or failed to prove)."""
+
+    seed: int
+    intensity: float
+    num_shards: int
+    status_ops: int = 0
+    status_acked: int = 0
+    revokes_attempted: int = 0
+    revokes_acked: int = 0
+    check: CheckReport = field(default_factory=CheckReport)
+    faults: Dict[str, int] = field(default_factory=dict)
+    records_lost: int = 0
+    read_repairs: int = 0
+    suspicions: int = 0
+    digest: str = ""
+    # The full recorded history (not part of the CSV row; kept for
+    # replay comparisons and debugging).
+    history: Optional[HistoryRecorder] = None
+
+    @property
+    def availability(self) -> float:
+        """Fraction of chaos-phase status checks that got an answer."""
+        if self.status_ops == 0:
+            return 1.0
+        return self.status_acked / self.status_ops
+
+    @property
+    def violations(self) -> int:
+        return self.check.count()
+
+    def row(self) -> Dict[str, object]:
+        """One flat, reproducible CSV row for the E18 sweep."""
+        by_invariant = self.check.by_invariant()
+        return {
+            "seed": self.seed,
+            "intensity": f"{self.intensity:.2f}",
+            "shards": self.num_shards,
+            "status_ops": self.status_ops,
+            "availability": f"{self.availability:.4f}",
+            "revokes_acked": self.revokes_acked,
+            "violations": self.violations,
+            "durability_violations": by_invariant.get(
+                "revocation_durability", 0
+            ),
+            "stale_reads": by_invariant.get("stale_read", 0),
+            "divergence": by_invariant.get("divergence", 0),
+            "lost_writes": by_invariant.get("lost_write", 0),
+            "partitions": self.faults.get("partition", 0),
+            "crashes": self.faults.get("crash", 0),
+            "wipes": self.faults.get("wipe", 0),
+            "records_lost": self.records_lost,
+            "read_repairs": self.read_repairs,
+            "digest": self.digest[:16],
+        }
+
+
+def run_chaos(
+    num_shards: int = 4,
+    seed: int = 0,
+    intensity: float = 0.5,
+    queries: int = 400,
+    revocations: int = 25,
+    population: int = 150,
+    horizon: float = 8.0,
+    drain: float = 4.0,
+    config: Optional[ClusterConfig] = None,
+    knobs: Optional[ChaosKnobs] = None,
+    sabotage: Optional[Callable[[SimulatedCluster], None]] = None,
+) -> ChaosReport:
+    """One deterministic chaos run; see the module docstring.
+
+    ``sabotage`` (used by the checker self-test) mutates the cluster
+    before any traffic flows — e.g. seeding a deliberate LWW bug to
+    confirm the checker is not vacuously green.
+    """
+    if config is None:
+        config = ClusterConfig(replication_factor=min(3, num_shards))
+    cluster = SimulatedCluster(
+        num_shards,
+        config=config,
+        seed=seed,
+        rpc_timeout=0.05,
+        rpc_retries=1,
+    )
+    if sabotage is not None:
+        sabotage(cluster)
+    sim = cluster.simulator
+    recorder = HistoryRecorder(clock=sim.clock().now)
+    cluster.frontend.observer = recorder
+    pop = cluster.seed_population(population, revoked_fraction=0.2)
+
+    plan = ChaosPlan.generate(
+        cluster.rngs.stream("chaos"),
+        sorted(cluster.shards),
+        horizon=horizon,
+        intensity=intensity,
+        knobs=knobs,
+    )
+    controller = ChaosController(cluster, plan)
+    controller.install()
+
+    workload = cluster.rngs.stream("workload")
+
+    # Status checks spread across the whole fault window.
+    times = sorted(workload.uniform(0.0, horizon, size=queries))
+    indices = workload.integers(0, pop.size, size=queries)
+    for at, index in zip(times, indices):
+        sim.schedule_at(
+            at,
+            cluster.frontend.status_async,
+            pop.identifiers[int(index)],
+            lambda answer: None,
+        )
+
+    # Live revocations of distinct, not-yet-revoked records, issued
+    # while faults are active — the writes the checker holds reads to.
+    candidates = [i for i in range(pop.size) if not pop.revoked(i)]
+    picks = workload.choice(
+        candidates, size=min(revocations, len(candidates)), replace=False
+    )
+    revoke_times = sorted(
+        workload.uniform(0.1 * horizon, 0.7 * horizon, size=len(picks))
+    )
+    for at, index in zip(revoke_times, picks):
+        sim.schedule_at(
+            at,
+            cluster.frontend.revoke_async,
+            pop.identifiers[int(index)],
+            pop.owner,
+            lambda outcome, error: None,
+        )
+
+    # Post-heal convergence pass: read every record once so read repair
+    # touches every replica group, then let repairs drain.
+    def _final_pass() -> None:
+        for identifier in pop.identifiers:
+            cluster.frontend.status_async(identifier, lambda answer: None)
+
+    sim.schedule_at(horizon + 0.2, _final_pass)
+    sim.run(until=horizon + drain)
+
+    # -- measurement ---------------------------------------------------------------
+    chaos_status = [
+        op
+        for op in recorder.of_kind("status")
+        if op.invoked_at < horizon
+    ]
+    revoke_ops = recorder.of_kind("revoke", "unrevoke")
+    replication = cluster.frontend.config.replication_factor
+
+    def placement(serial: int) -> List[str]:
+        identifier = PhotoIdentifier(cluster.cluster_id, serial)
+        return cluster.ring.replicas(identifier.to_compact(), replication)
+
+    states = cluster.replica_states()
+    check = ConsistencyChecker(placement=placement).check(
+        recorder, replica_states=states, live_shards=sorted(cluster.shards)
+    )
+    return ChaosReport(
+        seed=seed,
+        intensity=intensity,
+        num_shards=num_shards,
+        status_ops=len(chaos_status),
+        status_acked=sum(1 for op in chaos_status if op.acked),
+        revokes_attempted=len(revoke_ops),
+        revokes_acked=sum(1 for op in revoke_ops if op.acked),
+        check=check,
+        faults=dict(controller.faults_applied),
+        records_lost=controller.records_lost,
+        read_repairs=cluster.frontend.stats.read_repairs,
+        suspicions=cluster.detector.suspicions_raised,
+        digest=state_digest(states),
+        history=recorder,
+    )

@@ -156,6 +156,13 @@ class ClusterFrontend:
         its batches before returning.
     filterset:
         Optional Bloom pre-check (see module docstring).
+    observer:
+        Optional operation observer (e.g. the chaos harness's
+        :class:`~repro.chaos.history.HistoryRecorder`): ``begin(kind,
+        serial, **attrs) -> op_id`` is called when a client-visible
+        operation is issued and ``complete(op_id, **attrs)`` when its
+        outcome is decided, so an external checker can reconstruct the
+        client-visible history without touching the data path.
     """
 
     def __init__(
@@ -169,6 +176,7 @@ class ClusterFrontend:
         clock: Optional[Callable[[], float]] = None,
         scheduler: Optional[Callable[[float, Callable[[], None]], None]] = None,
         filterset=None,
+        observer=None,
     ):
         self.cluster_id = cluster_id
         self.ring = ring
@@ -184,6 +192,7 @@ class ClusterFrontend:
                 f"exceeds ring size {len(ring)}"
             )
         self.filterset = filterset
+        self.observer = observer
         self.executor = QuorumExecutor(transport, detector=self.detector)
         self.stats = FrontendStats()
         # Per-shard pending (serial, collector) batches.
@@ -191,6 +200,17 @@ class ClusterFrontend:
         self._ready: List[str] = []  # FIFO of shards with sendable batches
         self._timer_armed: set = set()
         self._inflight = 0
+
+    # -- observation -------------------------------------------------------------
+
+    def _begin(self, kind: str, serial: int, **attrs):
+        if self.observer is None:
+            return None
+        return self.observer.begin(kind, serial, **attrs)
+
+    def _end(self, op_id, **attrs) -> None:
+        if self.observer is not None and op_id is not None:
+            self.observer.complete(op_id, **attrs)
 
     # -- placement ---------------------------------------------------------------
 
@@ -213,24 +233,37 @@ class ClusterFrontend:
         """Queue one status lookup; ``callback`` fires on completion."""
         self.stats.queries += 1
         key = identifier.to_string()
+        op_id = self._begin("status", identifier.serial)
+
+        def _observed(answer: ClusterAnswer) -> None:
+            self._end(
+                op_id,
+                ok=answer.ok,
+                revoked=answer.revoked,
+                epoch=answer.epoch,
+                source=answer.source,
+                error=answer.error,
+            )
+            callback(answer)
+
         if (
             use_filter
             and self.filterset is not None
             and not self.filterset.might_be_revoked(identifier.to_compact())
         ):
             self.stats.filter_short_circuits += 1
-            callback(
+            _observed(
                 ClusterAnswer(identifier=key, revoked=False, source="filter")
             )
             return
         replicas = self.replicas_for(identifier)
         if self.config.hedged_reads:
-            self._read_attempt(identifier, replicas, [], callback)
+            self._read_attempt(identifier, replicas, [], _observed)
         else:
             ordered = self.detector.live(replicas) or list(replicas)
             read_set = ordered[: self.config.read_quorum]
             rest = [s for s in replicas if s not in read_set]
-            self._read_attempt(identifier, read_set, rest, callback)
+            self._read_attempt(identifier, read_set, rest, _observed)
 
     def _read_attempt(
         self,
@@ -358,12 +391,15 @@ class ClusterFrontend:
             "custodial": custodial,
         }
         replicas = self.replicas_for(identifier)
+        op_id = self._begin("claim", serial)
 
         def _on_result(result) -> None:
             if result.ok:
                 self.stats.claims += 1
+                self._end(op_id, ok=True, epoch=0)
                 callback(identifier, None)
             else:
+                self._end(op_id, ok=False, error=result.error)
                 callback(identifier, result.error)
 
         self.executor.execute(
@@ -472,6 +508,130 @@ class ClusterFrontend:
         self.stats.revocations += 1
         return outcome
 
+    def revoke_async(
+        self,
+        identifier: PhotoIdentifier,
+        keypair: KeyPair,
+        callback: Callable[[Optional[Dict[str, Any]], Optional[str]], None],
+        action: str = "revoke",
+    ) -> None:
+        """Fully asynchronous challenge-sign-flip-propagate chain.
+
+        The netsim-transport twin of :meth:`revoke`: every hop
+        (challenge with coordinator failover, the verified flip, the
+        quorum ``apply_state`` fan-out) is callback-driven, so
+        revocations can run *during* a simulated partition or crash —
+        which is exactly when the chaos checker needs them.
+        ``callback(outcome, error)`` fires once, when the write quorum
+        is reached (``error is None``) or the action is proven
+        impossible.  The observer ack is recorded at quorum time: that
+        instant is the durability point the consistency checker holds
+        every later status answer to.
+        """
+        if action not in ("revoke", "unrevoke"):
+            raise ValueError(f"unknown revocation action {action!r}")
+        replicas = self.replicas_for(identifier)
+        candidates = self.detector.live(replicas) + [
+            s for s in replicas if self.detector.is_suspect(s)
+        ]
+        op_id = self._begin(action, identifier.serial)
+        errors: List[str] = []
+
+        def _fail(error: str) -> None:
+            self._end(op_id, ok=False, error=error)
+            callback(None, error)
+
+        def _try_coordinator(index: int) -> None:
+            if index >= len(candidates):
+                _fail(
+                    f"challenge failed on all replicas ({'; '.join(errors)})"
+                )
+                return
+            coordinator = candidates[index]
+
+            def _on_challenge(reply) -> None:
+                if not reply.ok:
+                    self.detector.record_failure(coordinator)
+                    errors.append(f"{coordinator}: {reply.error}")
+                    _try_coordinator(index + 1)
+                    return
+                self.detector.record_success(coordinator)
+                if index > 0:
+                    self.stats.failovers += 1
+                nonce = reply.value
+                signature = keypair.sign_struct(
+                    Ledger.ownership_payload(action, identifier, nonce)
+                )
+                self._flip_and_propagate(
+                    identifier, coordinator, nonce, signature, action,
+                    replicas, op_id, callback,
+                )
+
+            self.transport.invoke(
+                coordinator, "challenge", {"serial": identifier.serial},
+                _on_challenge,
+            )
+
+        _try_coordinator(0)
+
+    def _flip_and_propagate(
+        self,
+        identifier: PhotoIdentifier,
+        coordinator: str,
+        nonce: bytes,
+        signature: Signature,
+        action: str,
+        replicas: List[str],
+        op_id,
+        callback: Callable[[Optional[Dict[str, Any]], Optional[str]], None],
+    ) -> None:
+        """Verified flip on the coordinator, then quorum ``apply_state``."""
+
+        def _on_action(reply) -> None:
+            if not reply.ok:
+                self.detector.record_failure(coordinator)
+                error = f"{action} via {coordinator} failed: {reply.error}"
+                self._end(op_id, ok=False, error=error)
+                callback(None, error)
+                return
+            self.detector.record_success(coordinator)
+            verdict = reply.value  # {'state': ..., 'epoch': ...}
+            outcome: Dict[str, Any] = dict(verdict)
+            others = [s for s in replicas if s != coordinator]
+            needed = self.config.write_quorum - 1  # coordinator holds it
+
+            def _acked() -> None:
+                self.stats.revocations += 1
+                self._end(op_id, ok=True, **verdict)
+                callback(outcome, None)
+
+            if not others:
+                _acked()
+                return
+
+            def _on_quorum(result) -> None:
+                if needed > 0 and not result.ok:
+                    error = (
+                        f"{action} verified but replication quorum failed: "
+                        f"{result.error}"
+                    )
+                    self._end(op_id, ok=False, error=error)
+                    callback(None, error)
+                    return
+                _acked()
+
+            payload = {"serial": identifier.serial, **verdict}
+            self.executor.execute(
+                others, "apply_state", payload, max(needed, 1), _on_quorum
+            )
+
+        self.transport.invoke(
+            coordinator,
+            action,
+            {"serial": identifier.serial, "nonce": nonce, "signature": signature},
+            _on_action,
+        )
+
     def revoke(self, identifier: PhotoIdentifier, keypair: KeyPair) -> Dict[str, Any]:
         """Challenge-sign-revoke convenience (owner holds the key)."""
         return self._owner_action(identifier, keypair, "revoke")
@@ -482,13 +642,23 @@ class ClusterFrontend:
     def _owner_action(
         self, identifier: PhotoIdentifier, keypair: KeyPair, action: str
     ) -> Dict[str, Any]:
-        coordinator, nonce = self.make_challenge(identifier)
-        signature = keypair.sign_struct(
-            Ledger.ownership_payload(action, identifier, nonce)
+        """Synchronous wrapper over :meth:`revoke_async` (local transports)."""
+        box: List[tuple] = []
+        self.revoke_async(
+            identifier,
+            keypair,
+            lambda outcome, error: box.append((outcome, error)),
+            action=action,
         )
-        return self.complete_revocation(
-            identifier, coordinator, nonce, signature, action=action
-        )
+        if not box:
+            raise ClusterError(
+                f"{action} did not complete synchronously; use revoke_async "
+                "with the netsim transport"
+            )
+        outcome, error = box[0]
+        if error is not None:
+            raise RevocationError(error)
+        return outcome
 
     # -- batching engine ---------------------------------------------------------------
 

@@ -69,6 +69,7 @@ class FailureDetector:
         self._health: Dict[str, ShardHealth] = {}
         self.suspicions_raised = 0
         self.recoveries = 0
+        self.probes_admitted = 0
 
     def _entry(self, shard_id: str) -> ShardHealth:
         if shard_id not in self._health:
@@ -114,6 +115,7 @@ class FailureDetector:
         since = entry.last_probe_at if entry.last_probe_at == entry.last_probe_at else entry.suspected_at
         if now - since >= self.probation:
             entry.last_probe_at = now
+            self.probes_admitted += 1
             return False
         return True
 

@@ -34,7 +34,7 @@ from repro.netsim.latency import LatencyModel, lan_latency
 from repro.netsim.link import Network
 from repro.netsim.node import Node
 from repro.netsim.rand import RngRegistry
-from repro.netsim.simulator import Simulator
+from repro.netsim.simulator import Simulator, SkewedClock
 from repro.netsim.transport import RpcEndpoint
 from repro.cluster.frontend import ClusterConfig, ClusterFrontend
 from repro.cluster.health import FailureDetector
@@ -171,13 +171,19 @@ class SimulatedCluster:
         self.cost_model = cost_model
         self.shards: Dict[str, ClusterShard] = {}
         self.endpoints: Dict[str, RpcEndpoint] = {}
+        # Per-shard clocks: same simulated time base, individually
+        # skewable by the chaos harness (clock-drift faults).
+        self.shard_clocks: Dict[str, SkewedClock] = {}
         shard_ids = [f"shard-{i}" for i in range(num_shards)]
         self.ring = HashRing(shard_ids)
 
         frontend_name = "frontend"
+        self.frontend_name = frontend_name
         self.network.add_node(Node(frontend_name, self.simulator))
         latency = shard_latency or lan_latency()
         for shard_id in shard_ids:
+            shard_clock = SkewedClock(clock)
+            self.shard_clocks[shard_id] = shard_clock
             shard = ClusterShard(
                 shard_id,
                 cluster_id,
@@ -185,7 +191,7 @@ class SimulatedCluster:
                 keypair=KeyPair.generate(
                     bits=key_bits, rng=self.rngs.stream(f"key:{shard_id}")
                 ),
-                clock=clock,
+                clock=shard_clock.now,
             )
             self.shards[shard_id] = shard
             node = self.network.add_node(Node(shard_id, self.simulator))
@@ -225,6 +231,49 @@ class SimulatedCluster:
 
     def revive_shard(self, shard_id: str) -> None:
         self.endpoints[shard_id].down = False
+
+    def restart_shard(self, shard_id: str, wipe: bool = False) -> int:
+        """Bring a crashed shard back, with its state kept or lost.
+
+        ``wipe=True`` models a crash that took the disk: the replica
+        rejoins empty and can only serve what re-replication and read
+        repair restore.  Returns the number of records lost.
+        """
+        lost = self.shards[shard_id].ledger.store.wipe() if wipe else 0
+        self.revive_shard(shard_id)
+        return lost
+
+    def isolate_shards(self, shard_ids) -> None:
+        """Sever the frontend links of ``shard_ids`` (a partition)."""
+        for shard_id in shard_ids:
+            self.network.link_between(self.frontend_name, shard_id).sever()
+
+    def reconnect_shards(self, shard_ids) -> None:
+        for shard_id in shard_ids:
+            self.network.link_between(self.frontend_name, shard_id).heal()
+
+    def skew_clock(self, shard_id: str, offset: float) -> None:
+        """Drift one shard's local clock by ``offset`` seconds."""
+        self.shard_clocks[shard_id].offset = float(offset)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def replica_states(self) -> Dict[str, Dict[int, tuple]]:
+        """Every replica's ``{serial: (state, epoch)}`` snapshot.
+
+        The raw material for the chaos consistency checker's
+        convergence verdict and for deterministic state digests.
+        """
+        return {
+            shard_id: {
+                record.identifier.serial: (
+                    record.state.value,
+                    record.revocation_epoch,
+                )
+                for record in shard.ledger.store.records()
+            }
+            for shard_id, shard in sorted(self.shards.items())
+        }
 
     # -- population ----------------------------------------------------------------
 
@@ -277,7 +326,7 @@ class SimulatedCluster:
                 )
             identifiers.append(identifier)
         return ClusterPopulation(
-            identifiers=identifiers, revoked_mask=revoked_mask
+            identifiers=identifiers, revoked_mask=revoked_mask, owner=keypair
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -293,6 +342,9 @@ class ClusterPopulation:
 
     identifiers: List[PhotoIdentifier]
     revoked_mask: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    # The key pair every seeded claim was signed with — lets chaos
+    # workloads revoke seeded records through the real ownership proof.
+    owner: Optional[KeyPair] = None
 
     @property
     def size(self) -> int:

@@ -69,6 +69,20 @@ class LedgerStore:
         for serial in sorted(self._records):
             yield self._records[serial]
 
+    def wipe(self) -> int:
+        """Lose everything — a crash that takes the disk with it.
+
+        Records, operation log and Merkle mirror all reset (they are
+        one node's local state; peers keep theirs).  The serial
+        allocator is preserved so a restarted single-node ledger cannot
+        re-mint identifiers.  Returns the number of records lost.
+        """
+        lost = len(self._records)
+        self._records.clear()
+        self._operations.clear()
+        self._merkle = MerkleLog()
+        return lost
+
     def revoked_records(self) -> Iterator[ClaimRecord]:
         for record in self.records():
             if record.is_revoked:

@@ -18,7 +18,13 @@ in-process (tests, prototype bench) and inside the simulator
 (latency/load benches).
 """
 
-from repro.netsim.simulator import Simulator, Clock, SimClock, ManualClock
+from repro.netsim.simulator import (
+    Simulator,
+    Clock,
+    SimClock,
+    ManualClock,
+    SkewedClock,
+)
 from repro.netsim.rand import RngRegistry
 from repro.netsim.latency import (
     LatencyModel,
@@ -40,6 +46,7 @@ __all__ = [
     "Clock",
     "SimClock",
     "ManualClock",
+    "SkewedClock",
     "RngRegistry",
     "LatencyModel",
     "ConstantLatency",

@@ -11,7 +11,14 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional, Protocol
 
-__all__ = ["Simulator", "Clock", "SimClock", "ManualClock", "SimulationError"]
+__all__ = [
+    "Simulator",
+    "Clock",
+    "SimClock",
+    "ManualClock",
+    "SkewedClock",
+    "SimulationError",
+]
 
 
 class SimulationError(Exception):
@@ -131,3 +138,21 @@ class SimClock:
 
     def now(self) -> float:
         return self._simulator.now
+
+
+class SkewedClock:
+    """A per-node clock offset from a shared base clock.
+
+    Models drifted node clocks for the chaos harness: the node *thinks*
+    it is ``base() + offset``.  The offset is mutable, so a chaos plan
+    can skew and re-sync a node mid-run; correctness invariants must
+    not depend on any node's local reading (the cluster's LWW is on an
+    epoch counter, not wall time — this clock exists to prove that).
+    """
+
+    def __init__(self, base: Callable[[], float], offset: float = 0.0):
+        self._base = base
+        self.offset = float(offset)
+
+    def now(self) -> float:
+        return self._base() + self.offset

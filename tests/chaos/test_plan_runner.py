@@ -1,0 +1,160 @@
+"""Chaos plans, the controller, the runner, and the checker self-test."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    ChaosEvent,
+    ChaosKnobs,
+    ChaosPlan,
+    LinkFaultProfile,
+    run_chaos,
+    run_selftest,
+)
+from repro.cluster import ClusterConfig, SimulatedCluster
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+
+
+class TestPlanGeneration:
+    def test_same_stream_same_plan(self):
+        plans = [
+            ChaosPlan.generate(
+                np.random.default_rng(5), SHARDS, horizon=10.0, intensity=0.8
+            )
+            for _ in range(2)
+        ]
+        assert plans[0].events == plans[1].events
+        assert plans[0].link_faults == plans[1].link_faults
+
+    def test_zero_intensity_is_an_empty_plan(self):
+        plan = ChaosPlan.generate(
+            np.random.default_rng(0), SHARDS, horizon=10.0, intensity=0.0
+        )
+        assert plan.events == []
+        assert plan.link_faults.quiet
+
+    def test_events_fit_the_horizon(self):
+        plan = ChaosPlan.generate(
+            np.random.default_rng(1), SHARDS, horizon=10.0, intensity=1.0
+        )
+        assert plan.events == sorted(
+            plan.events, key=lambda e: (e.at, e.kind, e.targets)
+        )
+        for event in plan.events:
+            assert 0.0 < event.at < 10.0
+            assert event.ends_at <= 10.0 + 1e-9
+            assert all(target in SHARDS for target in event.targets)
+
+    def test_wipes_capped_by_tolerance_contract(self):
+        knobs = ChaosKnobs(crash_rate=3.0, wipe_probability=1.0, max_wipes=1)
+        plan = ChaosPlan.generate(
+            np.random.default_rng(2), SHARDS, horizon=10.0,
+            intensity=1.0, knobs=knobs,
+        )
+        assert plan.counts()["crash"] > 1
+        assert plan.counts()["wipe"] == 1
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ChaosPlan.generate(rng, SHARDS, horizon=10.0, intensity=-0.1)
+        with pytest.raises(ValueError):
+            ChaosPlan.generate(rng, SHARDS, horizon=0.0, intensity=0.5)
+
+
+class TestControllerRefcounting:
+    def _cluster(self):
+        return SimulatedCluster(
+            4, config=ClusterConfig(replication_factor=3), seed=0
+        )
+
+    def test_overlapping_partitions_heal_only_when_both_end(self):
+        cluster = self._cluster()
+        plan = ChaosPlan(
+            events=[], link_faults=LinkFaultProfile(),
+            horizon=10.0, intensity=1.0,
+        )
+        controller = ChaosController(cluster, plan)
+        first = ChaosEvent("partition", 1.0, 2.0, ("shard-0",))
+        second = ChaosEvent("partition", 2.0, 3.0, ("shard-0",))
+        link = cluster.network.link_between("frontend", "shard-0")
+
+        controller._start_partition(first)
+        controller._start_partition(second)
+        assert link.severed
+        controller._end_partition(first)
+        assert link.severed  # second window still open
+        controller._end_partition(second)
+        assert not link.severed
+
+    def test_overlapping_crashes_restart_once_wipe_sticks(self):
+        cluster = self._cluster()
+        plan = ChaosPlan(
+            events=[], link_faults=LinkFaultProfile(),
+            horizon=10.0, intensity=1.0,
+        )
+        cluster.seed_population(30, revoked_fraction=0.5)
+        controller = ChaosController(cluster, plan)
+        keep = ChaosEvent("crash", 1.0, 2.0, ("shard-1",), wipe=False)
+        wipe = ChaosEvent("crash", 2.0, 3.0, ("shard-1",), wipe=True)
+
+        controller._start_crash(keep)
+        controller._start_crash(wipe)
+        assert cluster.endpoints["shard-1"].down
+        controller._end_crash(keep)
+        assert cluster.endpoints["shard-1"].down  # still inside `wipe`
+        controller._end_crash(wipe)
+        assert not cluster.endpoints["shard-1"].down
+        # The wipe from the *second* window survived the merge.
+        assert controller.records_lost > 0
+        assert len(cluster.shards["shard-1"].ledger.store) == 0
+
+    def test_heal_everything_restores_the_cluster(self):
+        cluster = self._cluster()
+        plan = ChaosPlan.generate(
+            cluster.rngs.stream("chaos"), sorted(cluster.shards),
+            horizon=4.0, intensity=1.0,
+        )
+        controller = ChaosController(cluster, plan)
+        controller.install()
+        cluster.simulator.run(until=6.0)
+        assert all(not link.severed for link in cluster.network.links())
+        assert all(not ep.down for ep in cluster.endpoints.values())
+        assert all(
+            clock.offset == 0.0 for clock in cluster.shard_clocks.values()
+        )
+        assert all(link.loss_probability == 0.0 for link in cluster.network.links())
+
+
+class TestRunner:
+    def test_zero_intensity_run_is_perfect(self):
+        report = run_chaos(
+            num_shards=3, seed=9, intensity=0.0,
+            queries=60, revocations=6, population=40,
+        )
+        assert report.check.ok
+        assert report.availability == 1.0
+        assert report.status_ops == 60
+        assert report.revokes_acked == 6
+        assert sum(report.faults.values()) == 0
+
+    def test_faulted_run_keeps_invariants(self):
+        report = run_chaos(
+            num_shards=4, seed=9, intensity=0.9,
+            queries=80, revocations=8, population=50,
+        )
+        assert report.check.ok, report.check.by_invariant()
+        assert sum(report.faults.values()) > 0
+        assert 0.0 < report.availability <= 1.0
+        row = report.row()
+        assert row["violations"] == 0
+        assert len(row["digest"]) == 16
+
+    def test_selftest_detects_the_seeded_bug(self):
+        result = run_selftest(seed=1)
+        assert result.clean.ok
+        assert result.buggy.count("revocation_durability") >= 1
+        assert result.buggy.count("divergence") >= 1
+        assert result.detected

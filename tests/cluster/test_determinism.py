@@ -1,0 +1,61 @@
+"""Determinism regression: one seed, one byte-identical cluster run.
+
+The whole chaos methodology rests on replay: a violation found at seed
+S must be reproducible by re-running seed S.  These tests pin that
+guarantee at full strength — identical seeds must reproduce the entire
+client-visible history (every operation's timestamps, outcomes and
+epochs) and the entire final replica state, *through* an actively
+faulted run where partitions, crashes, duplicated messages and clock
+skew all perturb event order.
+"""
+
+from repro.chaos import run_chaos, state_digest
+
+
+def _run(seed, intensity=0.8):
+    return run_chaos(
+        num_shards=4,
+        seed=seed,
+        intensity=intensity,
+        queries=80,
+        revocations=8,
+        population=50,
+    )
+
+
+def test_identical_seeds_replay_identical_histories():
+    first, second = _run(31), _run(31)
+    # The full operation trace — issue times, completion times,
+    # outcomes, epochs — replays exactly.
+    assert first.history.signature() == second.history.signature()
+    # So do the aggregate report and the fault schedule that shaped it.
+    assert first.row() == second.row()
+    assert first.faults == second.faults
+
+
+def test_identical_seeds_reach_identical_final_states():
+    first, second = _run(32), _run(32)
+    assert first.digest == second.digest
+    # The digest covers every replica's full (state, epoch) map; equal
+    # digests with a non-trivial run is the convergence-of-replay claim.
+    assert len(first.history.ops) > 0
+
+
+def test_different_seeds_genuinely_diverge():
+    # Guard against a digest/signature that ignores its inputs.
+    first, other = _run(33), _run(34)
+    assert first.history.signature() != other.history.signature()
+    assert first.digest != other.digest
+
+
+def test_fault_free_runs_replay_too():
+    # Zero intensity draws no fault coins at all — the determinism
+    # guarantee must hold on the exact RNG draw sequence the seeded
+    # experiments (E17) rely on.
+    first, second = _run(35, intensity=0.0), _run(35, intensity=0.0)
+    assert first.history.signature() == second.history.signature()
+    assert first.digest == second.digest
+    states = {  # digest helper agrees with itself across calls
+        "s": {1: ("revoked", 1)}
+    }
+    assert state_digest(states) == state_digest(states)

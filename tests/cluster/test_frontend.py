@@ -140,6 +140,81 @@ class TestReadRepair:
         assert local_cluster.shards[victim].states_applied >= 1
 
 
+class TestBackpressure:
+    def test_inflight_window_bounds_outstanding_batches(self):
+        """Overload queues at the frontend instead of flooding shards."""
+        from repro.cluster import SimulatedCluster
+
+        cluster = SimulatedCluster(
+            num_shards=4,
+            config=ClusterConfig(
+                replication_factor=3, max_batch=4, max_inflight=2
+            ),
+            seed=11,
+        )
+        population = cluster.seed_population(80, revoked_fraction=0.3)
+        answers = []
+        for identifier in population.identifiers:
+            cluster.simulator.schedule_at(
+                0.0, cluster.frontend.status_async, identifier, answers.append
+            )
+        cluster.simulator.run(until=30.0)
+        stats = cluster.frontend.stats
+
+        # Every query completes: the window delays batches, never drops
+        # them.
+        assert len(answers) == population.size
+        assert all(a.ok for a in answers)
+        # The window held: never more than max_inflight outstanding
+        # RPCs, and the excess visibly queued.
+        assert stats.peak_inflight <= 2
+        assert stats.throttled > 0
+        # No residual growth: the queues fully drained.
+        assert cluster.frontend._inflight == 0
+        assert all(not q for q in cluster.frontend._queues.values())
+
+    def test_bloom_precheck_never_masks_a_revoked_record(self):
+        """Filter short-circuits are safe: no false negatives, ever."""
+        from repro.ledger.export import FilterExporter
+        from repro.proxy.filterset import ProxyFilterSet
+
+        cluster = LocalCluster(
+            num_shards=1, config=ClusterConfig(replication_factor=1)
+        )
+        identifiers = [cluster.claim_photo(f"p{i}") for i in range(12)]
+        revoked = identifiers[:5]
+        for identifier in revoked:
+            cluster.frontend.revoke(identifier, cluster.owner)
+
+        shard = next(iter(cluster.shards.values()))
+        exporter = FilterExporter(shard.ledger, nbits=4096, num_hashes=4)
+        exporter.publish()
+        filterset = ProxyFilterSet()
+        filterset.subscribe(exporter)
+        filterset.refresh()
+        cluster.frontend.filterset = filterset
+
+        # Every record revoked at publish time hits the filter and gets
+        # the authoritative shard answer — the pre-check cannot mask it.
+        for identifier in revoked:
+            answer = cluster.frontend.status(identifier)
+            assert answer.revoked and answer.source == "shard"
+        # Valid records still flow (filter or shard, both answer false).
+        for identifier in identifiers[5:]:
+            answer = cluster.frontend.status(identifier)
+            assert answer.ok and not answer.revoked
+        assert cluster.frontend.stats.filter_short_circuits >= 1
+
+        # A revocation after the snapshot is invisible until the next
+        # refresh closes the staleness window.
+        late = identifiers[-1]
+        cluster.frontend.revoke(late, cluster.owner)
+        exporter.publish()
+        filterset.refresh()
+        answer = cluster.frontend.status(late)
+        assert answer.revoked and answer.source == "shard"
+
+
 class TestConfig:
     def test_quorums_default_to_majorities(self):
         cfg = ClusterConfig(replication_factor=5).resolved()

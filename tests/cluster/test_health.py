@@ -57,6 +57,51 @@ def test_probation_admits_one_probe(clock):
     assert detector.suspects() == []
 
 
+def test_probation_success_fully_clears_suspicion(clock):
+    """A probe that succeeds wipes all suspicion state, not just the flag."""
+    detector = FailureDetector(clock.now, failure_threshold=2, probation=10.0)
+    detector.record_failure("s0")
+    detector.record_failure("s0")
+    assert detector.is_suspect("s0")
+    clock.advance(10.0)
+    assert not detector.is_suspect("s0")  # the admitted probe
+    assert detector.probes_admitted == 1
+    detector.record_success("s0")
+    assert detector.recoveries == 1
+    assert detector.suspects() == []
+    # Fully cleared: the failure streak restarts from zero, so one new
+    # failure (below threshold) must not re-suspect...
+    detector.record_failure("s0")
+    assert not detector.is_suspect("s0")
+    # ...and when the threshold is crossed again it is a *new* suspicion.
+    detector.record_failure("s0")
+    assert detector.is_suspect("s0")
+    assert detector.suspicions_raised == 2
+
+
+def test_probation_timeout_resuspects_without_double_counting(clock):
+    """A failed probe re-arms the window but is the same suspicion."""
+    detector = FailureDetector(clock.now, failure_threshold=1, probation=10.0)
+    detector.record_failure("s0")
+    assert detector.suspicions_raised == 1
+    clock.advance(10.0)
+    assert not detector.is_suspect("s0")  # probe admitted
+    detector.record_failure("s0")  # the probe timed out
+    # Re-suspected immediately — no second probe until a full window
+    # from the failed probe...
+    assert detector.is_suspect("s0")
+    clock.advance(9.0)
+    assert detector.is_suspect("s0")
+    clock.advance(1.0)
+    assert not detector.is_suspect("s0")
+    # ...and the whole episode counts as ONE suspicion, however many
+    # probes fail.
+    detector.record_failure("s0")
+    assert detector.suspicions_raised == 1
+    assert detector.probes_admitted == 2
+    assert detector.health("s0").total_failures == 3
+
+
 def test_live_preserves_input_order(clock):
     detector = FailureDetector(clock.now, failure_threshold=1)
     detector.record_failure("s1")

@@ -1,0 +1,166 @@
+"""Property tests for the replication layer (Hypothesis).
+
+Two properties carry the whole consistency story:
+
+* **Quorum overlap** — for *any* replication factor N and quorums with
+  R + W > N, a quorum-acknowledged write is observed by every later
+  quorum read, no matter which replicas were down for the write and
+  which are down for the read (within what the quorums tolerate).
+* **LWW convergence** — replicas applying the same set of
+  ``apply_state`` messages converge to the same (state, epoch)
+  regardless of delivery order or duplication, and the survivor is the
+  highest epoch.  This is the property the chaos self-test breaks on
+  purpose (see :mod:`repro.chaos.selftest`).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterConfig, ClusterShard
+from repro.core.identifiers import PhotoIdentifier
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.signatures import KeyPair
+from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.records import ClaimRecord, RevocationState, claim_digest
+from repro.netsim.simulator import ManualClock
+
+from tests.cluster.conftest import LocalCluster
+
+MAX_SHARDS = 5
+
+
+@st.composite
+def quorum_scenarios(draw):
+    """(n, w, r, dead-for-write, dead-for-read) with R + W > N.
+
+    The dead sets stay within what each quorum tolerates — more
+    failures than that and the operation *reports* failure, which is a
+    different (also correct) outcome tested elsewhere.
+    """
+    n = draw(st.integers(1, MAX_SHARDS))
+    w = draw(st.integers(1, n))
+    r = draw(st.integers(n - w + 1, n))
+    indexes = st.integers(0, n - 1)
+    dead_for_write = draw(st.sets(indexes, max_size=n - w))
+    dead_for_read = draw(st.sets(indexes, max_size=n - r))
+    return n, w, r, sorted(dead_for_write), sorted(dead_for_read)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario=quorum_scenarios())
+def test_quorum_read_always_observes_quorum_write(scenario):
+    n, w, r, dead_for_write, dead_for_read = scenario
+    cluster = LocalCluster(
+        num_shards=n,
+        config=ClusterConfig(
+            replication_factor=n, write_quorum=w, read_quorum=r
+        ),
+    )
+    identifier = cluster.claim_photo("quorum-property")
+    replicas = cluster.frontend.replicas_for(identifier)
+
+    # Write (revoke) with some replicas down: quorum W still reachable.
+    for index in dead_for_write:
+        cluster.transport.kill(replicas[index])
+    verdict = cluster.frontend.revoke(identifier, cluster.owner)
+    assert verdict["epoch"] == 1
+
+    # Read with a *different* set down (the writers may be the dead
+    # ones now): quorum R must still observe the acknowledged epoch.
+    for index in dead_for_write:
+        cluster.transport.revive(replicas[index])
+    for index in dead_for_read:
+        cluster.transport.kill(replicas[index])
+    answer = cluster.frontend.status(identifier)
+    assert answer.ok
+    assert answer.revoked
+    assert answer.epoch == 1
+
+
+@st.composite
+def delivery_interleavings(draw):
+    """One message set and two arbitrary deliveries of it.
+
+    The second delivery duplicates every message (each arrives twice,
+    in any order), modelling the duplication + reordering the netsim
+    link-fault layer injects.
+    """
+    epochs = draw(
+        st.lists(st.integers(1, 30), min_size=1, max_size=6, unique=True)
+    )
+    states = ["revoked", "not_revoked"]
+    messages = [(epoch, draw(st.sampled_from(states))) for epoch in epochs]
+    order_a = draw(st.permutations(messages))
+    order_b = draw(st.permutations(messages + messages))
+    return messages, order_a, order_b
+
+
+_FIXTURES = {}
+
+
+def _shared_fixtures():
+    """One RSA key pair / TSA / claim template for every example."""
+    if not _FIXTURES:
+        rng = np.random.default_rng(99)
+        clock = ManualClock()
+        keypair = KeyPair.generate(bits=512, rng=rng)
+        tsa = TimestampAuthority(
+            keypair=KeyPair.generate(bits=512, rng=rng), clock=clock.now
+        )
+        content_hash = sha256_hex(b"lww-property")
+        _FIXTURES.update(
+            clock=clock,
+            keypair=keypair,
+            tsa=tsa,
+            content_hash=content_hash,
+            signature=keypair.sign(content_hash.encode("utf-8")),
+            timestamp=tsa.issue(claim_digest(content_hash, keypair.public)),
+        )
+    return _FIXTURES
+
+
+def _fresh_replica(shard_id: str, serial: int) -> ClusterShard:
+    f = _shared_fixtures()
+    shard = ClusterShard(
+        shard_id, "lww", f["tsa"], keypair=f["keypair"], clock=f["clock"].now
+    )
+    shard.ledger.store.put(
+        ClaimRecord(
+            identifier=PhotoIdentifier("lww", serial),
+            content_hash=f["content_hash"],
+            content_signature=f["signature"],
+            public_key=f["keypair"].public,
+            timestamp=f["timestamp"],
+            state=RevocationState.NOT_REVOKED,
+            revocation_epoch=0,
+        )
+    )
+    return shard
+
+
+@settings(max_examples=50, deadline=None)
+@given(interleaving=delivery_interleavings())
+def test_lww_convergence_is_order_and_duplication_independent(interleaving):
+    messages, order_a, order_b = interleaving
+    serial = 7
+    replica_a = _fresh_replica("a", serial)
+    replica_b = _fresh_replica("b", serial)
+    for replica, order in ((replica_a, order_a), (replica_b, order_b)):
+        for epoch, state in order:
+            replica.apply_state(
+                {"serial": serial, "state": state, "epoch": epoch}
+            )
+
+    record_a = replica_a.ledger.store.get(serial)
+    record_b = replica_b.ledger.store.get(serial)
+    # Convergence: same survivor on both replicas...
+    assert (record_a.state, record_a.revocation_epoch) == (
+        record_b.state,
+        record_b.revocation_epoch,
+    )
+    # ...and the survivor is exactly the highest-epoch message.
+    winner_epoch, winner_state = max(messages)
+    assert record_a.revocation_epoch == winner_epoch
+    assert record_a.state == RevocationState(winner_state)
+    # Duplicated deliveries were recognized as stale, not re-applied.
+    assert replica_b.stale_applies_ignored >= len(messages)
