@@ -165,6 +165,70 @@ def _demo_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _demo_resilience(args: argparse.Namespace) -> None:
+    from repro.chaos import POLICIES, REFERENCE_DEADLINE, run_resilient_chaos
+
+    if args.intensity < 0.0:
+        raise SystemExit(
+            "python -m repro resilience: --intensity cannot be negative"
+        )
+    if args.policy not in POLICIES:
+        raise SystemExit(
+            f"python -m repro resilience: --policy must be one of {POLICIES}"
+        )
+    report = run_resilient_chaos(
+        num_shards=args.shards,
+        seed=args.seed,
+        intensity=args.intensity,
+        policy=args.policy,
+        queries=args.queries,
+    )
+    print(
+        f"resilience: policy '{report.policy}', {report.num_shards} shard(s), "
+        f"seed {report.seed}, intensity {report.intensity:.2f}"
+    )
+    print(
+        f"  faults: {report.faults.get('partition', 0)} partition(s), "
+        f"{report.faults.get('crash', 0)} crash(es) "
+        f"({report.faults.get('wipe', 0)} wiped)"
+    )
+    print(
+        f"  workload: {report.status_ops} status checks — "
+        f"{report.availability:.1%} answered, "
+        f"{report.deadline_rate:.1%} within the "
+        f"{REFERENCE_DEADLINE:g} s deadline"
+    )
+    print(
+        f"  degraded answers: {report.degraded_answers} "
+        f"({report.stale_degraded} conservatively stale), "
+        f"retries: {report.retries}, breaker opens: {report.breaker_opens}"
+    )
+    if report.hints_queued:
+        drain = (
+            f"{report.hint_drain_time:.3f} s after heal"
+            if report.hint_drain_time is not None
+            else "not drained"
+        )
+        print(
+            f"  hinted handoff: {report.hints_queued} queued, "
+            f"{report.hints_replayed} replayed, "
+            f"{report.hints_dropped} dropped; drained {drain}"
+        )
+    if report.sweep is not None:
+        print(
+            f"  anti-entropy: {report.sweep.serials_scanned} serials scanned, "
+            f"{report.sweep.records_pushed} records re-replicated"
+        )
+    if report.check.ok:
+        print("  consistency: OK — no invariant violations, no fail-open")
+    else:
+        print(f"  consistency: {report.check.by_invariant()}")
+        for violation in report.check.violations:
+            print(f"    [{violation.invariant}] serial={violation.serial}: "
+                  f"{violation.detail}")
+        raise SystemExit(1)
+
+
 _DEMOS = {
     "quickstart": (_demo_quickstart, "claim/label/revoke/validate lifecycle"),
     "scaling": (_demo_scaling, "section 4.4 Bloom filter scaling table"),
@@ -222,11 +286,37 @@ def main(argv: list[str] | None = None) -> int:
         "--selftest", action="store_true",
         help="seed a deliberate replication bug and prove the checker sees it",
     )
+    resilience_parser = subparsers.add_parser(
+        "resilience",
+        help="chaos run under a resilience policy (deadlines, breakers, "
+        "degraded reads, hinted handoff)",
+    )
+    resilience_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; identical seeds replay byte-identically (default 0)",
+    )
+    resilience_parser.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default 4)"
+    )
+    resilience_parser.add_argument(
+        "--intensity", type=float, default=0.6,
+        help="fault intensity in [0, 1]; 0 disables all faults (default 0.6)",
+    )
+    resilience_parser.add_argument(
+        "--policy", default="full", metavar="POLICY",
+        help="resilience tier: none | retry | full (default full)",
+    )
+    resilience_parser.add_argument(
+        "--queries", type=int, default=400,
+        help="status checks driven through the fault windows (default 400)",
+    )
     args = parser.parse_args(argv)
     if args.demo == "cluster":
         _demo_cluster(args)
     elif args.demo == "chaos":
         _demo_chaos(args)
+    elif args.demo == "resilience":
+        _demo_resilience(args)
     else:
         _DEMOS[args.demo][0]()
     return 0

@@ -15,6 +15,12 @@ The extension talks to a *status source* — a proxy in the bootstrap
 deployment, or a registry directly in the naive/private-unfriendly
 configuration — through one callable, so experiments swap wiring
 freely.
+
+When the status source is unreachable the extension can degrade
+instead of raising (``on_unavailable='degrade'``).  Degradation is
+fail-closed: a check is only issued after the local filter said
+"might be revoked", so the degraded decision blocks the image rather
+than letting an outage imply "valid".
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.core.errors import LedgerUnavailableError
 from repro.core.identifiers import IdentifierError, PhotoIdentifier
 from repro.core.labeling import read_label
 from repro.media.image import Photo
@@ -41,6 +48,7 @@ class ExtensionStats:
     checks_sent: int = 0
     blocked: int = 0
     freshness_proofs_accepted: int = 0
+    degraded_blocks: int = 0
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,12 @@ class IrsBrowserExtension:
         Maximum accepted proof age, seconds.
     clock:
         Time source for freshness evaluation.
+    on_unavailable:
+        ``'raise'`` (default) propagates
+        :class:`~repro.core.errors.LedgerUnavailableError` from the
+        status source; ``'degrade'`` converts it into a fail-closed
+        block (the check only ran because the filter said "might be
+        revoked").
     """
 
     def __init__(
@@ -100,7 +114,13 @@ class IrsBrowserExtension:
         accept_freshness_proofs: bool = False,
         freshness_max_age: float = 3600.0,
         clock=None,
+        on_unavailable: str = "raise",
     ):
+        if on_unavailable not in ("raise", "degrade"):
+            raise ValueError(
+                "on_unavailable must be 'raise' or 'degrade', "
+                f"got {on_unavailable!r}"
+            )
         self._status = status_source
         self.cache = cache
         self.local_filter = local_filter
@@ -110,6 +130,7 @@ class IrsBrowserExtension:
         self.accept_freshness_proofs = accept_freshness_proofs
         self.freshness_max_age = float(freshness_max_age)
         self._clock = clock or (lambda: 0.0)
+        self.on_unavailable = on_unavailable
         self.stats = ExtensionStats()
         if accept_freshness_proofs and registry is None:
             raise ValueError(
@@ -201,11 +222,34 @@ class IrsBrowserExtension:
                 return self._verdict(identifier, bool(cached), "cache")
 
         self.stats.checks_sent += 1
-        answer = self._status(identifier)
+        try:
+            answer = self._status(identifier)
+        except LedgerUnavailableError:
+            if self.on_unavailable != "degrade":
+                raise
+            return self._degraded_block(identifier)
         revoked = bool(getattr(answer, "revoked"))
+        if getattr(answer, "degraded", False):
+            # A degraded upstream answer is conservative, not a real
+            # verdict: surface it as a fail-closed block and keep it
+            # out of the cache so recovery is observed promptly.
+            if self.on_unavailable != "degrade":
+                raise LedgerUnavailableError(
+                    f"status source degraded for {key}"
+                )
+            return self._degraded_block(identifier)
         if self.cache is not None:
             self.cache.put(key, revoked)
         return self._verdict(identifier, revoked, "check")
+
+    def _degraded_block(self, identifier: PhotoIdentifier) -> DisplayDecision:
+        self.stats.degraded_blocks += 1
+        self.stats.blocked += 1
+        return DisplayDecision(
+            display=False,
+            reason="ledger unreachable (degraded, fail-closed)",
+            identifier=identifier,
+        )
 
     def _verdict(
         self, identifier: PhotoIdentifier, revoked: bool, how: str

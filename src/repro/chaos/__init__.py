@@ -19,6 +19,14 @@ from repro.chaos.faults import LinkFaultProfile, heal_all_links, partition
 from repro.chaos.history import HistoryRecorder, Op
 from repro.chaos.plan import ChaosController, ChaosEvent, ChaosKnobs, ChaosPlan
 from repro.chaos.runner import ChaosReport, run_chaos
+from repro.chaos.resilience import (
+    POLICIES,
+    REFERENCE_DEADLINE,
+    ResilienceReport,
+    RevocationBloom,
+    resilience_config,
+    run_resilient_chaos,
+)
 from repro.chaos.selftest import SelftestResult, install_lww_bug, run_selftest
 
 __all__ = [
@@ -37,6 +45,12 @@ __all__ = [
     "ChaosPlan",
     "ChaosReport",
     "run_chaos",
+    "POLICIES",
+    "REFERENCE_DEADLINE",
+    "ResilienceReport",
+    "RevocationBloom",
+    "resilience_config",
+    "run_resilient_chaos",
     "SelftestResult",
     "install_lww_bug",
     "run_selftest",

@@ -16,6 +16,12 @@ the revocation service lives by:
   the write quorum, so a stale answer is a bug, not bad luck.  A
   filter short-circuit that answers "definitely not revoked" for a
   revoked record trips the same rule (the Bloom false-negative path).
+* **Fail-closed degradation** (``fail_open``): a *degraded* answer —
+  one the frontend served from its filter because no read quorum was
+  reachable in budget — is explicitly allowed to be stale, but it may
+  never report an acknowledged revocation as valid.  Staleness under
+  degradation is a measured cost (the E19 stale-answer rate); failing
+  open is a violation.
 * **Convergence** (``divergence`` / ``lost_write``): after faults heal
   and repair traffic drains, every live replica holding a record agrees
   on its ``(state, epoch)``, and the agreed epoch is at least the
@@ -183,6 +189,24 @@ class ConsistencyChecker:
                 continue
             winner = max(visible, key=lambda w: w.epoch)
             observed = op.epoch if op.epoch is not None else -1
+            if op.degraded:
+                # Degraded answers carry no epoch and tolerate staleness
+                # by contract; the one inviolable rule is fail-closed:
+                # an acknowledged revocation must still read as revoked.
+                if winner.kind == "revoke" and not op.revoked:
+                    report.violations.append(
+                        Violation(
+                            invariant="fail_open",
+                            serial=op.serial,
+                            detail=(
+                                f"degraded status issued at "
+                                f"t={op.invoked_at:.6f} answered 'valid' "
+                                f"after revocation epoch {winner.epoch} was "
+                                f"acknowledged at t={winner.completed_at:.6f}"
+                            ),
+                        )
+                    )
+                continue
             if observed >= winner.epoch:
                 continue
             if winner.kind == "revoke" and not op.revoked:

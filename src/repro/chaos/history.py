@@ -36,8 +36,9 @@ class Op:
     revoked: Optional[bool] = None
     epoch: Optional[int] = None
     state: Optional[str] = None
-    source: Optional[str] = None  # status only: 'filter' | 'shard'
+    source: Optional[str] = None  # status only: 'filter' | 'shard' | 'degraded'
     error: Optional[str] = None
+    degraded: Optional[bool] = None  # status only: filter-backed fallback answer
     attrs: Dict = field(default_factory=dict)
 
     @property
@@ -61,6 +62,7 @@ class Op:
             self.revoked,
             self.epoch,
             self.source,
+            self.degraded,
         )
 
 
@@ -95,7 +97,7 @@ class HistoryRecorder:
         if op.completed:  # pragma: no cover - frontend completes once
             return
         op.completed_at = self._clock()
-        for name in ("ok", "revoked", "epoch", "state", "source", "error"):
+        for name in ("ok", "revoked", "epoch", "state", "source", "error", "degraded"):
             if name in attrs:
                 setattr(op, name, attrs.pop(name))
         op.attrs.update(attrs)

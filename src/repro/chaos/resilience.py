@@ -1,0 +1,386 @@
+"""E19: the resilience layer under chaos — fail degraded, never open.
+
+:func:`run_resilient_chaos` is :func:`~repro.chaos.runner.run_chaos`
+with a *policy* axis: the same deterministic fault plan and workload
+(identical named RNG streams, so rows are comparable across policies)
+is driven against a frontend configured with
+
+* ``none``  — the PR-1 baseline: quorum reads, failover, nothing else;
+* ``retry`` — request deadlines, bounded failover and backoff retries;
+* ``full``  — ``retry`` plus circuit breakers, degraded filter-backed
+  reads, hinted handoff, and a post-heal anti-entropy sweep.
+
+Beyond the E18 invariants (now including the ``fail_open`` rule for
+degraded answers) the run measures what resilience *buys* and what it
+*costs*: availability, the fraction of queries answered within the
+reference deadline, p50/p99 answer latency, how many answers were
+degraded, how many degraded answers were conservatively wrong (said
+"revoked" for a valid record — the stale-answer rate), hinted-handoff
+queue traffic and drain time.  The headline claim E19 exists to commit
+to a CSV: at every fault intensity the ``full`` policy keeps the
+checker green with zero fail-open answers while meeting the deadline
+bar the baseline measurably misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.chaos.checker import CheckReport, ConsistencyChecker, state_digest
+from repro.chaos.history import HistoryRecorder
+from repro.chaos.plan import ChaosController, ChaosKnobs, ChaosPlan
+from repro.cluster.antientropy import AntiEntropySweeper, SweepReport
+from repro.cluster.frontend import ClusterConfig
+from repro.cluster.simnet import SimulatedCluster
+from repro.core.identifiers import PhotoIdentifier
+from repro.filters.bloom import BloomFilter
+
+__all__ = [
+    "POLICIES",
+    "REFERENCE_DEADLINE",
+    "ResilienceReport",
+    "RevocationBloom",
+    "resilience_config",
+    "run_resilient_chaos",
+]
+
+POLICIES = ("none", "retry", "full")
+
+# Every policy is measured against the same answer-latency bar, whether
+# or not its config enforces one — that is what makes "answered within
+# deadline" comparable across the sweep.
+REFERENCE_DEADLINE = 0.25
+
+
+class RevocationBloom:
+    """A frontend-side Bloom filter of revoked identifiers.
+
+    The degraded-read fallback: seeded with the initially revoked
+    population and *learning* — the frontend inserts every revocation
+    it acks via its ``add`` hook, which is what keeps degraded answers
+    fail-closed with respect to acknowledged revocations.  False
+    positives err toward "revoked" (safe); false negatives are bounded
+    by the sizing formula and by the checker's ``fail_open`` invariant.
+    """
+
+    def __init__(self, capacity: int = 4096, target_fpr: float = 0.01):
+        self._filter = BloomFilter.for_capacity(capacity, target_fpr)
+        self.added = 0
+
+    def might_be_revoked(self, compact_identifier: bytes) -> bool:
+        return compact_identifier in self._filter
+
+    def add(self, compact_identifier: bytes) -> None:
+        self._filter.add(compact_identifier)
+        self.added += 1
+
+
+def resilience_config(policy: str, num_shards: int = 4) -> ClusterConfig:
+    """The frontend configuration one E19 policy tier stands for."""
+    r = min(3, num_shards)
+    if policy == "none":
+        return ClusterConfig(replication_factor=r)
+    retry = dict(
+        replication_factor=r,
+        request_deadline=REFERENCE_DEADLINE,
+        max_retries=3,
+        max_failover_depth=2,
+        backoff_base=0.01,
+        backoff_multiplier=2.0,
+        backoff_cap=0.08,
+        backoff_jitter=0.5,
+    )
+    if policy == "retry":
+        return ClusterConfig(**retry)
+    if policy == "full":
+        return ClusterConfig(
+            **retry,
+            breaker_threshold=3,
+            breaker_reset_timeout=0.4,
+            degraded_reads=True,
+            hinted_handoff=True,
+            hint_replay_interval=0.2,
+        )
+    raise ValueError(f"unknown resilience policy {policy!r} (want {POLICIES})")
+
+
+@dataclass
+class ResilienceReport:
+    """One (intensity, policy) cell of the E19 sweep."""
+
+    seed: int
+    intensity: float
+    num_shards: int
+    policy: str
+    status_ops: int = 0
+    status_acked: int = 0
+    deadline_met: int = 0
+    latencies: List[float] = field(default_factory=list)
+    degraded_answers: int = 0
+    stale_degraded: int = 0  # degraded 'revoked' verdicts for valid records
+    revokes_attempted: int = 0
+    revokes_acked: int = 0
+    retries: int = 0
+    breaker_opens: int = 0
+    hints_queued: int = 0
+    hints_replayed: int = 0
+    hints_dropped: int = 0
+    hint_drain_time: Optional[float] = None  # seconds past the heal barrier
+    sweep: Optional[SweepReport] = None
+    check: CheckReport = field(default_factory=CheckReport)
+    faults: Dict[str, int] = field(default_factory=dict)
+    records_lost: int = 0
+    digest: str = ""
+    history: Optional[HistoryRecorder] = None
+
+    @property
+    def availability(self) -> float:
+        """Fraction of chaos-phase status checks answered successfully."""
+        if self.status_ops == 0:
+            return 1.0
+        return self.status_acked / self.status_ops
+
+    @property
+    def deadline_rate(self) -> float:
+        """Fraction answered successfully within the reference deadline."""
+        if self.status_ops == 0:
+            return 1.0
+        return self.deadline_met / self.status_ops
+
+    @property
+    def stale_rate(self) -> float:
+        """Stale degraded verdicts as a fraction of chaos-phase queries."""
+        if self.status_ops == 0:
+            return 0.0
+        return self.stale_degraded / self.status_ops
+
+    @property
+    def fail_open(self) -> int:
+        return self.check.count("fail_open")
+
+    @property
+    def violations(self) -> int:
+        return self.check.count()
+
+    def _percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def row(self) -> Dict[str, object]:
+        """One flat, reproducible CSV row for the E19 sweep."""
+        by_invariant = self.check.by_invariant()
+        return {
+            "seed": self.seed,
+            "intensity": f"{self.intensity:.2f}",
+            "shards": self.num_shards,
+            "policy": self.policy,
+            "status_ops": self.status_ops,
+            "availability": f"{self.availability:.4f}",
+            "deadline_met": f"{self.deadline_rate:.4f}",
+            "p50_latency": f"{self._percentile(50):.6f}",
+            "p99_latency": f"{self._percentile(99):.6f}",
+            "degraded_answers": self.degraded_answers,
+            "stale_rate": f"{self.stale_rate:.4f}",
+            "fail_open": self.fail_open,
+            "violations": self.violations,
+            "durability_violations": by_invariant.get("revocation_durability", 0),
+            "stale_reads": by_invariant.get("stale_read", 0),
+            "divergence": by_invariant.get("divergence", 0),
+            "lost_writes": by_invariant.get("lost_write", 0),
+            "revokes_acked": self.revokes_acked,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "hints_queued": self.hints_queued,
+            "hints_replayed": self.hints_replayed,
+            "hints_dropped": self.hints_dropped,
+            "hint_drain_s": (
+                "" if self.hint_drain_time is None
+                else f"{self.hint_drain_time:.3f}"
+            ),
+            "records_pushed": 0 if self.sweep is None else self.sweep.records_pushed,
+            "records_lost": self.records_lost,
+            "digest": self.digest[:16],
+        }
+
+
+def run_resilient_chaos(
+    num_shards: int = 4,
+    seed: int = 0,
+    intensity: float = 0.5,
+    policy: str = "full",
+    queries: int = 400,
+    revocations: int = 25,
+    population: int = 150,
+    horizon: float = 8.0,
+    drain: float = 4.0,
+    knobs: Optional[ChaosKnobs] = None,
+) -> ResilienceReport:
+    """One deterministic chaos run under a resilience policy.
+
+    Workload and fault schedule draw from the same named streams in the
+    same order as :func:`run_chaos`, so for a given ``(seed,
+    intensity)`` every policy faces the *identical* adversary.  Status
+    queries bypass the Bloom pre-check (``use_filter=False``): the
+    filter serves only the degraded fallback, keeping the policy
+    comparison about the read path, not about filter hit rates.
+    """
+    config = resilience_config(policy, num_shards)
+    filterset = RevocationBloom(capacity=max(4 * population, 256))
+    cluster = SimulatedCluster(
+        num_shards,
+        config=config,
+        seed=seed,
+        rpc_timeout=0.05,
+        rpc_retries=1,
+        filterset=filterset,
+    )
+    sim = cluster.simulator
+    recorder = HistoryRecorder(clock=sim.clock().now)
+    cluster.frontend.observer = recorder
+    pop = cluster.seed_population(population, revoked_fraction=0.2)
+    for index, identifier in enumerate(pop.identifiers):
+        if pop.revoked(index):
+            filterset.add(identifier.to_compact())
+
+    plan = ChaosPlan.generate(
+        cluster.rngs.stream("chaos"),
+        sorted(cluster.shards),
+        horizon=horizon,
+        intensity=intensity,
+        knobs=knobs,
+    )
+    controller = ChaosController(cluster, plan)
+    controller.install()
+
+    workload = cluster.rngs.stream("workload")
+
+    times = sorted(workload.uniform(0.0, horizon, size=queries))
+    indices = workload.integers(0, pop.size, size=queries)
+    for at, index in zip(times, indices):
+        sim.schedule_at(
+            at,
+            cluster.frontend.status_async,
+            pop.identifiers[int(index)],
+            lambda answer: None,
+            False,  # use_filter: the filter is fallback-only here
+        )
+
+    candidates = [i for i in range(pop.size) if not pop.revoked(i)]
+    picks = workload.choice(
+        candidates, size=min(revocations, len(candidates)), replace=False
+    )
+    revoke_times = sorted(
+        workload.uniform(0.1 * horizon, 0.7 * horizon, size=len(picks))
+    )
+    for at, index in zip(revoke_times, picks):
+        sim.schedule_at(
+            at,
+            cluster.frontend.revoke_async,
+            pop.identifiers[int(index)],
+            pop.owner,
+            lambda outcome, error: None,
+        )
+
+    # Post-heal: one full read pass (read repair rides on reads), and —
+    # under the full policy — an anti-entropy sweep to restore records
+    # on replicas that reads and hints could not reach or re-create.
+    def _final_pass() -> None:
+        for identifier in pop.identifiers:
+            cluster.frontend.status_async(
+                identifier, lambda answer: None, False
+            )
+
+    sim.schedule_at(horizon + 0.2, _final_pass)
+
+    sweep_box: List[SweepReport] = []
+    if policy == "full":
+        sweeper = AntiEntropySweeper(
+            cluster.cluster_id,
+            cluster.ring,
+            cluster.transport,
+            config.replication_factor,
+            on_result=cluster.frontend._record_result,
+        )
+        sim.schedule_at(horizon + 0.5, sweeper.sweep_async, sweep_box.append)
+    sim.run(until=horizon + drain)
+
+    # -- measurement ---------------------------------------------------------------
+    chaos_status = [
+        op for op in recorder.of_kind("status") if op.invoked_at < horizon
+    ]
+    revoke_ops = recorder.of_kind("revoke", "unrevoke")
+    replication = cluster.frontend.config.replication_factor
+
+    def placement(serial: int) -> List[str]:
+        identifier = PhotoIdentifier(cluster.cluster_id, serial)
+        return cluster.ring.replicas(identifier.to_compact(), replication)
+
+    states = cluster.replica_states()
+    check = ConsistencyChecker(placement=placement).check(
+        recorder, replica_states=states, live_shards=sorted(cluster.shards)
+    )
+
+    # Ground truth for the stale-degraded metric: when did each record
+    # *actually* become revoked (seeded, or first acknowledged revoke)?
+    initially_revoked = {
+        identifier.serial: pop.revoked(index)
+        for index, identifier in enumerate(pop.identifiers)
+    }
+    first_revoke_ack: Dict[int, float] = {}
+    for op in recorder.of_kind("revoke"):
+        if op.acked:
+            prior = first_revoke_ack.get(op.serial)
+            if prior is None or op.completed_at < prior:
+                first_revoke_ack[op.serial] = op.completed_at
+
+    def _revoked_by(when: float, serial: int) -> bool:
+        if initially_revoked.get(serial, False):
+            return True
+        acked_at = first_revoke_ack.get(serial)
+        return acked_at is not None and acked_at <= when
+
+    report = ResilienceReport(
+        seed=seed,
+        intensity=intensity,
+        num_shards=num_shards,
+        policy=policy,
+        status_ops=len(chaos_status),
+        revokes_attempted=len(revoke_ops),
+        revokes_acked=sum(1 for op in revoke_ops if op.acked),
+        retries=cluster.frontend.stats.retries,
+        check=check,
+        faults=dict(controller.faults_applied),
+        records_lost=controller.records_lost,
+        digest=state_digest(states),
+        history=recorder,
+    )
+    for op in chaos_status:
+        if not op.acked:
+            continue
+        report.status_acked += 1
+        latency = op.completed_at - op.invoked_at
+        report.latencies.append(latency)
+        if latency <= REFERENCE_DEADLINE + 1e-9:
+            report.deadline_met += 1
+        if op.degraded:
+            report.degraded_answers += 1
+            if op.revoked and not _revoked_by(op.completed_at, op.serial):
+                report.stale_degraded += 1
+    frontend = cluster.frontend
+    if frontend.breakers is not None:
+        report.breaker_opens = frontend.breakers.times_opened
+    if frontend.hints is not None:
+        report.hints_queued = frontend.hints.hints_queued
+        report.hints_replayed = frontend.hints.hints_replayed
+        report.hints_dropped = frontend.hints.hints_dropped
+        if frontend.hints.hints_queued and frontend.hints.drained_at is not None:
+            report.hint_drain_time = max(
+                0.0, frontend.hints.drained_at - horizon
+            )
+    if sweep_box:
+        report.sweep = sweep_box[0]
+    return report

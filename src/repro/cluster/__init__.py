@@ -15,13 +15,22 @@ planetary status-check load and survives node failures:
   batching, bounded in-flight backpressure, Bloom pre-check.
 * :mod:`repro.cluster.health` — timeout-based failure suspicion with
   half-open probation.
+* :mod:`repro.cluster.antientropy` — digest reconciliation and
+  re-replication of records a replica missed or lost.
 * :mod:`repro.cluster.simnet` — the whole cluster as netsim nodes with
   RPC latency, finite shard capacity, and injectable crashes (E17).
+
+The frontend additionally hosts the resilience layer
+(:mod:`repro.resilience`): deadlines, bounded backoff retries, circuit
+breakers, load shedding, degraded filter-backed reads, and hinted
+handoff of missed replica writes.
 """
 
 from repro.cluster.ring import HashRing, RingError, DEFAULT_VNODES
 from repro.cluster.shard import ClusterShard, ClusterDirectory, content_serial
 from repro.cluster.replication import (
+    Hint,
+    HintQueue,
     LocalShardTransport,
     QuorumExecutor,
     QuorumResult,
@@ -31,6 +40,7 @@ from repro.cluster.replication import (
     StatusOutcome,
     majority,
 )
+from repro.cluster.antientropy import AntiEntropySweeper, SweepReport
 from repro.cluster.frontend import (
     ClusterAnswer,
     ClusterConfig,
@@ -51,6 +61,10 @@ __all__ = [
     "ClusterShard",
     "ClusterDirectory",
     "content_serial",
+    "Hint",
+    "HintQueue",
+    "AntiEntropySweeper",
+    "SweepReport",
     "LocalShardTransport",
     "QuorumExecutor",
     "QuorumResult",

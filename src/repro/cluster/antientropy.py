@@ -1,0 +1,223 @@
+"""Anti-entropy: digest reconciliation and re-replication after heals.
+
+Read repair fixes what reads *touch*; hinted handoff redelivers what
+the coordinator *saw* fail.  Neither restores a replica that lost its
+disk and is never read, and a dropped hint (replica wiped, hint
+rejected) leaves a durable gap.  The anti-entropy sweep closes both:
+it pulls a cheap ``{serial: epoch}`` digest from every reachable
+shard, computes — from the ring, the same pure placement function the
+frontend routes by — which replicas *should* hold each record, and
+pushes full records from the freshest holder to every expected replica
+that is missing the record or holds it at an older epoch.
+
+The sweep is callback-driven end to end, so it runs identically on the
+synchronous in-process transport (unit tests) and the discrete-event
+netsim transport (the chaos harness schedules one sweep after the heal
+barrier).  It is also idempotent: ``install_record`` is LWW on the
+revocation epoch, so overlapping sweeps and sweeps racing read repair
+converge to the same state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.identifiers import PhotoIdentifier
+from repro.cluster.replication import ShardReply, ShardTransport
+from repro.cluster.ring import HashRing
+
+__all__ = ["AntiEntropySweeper", "SweepReport"]
+
+
+@dataclass
+class SweepReport:
+    """What one anti-entropy round found and fixed."""
+
+    shards_polled: int = 0
+    shards_unreachable: int = 0
+    serials_scanned: int = 0
+    records_pushed: int = 0
+    push_failures: int = 0
+    already_consistent: int = 0
+    unreachable: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Did every shard answer its digest poll?"""
+        return self.shards_unreachable == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SweepReport(scanned={self.serials_scanned}, "
+            f"pushed={self.records_pushed}, failures={self.push_failures})"
+        )
+
+
+class AntiEntropySweeper:
+    """Reconciles replica digests and re-replicates missing records."""
+
+    def __init__(
+        self,
+        cluster_id: str,
+        ring: HashRing,
+        transport: ShardTransport,
+        replication_factor: int,
+        on_result: Optional[Callable[[str, bool], None]] = None,
+    ):
+        if replication_factor < 1:
+            raise ValueError("replication factor must be at least 1")
+        self.cluster_id = cluster_id
+        self.ring = ring
+        self.transport = transport
+        self.replication_factor = int(replication_factor)
+        self._on_result = on_result  # health feedback (detector/breakers)
+        self.sweeps_run = 0
+
+    # -- placement ---------------------------------------------------------------
+
+    def _replicas_for(self, serial: int) -> List[str]:
+        identifier = PhotoIdentifier(ledger_id=self.cluster_id, serial=serial)
+        return self.ring.replicas(identifier.to_compact(), self.replication_factor)
+
+    def _note(self, shard_id: str, ok: bool) -> None:
+        if self._on_result is not None:
+            self._on_result(shard_id, ok)
+
+    # -- the sweep ----------------------------------------------------------------
+
+    def sweep_async(
+        self, callback: Callable[[SweepReport], None]
+    ) -> None:
+        """One full digest-reconcile-push round; ``callback(report)``."""
+        self.sweeps_run += 1
+        report = SweepReport()
+        shard_ids = list(self.transport.shard_ids())
+        digests: Dict[str, Dict[int, int]] = {}
+        waiting = {"n": len(shard_ids)}
+
+        def _polled(shard_id: str) -> Callable[[ShardReply], None]:
+            def _on(reply: ShardReply) -> None:
+                self._note(shard_id, reply.ok)
+                if reply.ok:
+                    digests[shard_id] = dict(reply.value["records"])
+                    report.shards_polled += 1
+                else:
+                    report.shards_unreachable += 1
+                    report.unreachable.append(shard_id)
+                waiting["n"] -= 1
+                if waiting["n"] == 0:
+                    self._reconcile(digests, report, callback)
+            return _on
+
+        if not shard_ids:
+            callback(report)
+            return
+        for shard_id in shard_ids:
+            self.transport.invoke(shard_id, "digest", {}, _polled(shard_id))
+
+    def _reconcile(
+        self,
+        digests: Dict[str, Dict[int, int]],
+        report: SweepReport,
+        callback: Callable[[SweepReport], None],
+    ) -> None:
+        """Plan pushes: (source shard) -> [(serial, target shard)]."""
+        serials: set = set()
+        for entries in digests.values():
+            serials.update(entries)
+        # Per source shard: which (serial, target) pairs it should feed.
+        pushes: Dict[str, Dict[int, List[str]]] = {}
+        for serial in sorted(serials):
+            report.serials_scanned += 1
+            expected = self._replicas_for(serial)
+            holders = {
+                shard_id: digests[shard_id][serial]
+                for shard_id in digests
+                if serial in digests[shard_id]
+            }
+            if not holders:
+                continue
+            freshest_epoch = max(holders.values())
+            # Deterministic source choice: lowest shard id among freshest.
+            source = min(s for s, e in holders.items() if e == freshest_epoch)
+            targets = [
+                shard_id
+                for shard_id in expected
+                if shard_id in digests  # only reachable replicas are fixable
+                and holders.get(shard_id, -1) < freshest_epoch
+            ]
+            if targets:
+                pushes.setdefault(source, {})[serial] = targets
+            else:
+                report.already_consistent += 1
+        if not pushes:
+            callback(report)
+            return
+        waiting = {"n": len(pushes)}
+
+        def _source_done() -> None:
+            waiting["n"] -= 1
+            if waiting["n"] == 0:
+                callback(report)
+
+        for source, plan in sorted(pushes.items()):
+            self._push_from(source, plan, report, _source_done)
+
+    def _push_from(
+        self,
+        source: str,
+        plan: Dict[int, List[str]],
+        report: SweepReport,
+        done: Callable[[], None],
+    ) -> None:
+        """Fetch the planned serials from ``source`` and install them."""
+        serials = sorted(plan)
+
+        def _on_fetch(reply: ShardReply) -> None:
+            self._note(source, reply.ok)
+            if not reply.ok:
+                report.push_failures += len(serials)
+                done()
+                return
+            installs = [
+                (record, target)
+                for record in reply.value["records"]
+                for target in plan.get(record.identifier.serial, [])
+            ]
+            if not installs:
+                done()
+                return
+            waiting = {"n": len(installs)}
+
+            def _installed(target: str) -> Callable[[ShardReply], None]:
+                def _on(install_reply: ShardReply) -> None:
+                    self._note(target, install_reply.ok)
+                    if install_reply.ok:
+                        report.records_pushed += 1
+                    else:
+                        report.push_failures += 1
+                    waiting["n"] -= 1
+                    if waiting["n"] == 0:
+                        done()
+                return _on
+
+            for record, target in installs:
+                self.transport.invoke(
+                    target, "install_record", {"record": record}, _installed(target)
+                )
+
+        self.transport.invoke(
+            source, "fetch_records", {"serials": serials}, _on_fetch
+        )
+
+    def sweep(self) -> SweepReport:
+        """Synchronous convenience (in-process transports only)."""
+        box: List[SweepReport] = []
+        self.sweep_async(box.append)
+        if not box:
+            raise RuntimeError(
+                "sweep did not complete synchronously; use sweep_async "
+                "with the netsim transport"
+            )
+        return box[0]

@@ -4,7 +4,8 @@ Clients (proxies, aggregators, the CLI demo) speak to one frontend,
 which owns no record state at all — everything it needs to route is the
 ring (a pure function) and the shard transport.  Any number of
 frontends can run side by side; killing one loses only its in-flight
-batches.
+batches (and, with hinted handoff enabled, its undelivered hints —
+which the anti-entropy sweep repairs).
 
 The hot path is the section 4.4 status check, and three mechanisms keep
 shard load sub-linear in client load:
@@ -25,11 +26,28 @@ Reads default to hedged quorum reads (all R replicas asked, completion
 at ``read_quorum``) so one dead replica costs nothing but a timeout
 that the failure detector turns into suspicion; ``read_quorum=1`` gives
 primary reads with explicit failover through surviving replicas.
+
+**Resilience layer** (all knobs default *off*, preserving the PR-1
+semantics exactly): failovers and retries are spaced by a seeded-jitter
+:class:`~repro.resilience.BackoffPolicy` and bounded
+(``max_failover_depth`` hops within an attempt, ``max_retries`` fresh
+attempts); a ``request_deadline`` budget propagates into batched RPC
+timeouts and arms a backstop timer so every query is *answered* within
+the deadline — degraded if need be; per-shard circuit breakers
+(``breaker_threshold``) stop paying timeouts to dead replicas; a token
+bucket (``shed_rate``) refuses excess load before it queues.  When a
+read cannot reach quorum in budget and ``degraded_reads`` is on, the
+frontend answers from the (possibly stale) Bloom filter with
+``degraded=True`` — and because every revocation the frontend acks is
+also added to that filter, the degraded path never fails open on a
+revocation this frontend acknowledged.  Writes that miss a replica
+queue hints (``hinted_handoff``) which a timer replays when the
+replica heals.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import ClaimError, LedgerUnavailableError, RevocationError
@@ -41,6 +59,7 @@ from repro.ledger.proofs import StatusProof
 from repro.ledger.records import claim_digest
 from repro.cluster.health import FailureDetector
 from repro.cluster.replication import (
+    HintQueue,
     QuorumExecutor,
     ShardTransport,
     StatusCollector,
@@ -49,6 +68,7 @@ from repro.cluster.replication import (
 )
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import content_serial
+from repro.resilience import BackoffPolicy, BreakerBoard, Deadline, TokenBucket
 
 __all__ = ["ClusterFrontend", "ClusterConfig", "ClusterAnswer", "FrontendStats"]
 
@@ -59,13 +79,18 @@ class ClusterError(Exception):
 
 @dataclass
 class ClusterConfig:
-    """Replication and batching knobs.
+    """Replication, batching and resilience knobs.
 
     ``write_quorum``/``read_quorum`` default to majorities of
     ``replication_factor``, which guarantees read-write overlap; set
     ``read_quorum=1`` for primary reads (cheapest, used by the
     scale-out bench) at the price of bounded staleness while a write's
     propagation is incomplete.
+
+    The resilience knobs all default to the legacy PR-1 behavior:
+    no deadline, no fresh retries (failover within an attempt is still
+    bounded by ``max_failover_depth``), breakers and shedding disabled,
+    strict (non-degraded) answers, no hinted handoff.
     """
 
     replication_factor: int = 3
@@ -75,26 +100,87 @@ class ClusterConfig:
     max_batch: int = 32
     batch_window: float = 0.002
     max_inflight: int = 16
+    # -- resilience: deadlines / retries ------------------------------------
+    request_deadline: Optional[float] = None  # per-status budget (seconds)
+    max_retries: int = 0  # fresh read attempts after the first
+    max_failover_depth: int = 2  # replica-set hops within one attempt
+    backoff_base: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 0.1
+    backoff_jitter: float = 0.5
+    # -- resilience: circuit breakers / shedding ----------------------------
+    breaker_threshold: Optional[int] = None  # None disables breakers
+    breaker_reset_timeout: float = 1.0
+    breaker_half_open_probes: int = 1
+    shed_rate: Optional[float] = None  # tokens/second; None disables
+    shed_burst: int = 32
+    # -- resilience: degraded reads / hinted handoff ------------------------
+    degraded_reads: bool = False
+    hinted_handoff: bool = False
+    hint_replay_interval: float = 0.25
+    max_hints_per_shard: int = 4096
+
+    def backoff_policy(self) -> BackoffPolicy:
+        return BackoffPolicy(
+            base=self.backoff_base,
+            multiplier=self.backoff_multiplier,
+            cap=self.backoff_cap,
+            jitter=self.backoff_jitter,
+        )
 
     def resolved(self) -> "ClusterConfig":
         r = self.replication_factor
         if r < 1:
             raise ValueError("replication factor must be at least 1")
-        cfg = ClusterConfig(
-            replication_factor=r,
-            write_quorum=self.write_quorum or majority(r),
-            read_quorum=self.read_quorum or majority(r),
-            hedged_reads=self.hedged_reads,
-            max_batch=self.max_batch,
-            batch_window=self.batch_window,
-            max_inflight=self.max_inflight,
+        read_quorum = self.read_quorum or majority(r)
+        write_quorum = self.write_quorum or majority(r)
+        hedged = self.hedged_reads
+        if hedged is None:
+            hedged = read_quorum > 1
+        cfg = replace(
+            self,
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+            hedged_reads=hedged,
         )
-        if cfg.hedged_reads is None:
-            cfg.hedged_reads = cfg.read_quorum > 1
-        if not 1 <= cfg.write_quorum <= r or not 1 <= cfg.read_quorum <= r:
-            raise ValueError("quorums must lie in [1, replication_factor]")
+        if cfg.read_quorum > r:
+            raise ValueError(
+                f"read_quorum {cfg.read_quorum} cannot exceed "
+                f"replication_factor {r}: a read cannot contact more "
+                "replicas than each record has"
+            )
+        if cfg.write_quorum > r:
+            raise ValueError(
+                f"write_quorum {cfg.write_quorum} cannot exceed "
+                f"replication_factor {r}"
+            )
+        if cfg.write_quorum < 1 or cfg.read_quorum < 1:
+            raise ValueError("quorums must be at least 1")
         if cfg.max_batch < 1 or cfg.max_inflight < 1:
             raise ValueError("max_batch and max_inflight must be positive")
+        if cfg.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if cfg.request_deadline is not None and cfg.request_deadline <= 0:
+            raise ValueError("request_deadline must be positive when set")
+        if cfg.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if cfg.max_failover_depth < 0:
+            raise ValueError("max_failover_depth must be non-negative")
+        cfg.backoff_policy()  # validates base/multiplier/cap/jitter
+        if cfg.breaker_threshold is not None and cfg.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1 when set")
+        if cfg.breaker_reset_timeout <= 0:
+            raise ValueError("breaker_reset_timeout must be positive")
+        if cfg.breaker_half_open_probes < 1:
+            raise ValueError("breaker_half_open_probes must be at least 1")
+        if cfg.shed_rate is not None and cfg.shed_rate <= 0:
+            raise ValueError("shed_rate must be positive when set")
+        if cfg.shed_burst < 1:
+            raise ValueError("shed_burst must admit at least one request")
+        if cfg.hint_replay_interval <= 0:
+            raise ValueError("hint_replay_interval must be positive")
+        if cfg.max_hints_per_shard < 1:
+            raise ValueError("max_hints_per_shard must be at least 1")
         return cfg
 
 
@@ -104,16 +190,27 @@ class ClusterAnswer:
 
     identifier: str
     revoked: bool
-    source: str  # 'filter' | 'shard'
+    source: str  # 'filter' | 'shard' | 'degraded'
     proof: Optional[StatusProof] = None
     state: Optional[str] = None
     epoch: int = -1
     answered_by: Optional[str] = None
     error: Optional[str] = None
+    degraded: bool = False  # answered from the filter, not a shard quorum
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+@dataclass
+class _ReadContext:
+    """Book-keeping for one status query across retries and failovers."""
+
+    deadline: Optional[Deadline] = None
+    attempts: int = 0  # fresh read attempts consumed (retries)
+    hops: int = 0  # failover hops within the current attempt
+    answered: bool = False
 
 
 @dataclass
@@ -125,6 +222,10 @@ class FrontendStats:
     batch_items: int = 0
     read_repairs: int = 0
     failovers: int = 0
+    retries: int = 0  # fresh read attempts after backoff
+    degraded_answers: int = 0  # answered from the filter (quorum unreachable)
+    deadline_answers: int = 0  # degraded answers forced by the deadline timer
+    load_shed: int = 0  # queries refused by the token bucket
     claims: int = 0
     revocations: int = 0
     throttled: int = 0  # batch sends deferred by the in-flight window
@@ -150,12 +251,16 @@ class ClusterFrontend:
     detector:
         Shared failure detector; created from ``clock`` when omitted.
     scheduler:
-        ``scheduler(delay_s, callback)`` for batch-window timers (the
-        simulator's ``schedule`` in netsim mode).  When None the
-        frontend runs in synchronous mode: every public call flushes
-        its batches before returning.
+        ``scheduler(delay_s, callback)`` for batch-window, backoff and
+        deadline timers (the simulator's ``schedule`` in netsim mode).
+        When None the frontend runs in synchronous mode: every public
+        call flushes its batches before returning and backoff delays
+        collapse to immediate continuations.
     filterset:
-        Optional Bloom pre-check (see module docstring).
+        Optional Bloom pre-check (see module docstring).  Anything with
+        ``might_be_revoked(key)``; if it also exposes ``add(key)``, the
+        frontend inserts every revocation it acks, which is what keeps
+        degraded answers fail-closed.
     observer:
         Optional operation observer (e.g. the chaos harness's
         :class:`~repro.chaos.history.HistoryRecorder`): ``begin(kind,
@@ -163,6 +268,9 @@ class ClusterFrontend:
         operation is issued and ``complete(op_id, **attrs)`` when its
         outcome is decided, so an external checker can reconstruct the
         client-visible history without touching the data path.
+    rng:
+        Optional seeded stream (``uniform()``) for backoff jitter; None
+        disables jitter, keeping the undithered schedule.
     """
 
     def __init__(
@@ -177,6 +285,7 @@ class ClusterFrontend:
         scheduler: Optional[Callable[[float, Callable[[], None]], None]] = None,
         filterset=None,
         observer=None,
+        rng=None,
     ):
         self.cluster_id = cluster_id
         self.ring = ring
@@ -193,9 +302,35 @@ class ClusterFrontend:
             )
         self.filterset = filterset
         self.observer = observer
+        self._rng = rng
+        self._backoff = self.config.backoff_policy()
+        self.breakers: Optional[BreakerBoard] = None
+        if self.config.breaker_threshold is not None:
+            self.breakers = BreakerBoard(
+                self._clock,
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout=self.config.breaker_reset_timeout,
+                half_open_probes=self.config.breaker_half_open_probes,
+            )
+        self.shedder: Optional[TokenBucket] = None
+        if self.config.shed_rate is not None:
+            self.shedder = TokenBucket(
+                self.config.shed_rate, self.config.shed_burst, self._clock
+            )
+        self.hints: Optional[HintQueue] = None
+        if self.config.hinted_handoff:
+            # Replay attempts are breaker-gated (~one per reset window
+            # while a shard is down), so the attempt cap must cover a
+            # realistic outage, not just transient blips.
+            self.hints = HintQueue(
+                self._clock,
+                max_per_shard=self.config.max_hints_per_shard,
+                max_attempts=6,
+            )
+        self._hint_timer_armed = False
         self.executor = QuorumExecutor(transport, detector=self.detector)
         self.stats = FrontendStats()
-        # Per-shard pending (serial, collector) batches.
+        # Per-shard pending (serial, collector, deadline) batches.
         self._queues: Dict[str, List[tuple]] = {}
         self._ready: List[str] = []  # FIFO of shards with sendable batches
         self._timer_armed: set = set()
@@ -211,6 +346,38 @@ class ClusterFrontend:
     def _end(self, op_id, **attrs) -> None:
         if self.observer is not None and op_id is not None:
             self.observer.complete(op_id, **attrs)
+
+    # -- health fan-out ----------------------------------------------------------
+
+    def _record_result(self, shard_id: str, ok: bool) -> None:
+        """One observation feeds both the detector and the breakers."""
+        if ok:
+            self.detector.record_success(shard_id)
+        else:
+            self.detector.record_failure(shard_id)
+        if self.breakers is not None:
+            self.breakers.record(shard_id, ok)
+
+    def _breaker_allows(self, shard_id: str) -> bool:
+        return self.breakers is None or self.breakers.allow(shard_id)
+
+    def _breakers_last(self, candidates: List[str]) -> List[str]:
+        """Reorder so breaker-open shards are tried last (never dropped)."""
+        if self.breakers is None:
+            return candidates
+        blocked = set(self.breakers.open_targets())
+        if not blocked:
+            return candidates
+        return [s for s in candidates if s not in blocked] + [
+            s for s in candidates if s in blocked
+        ]
+
+    def _later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` sim-seconds (immediately in sync mode)."""
+        if self._scheduler is None or delay <= 0:
+            fn()
+        else:
+            self._scheduler(delay, fn)
 
     # -- placement ---------------------------------------------------------------
 
@@ -230,12 +397,16 @@ class ClusterFrontend:
         callback: Callable[[ClusterAnswer], None],
         use_filter: bool = True,
     ) -> None:
-        """Queue one status lookup; ``callback`` fires on completion."""
+        """Queue one status lookup; ``callback`` fires exactly once."""
         self.stats.queries += 1
         key = identifier.to_string()
         op_id = self._begin("status", identifier.serial)
+        ctx = _ReadContext()
 
         def _observed(answer: ClusterAnswer) -> None:
+            if ctx.answered:
+                return  # deadline backstop and quorum raced; first wins
+            ctx.answered = True
             self._end(
                 op_id,
                 ok=answer.ok,
@@ -243,6 +414,7 @@ class ClusterFrontend:
                 epoch=answer.epoch,
                 source=answer.source,
                 error=answer.error,
+                degraded=answer.degraded,
             )
             callback(answer)
 
@@ -256,20 +428,56 @@ class ClusterFrontend:
                 ClusterAnswer(identifier=key, revoked=False, source="filter")
             )
             return
+        if self.shedder is not None and not self.shedder.try_acquire():
+            self.stats.load_shed += 1
+            _observed(self._degraded_answer(identifier, "load shed"))
+            return
+        if self.config.request_deadline is not None:
+            ctx.deadline = Deadline.after(
+                self._clock(), self.config.request_deadline
+            )
+            if self._scheduler is not None:
+                def _backstop() -> None:
+                    if not ctx.answered:
+                        self.stats.deadline_answers += 1
+                        _observed(
+                            self._degraded_answer(identifier, "deadline exceeded")
+                        )
+
+                self._scheduler(self.config.request_deadline, _backstop)
+        self._start_read(identifier, ctx, _observed)
+
+    def _start_read(
+        self,
+        identifier: PhotoIdentifier,
+        ctx: _ReadContext,
+        callback: Callable[[ClusterAnswer], None],
+    ) -> None:
+        """Begin one read attempt against breaker-admitted replicas."""
+        if ctx.answered:
+            return  # deadline fired while this retry was waiting
         replicas = self.replicas_for(identifier)
+        admitted = [s for s in replicas if self._breaker_allows(s)]
+        if len(admitted) < self.config.read_quorum:
+            self._retry_or_degrade(
+                identifier, ctx, callback,
+                "read quorum unreachable: breakers open",
+            )
+            return
         if self.config.hedged_reads:
-            self._read_attempt(identifier, replicas, [], _observed)
+            self._read_attempt(identifier, admitted, [], ctx, callback)
         else:
-            ordered = self.detector.live(replicas) or list(replicas)
+            ordered = self.detector.live(admitted) or list(admitted)
             read_set = ordered[: self.config.read_quorum]
-            rest = [s for s in replicas if s not in read_set]
-            self._read_attempt(identifier, read_set, rest, _observed)
+            rest = [s for s in admitted if s not in read_set]
+            self._read_attempt(identifier, read_set, rest, ctx, callback)
 
     def _read_attempt(
         self,
         identifier: PhotoIdentifier,
         read_set: List[str],
         fallback: List[str],
+        ctx: _ReadContext,
         callback: Callable[[ClusterAnswer], None],
     ) -> None:
         key = identifier.to_string()
@@ -277,11 +485,22 @@ class ClusterFrontend:
 
         def _on_done(outcome: StatusOutcome) -> None:
             if not outcome.ok and fallback:
-                # Failover: retry on the untried survivors.
-                self.stats.failovers += 1
-                retry = fallback[: self.config.read_quorum]
-                rest = fallback[len(retry):]
-                self._read_attempt(identifier, retry, rest, callback)
+                if ctx.hops < self.config.max_failover_depth:
+                    # Failover: retry on the untried survivors, spaced
+                    # by the backoff schedule (hop number = attempt).
+                    ctx.hops += 1
+                    self.stats.failovers += 1
+                    retry = fallback[: self.config.read_quorum]
+                    rest = fallback[len(retry):]
+                    self._later(
+                        self._backoff.delay(ctx.hops - 1, self._rng),
+                        lambda: self._read_attempt(
+                            identifier, retry, rest, ctx, callback
+                        ),
+                    )
+                    return
+            if not outcome.ok:
+                self._retry_or_degrade(identifier, ctx, callback, outcome.error)
                 return
             callback(self._answer_from(key, outcome))
 
@@ -294,8 +513,64 @@ class ClusterFrontend:
         )
         for shard_id in read_set:
             self.stats.shard_lookups += 1
-            self._enqueue(shard_id, identifier.serial, collector)
+            self._enqueue(shard_id, identifier.serial, collector, ctx.deadline)
         self._maybe_flush()
+
+    def _retry_or_degrade(
+        self,
+        identifier: PhotoIdentifier,
+        ctx: _ReadContext,
+        callback: Callable[[ClusterAnswer], None],
+        reason: Optional[str],
+    ) -> None:
+        """Budget left → back off and retry fresh; else answer degraded."""
+        if ctx.attempts < self.config.max_retries:
+            delay = self._backoff.delay(ctx.attempts, self._rng)
+            now = self._clock()
+            if ctx.deadline is None or ctx.deadline.allows(now, delay):
+                ctx.attempts += 1
+                ctx.hops = 0
+                self.stats.retries += 1
+                self._later(
+                    delay, lambda: self._start_read(identifier, ctx, callback)
+                )
+                return
+        callback(self._degraded_answer(identifier, reason))
+
+    def _degraded_answer(
+        self, identifier: PhotoIdentifier, reason: Optional[str]
+    ) -> ClusterAnswer:
+        """The answer of last resort when no shard quorum is reachable.
+
+        With ``degraded_reads`` on, the Bloom filter substitutes for the
+        quorum: a miss is a definitive *not revoked* (subject to filter
+        staleness, which the E19 harness measures) and a hit reports
+        *revoked* — Bloom false positives err closed, and every
+        revocation this frontend acked was inserted via
+        :meth:`_note_revoked`, so the degraded path never fails open on
+        an acknowledged revocation.  Without the flag, the legacy
+        fail-safe stands: ``revoked=True`` with ``.error`` set.
+        """
+        key = identifier.to_string()
+        if self.config.degraded_reads:
+            self.stats.degraded_answers += 1
+            revoked = True  # no filter at all: maximally conservative
+            if self.filterset is not None:
+                revoked = bool(
+                    self.filterset.might_be_revoked(identifier.to_compact())
+                )
+            return ClusterAnswer(
+                identifier=key,
+                revoked=revoked,
+                source="degraded",
+                degraded=True,
+            )
+        return ClusterAnswer(
+            identifier=key,
+            revoked=True,  # fail-safe verdict; callers see .error
+            source="shard",
+            error=reason or "read quorum unreachable",
+        )
 
     def _answer_from(self, key: str, outcome: StatusOutcome) -> ClusterAnswer:
         if not outcome.ok:
@@ -350,6 +625,7 @@ class ClusterFrontend:
         statement, not a probabilistic shortcut) and raises
         :class:`LedgerUnavailableError` when no quorum answered, which
         is what validation policies key their fail-open/closed on.
+        Degraded answers are *not* proofs: they raise too.
         """
         box: List[ClusterAnswer] = []
         self.status_async(identifier, box.append, use_filter=False)
@@ -396,6 +672,8 @@ class ClusterFrontend:
         def _on_result(result) -> None:
             if result.ok:
                 self.stats.claims += 1
+                if initially_revoked:
+                    self._note_revoked(identifier)
                 self._end(op_id, ok=True, epoch=0)
                 callback(identifier, None)
             else:
@@ -403,7 +681,12 @@ class ClusterFrontend:
                 callback(identifier, result.error)
 
         self.executor.execute(
-            replicas, "claim", payload, self.config.write_quorum, _on_result
+            replicas,
+            "claim",
+            payload,
+            self.config.write_quorum,
+            _on_result,
+            on_reply=self._replica_write_hook("claim", payload, epoch=0),
         )
         return identifier
 
@@ -432,6 +715,73 @@ class ClusterFrontend:
             raise ClaimError(error)
         return identifier
 
+    # -- hinted handoff ---------------------------------------------------------------
+
+    def _replica_write_hook(
+        self, method: str, payload: Dict[str, Any], epoch: int = 0
+    ) -> Callable[[Any], None]:
+        """Per-reply observer for write fan-outs.
+
+        Feeds the breakers (the executor already feeds the detector) and
+        queues a hint for every replica the write missed — including
+        stragglers that fail *after* the quorum verdict, which is why
+        this hangs off ``on_reply`` rather than the quorum callback.
+        """
+
+        def _on_reply(reply) -> None:
+            if self.breakers is not None:
+                self.breakers.record(reply.shard_id, reply.ok)
+            if self.hints is not None and not reply.ok:
+                self.hints.record(reply.shard_id, method, payload, epoch=epoch)
+                self._arm_hint_timer()
+
+        return _on_reply
+
+    def _arm_hint_timer(self) -> None:
+        if (
+            self.hints is None
+            or self._scheduler is None
+            or self._hint_timer_armed
+            or self.hints.pending() == 0
+        ):
+            return
+        self._hint_timer_armed = True
+        self._scheduler(self.config.hint_replay_interval, self._hint_tick)
+
+    def _hint_tick(self) -> None:
+        self._hint_timer_armed = False
+        self.replay_hints()
+        self._arm_hint_timer()
+
+    def replay_hints(self) -> None:
+        """Try to redeliver queued hints to every hinted shard now.
+
+        Normally driven by the replay timer; exposed for tests and for
+        sync-mode callers that want to drain after a revive.  Shards
+        with an open breaker are skipped — the breaker's own half-open
+        probe is the cheaper liveness test.
+        """
+        if self.hints is None:
+            return
+        for shard_id in self.hints.shards_with_hints():
+            if not self._breaker_allows(shard_id):
+                continue
+            self.hints.replay(
+                shard_id, self.transport, on_result=self._record_result
+            )
+
+    def _note_revoked(self, identifier: PhotoIdentifier) -> None:
+        """Insert an acked revocation into the filter (if it can learn).
+
+        This is the fail-closed half of degraded reads: once a
+        revocation is acknowledged, even a filter-only answer reports it
+        revoked.  ProxyFilterSet-style read-only filters simply lack
+        ``add`` and are left untouched.
+        """
+        add = getattr(self.filterset, "add", None)
+        if add is not None:
+            add(identifier.to_compact())
+
     # -- revocation -------------------------------------------------------------------
 
     def make_challenge(self, identifier: PhotoIdentifier) -> tuple:
@@ -441,13 +791,14 @@ class ClusterFrontend:
         :meth:`Ledger.ownership_payload` over the nonce and passes both
         back to :meth:`complete_revocation` — challenge state is
         per-shard, so verify must land on the same replica.  Candidates
-        are tried in ring order (trusted replicas first), so a dead
-        primary only costs one failed probe.
+        are tried in ring order (trusted replicas first, breaker-open
+        replicas last), so a dead primary only costs one failed probe.
         """
         replicas = self.replicas_for(identifier)
         candidates = self.detector.live(replicas) + [
             s for s in replicas if self.detector.is_suspect(s)
         ]
+        candidates = self._breakers_last(candidates)
         errors = []
         for i, coordinator in enumerate(candidates):
             box: List = []
@@ -455,12 +806,12 @@ class ClusterFrontend:
                 coordinator, "challenge", {"serial": identifier.serial}, box.append
             )
             if box and box[0].ok:
-                self.detector.record_success(coordinator)
+                self._record_result(coordinator, True)
                 if i > 0:
                     self.stats.failovers += 1
                 return coordinator, box[0].value
             error = box[0].error if box else "no reply"
-            self.detector.record_failure(coordinator)
+            self._record_result(coordinator, False)
             errors.append(f"{coordinator}: {error}")
         raise RevocationError(
             f"challenge failed on all replicas ({'; '.join(errors)})"
@@ -487,9 +838,9 @@ class ClusterFrontend:
         )
         if not box or not box[0].ok:
             error = box[0].error if box else "no reply"
-            self.detector.record_failure(coordinator)
+            self._record_result(coordinator, False)
             raise RevocationError(f"{action} via {coordinator} failed: {error}")
-        self.detector.record_success(coordinator)
+        self._record_result(coordinator, True)
         verdict = box[0].value  # {'state': ..., 'epoch': ...}
         others = [s for s in replicas if s != coordinator]
         needed = self.config.write_quorum - 1  # coordinator already holds it
@@ -498,7 +849,14 @@ class ClusterFrontend:
             payload = {"serial": identifier.serial, **verdict}
             results: List = []
             self.executor.execute(
-                others, "apply_state", payload, max(needed, 1), results.append
+                others,
+                "apply_state",
+                payload,
+                max(needed, 1),
+                results.append,
+                on_reply=self._replica_write_hook(
+                    "apply_state", payload, epoch=verdict["epoch"]
+                ),
             )
             if needed > 0 and results and not results[0].ok:
                 raise RevocationError(
@@ -506,6 +864,8 @@ class ClusterFrontend:
                     f"{results[0].error}"
                 )
         self.stats.revocations += 1
+        if action == "revoke":
+            self._note_revoked(identifier)
         return outcome
 
     def revoke_async(
@@ -534,6 +894,7 @@ class ClusterFrontend:
         candidates = self.detector.live(replicas) + [
             s for s in replicas if self.detector.is_suspect(s)
         ]
+        candidates = self._breakers_last(candidates)
         op_id = self._begin(action, identifier.serial)
         errors: List[str] = []
 
@@ -551,11 +912,11 @@ class ClusterFrontend:
 
             def _on_challenge(reply) -> None:
                 if not reply.ok:
-                    self.detector.record_failure(coordinator)
+                    self._record_result(coordinator, False)
                     errors.append(f"{coordinator}: {reply.error}")
                     _try_coordinator(index + 1)
                     return
-                self.detector.record_success(coordinator)
+                self._record_result(coordinator, True)
                 if index > 0:
                     self.stats.failovers += 1
                 nonce = reply.value
@@ -589,12 +950,12 @@ class ClusterFrontend:
 
         def _on_action(reply) -> None:
             if not reply.ok:
-                self.detector.record_failure(coordinator)
+                self._record_result(coordinator, False)
                 error = f"{action} via {coordinator} failed: {reply.error}"
                 self._end(op_id, ok=False, error=error)
                 callback(None, error)
                 return
-            self.detector.record_success(coordinator)
+            self._record_result(coordinator, True)
             verdict = reply.value  # {'state': ..., 'epoch': ...}
             outcome: Dict[str, Any] = dict(verdict)
             others = [s for s in replicas if s != coordinator]
@@ -602,6 +963,8 @@ class ClusterFrontend:
 
             def _acked() -> None:
                 self.stats.revocations += 1
+                if action == "revoke":
+                    self._note_revoked(identifier)
                 self._end(op_id, ok=True, **verdict)
                 callback(outcome, None)
 
@@ -622,7 +985,14 @@ class ClusterFrontend:
 
             payload = {"serial": identifier.serial, **verdict}
             self.executor.execute(
-                others, "apply_state", payload, max(needed, 1), _on_quorum
+                others,
+                "apply_state",
+                payload,
+                max(needed, 1),
+                _on_quorum,
+                on_reply=self._replica_write_hook(
+                    "apply_state", payload, epoch=verdict["epoch"]
+                ),
             )
 
         self.transport.invoke(
@@ -662,9 +1032,15 @@ class ClusterFrontend:
 
     # -- batching engine ---------------------------------------------------------------
 
-    def _enqueue(self, shard_id: str, serial: int, collector) -> None:
+    def _enqueue(
+        self,
+        shard_id: str,
+        serial: int,
+        collector,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         queue = self._queues.setdefault(shard_id, [])
-        queue.append((serial, collector))
+        queue.append((serial, collector, deadline))
         if shard_id in self._ready or shard_id in self._timer_armed:
             return
         if self._scheduler is None or len(queue) >= self.config.max_batch:
@@ -717,21 +1093,36 @@ class ClusterFrontend:
         self.stats.peak_inflight = max(self.stats.peak_inflight, self._inflight)
         self.stats.batches_sent += 1
         self.stats.batch_items += len(batch)
-        serials = [serial for serial, _ in batch]
+        serials = [serial for serial, _, _ in batch]
 
         def _on_reply(reply) -> None:
             self._inflight -= 1
             if reply.ok:
-                self.detector.record_success(shard_id)
-                for (serial, collector), entry in zip(batch, reply.value):
+                self._record_result(shard_id, True)
+                for (serial, collector, _), entry in zip(batch, reply.value):
                     collector.record(shard_id, entry)
             else:
-                self.detector.record_failure(shard_id)
-                for serial, collector in batch:
+                self._record_result(shard_id, False)
+                for serial, collector, _ in batch:
                     collector.record_error(shard_id, reply.error)
             self._pump()
 
-        self.transport.invoke(shard_id, "status", {"serials": serials}, _on_reply)
+        kwargs: Dict[str, Any] = {}
+        if getattr(self.transport, "supports_deadlines", False):
+            # Deadline propagation: the RPC timeout shrinks to the
+            # tightest remaining budget in the batch, so a sub-call
+            # can never outlive the request it serves.
+            now = self._clock()
+            budgets = [
+                deadline.remaining(now)
+                for _, _, deadline in batch
+                if deadline is not None
+            ]
+            if budgets:
+                kwargs["timeout"] = max(min(budgets), 1e-4)
+        self.transport.invoke(
+            shard_id, "status", {"serials": serials}, _on_reply, **kwargs
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -17,6 +17,18 @@ the ring: a key's R replicas are peers, and the frontend coordinates.
   the winning state back to them (``apply_state``), so divergence
   created by a down replica heals with normal read traffic instead of
   requiring an anti-entropy sweep.
+* **Hinted handoff** (:class:`HintQueue`): a write that reached its
+  quorum but missed a replica leaves that replica stale until a read
+  happens to repair it.  The coordinator instead queues a *hint* — the
+  missed method + payload — and replays it when the replica is
+  reachable again, so repair is driven by the write path too, not only
+  by read traffic (the availability/repair gap the IPFS measurement
+  study documents for purely read-driven repair).  Hints coalesce per
+  (shard, serial) at the highest epoch, are bounded per shard, and a
+  hint the restored replica *rejects* (e.g. ``apply_state`` on a
+  wiped, still-empty replica) is dropped after a few attempts — full
+  record restoration is the anti-entropy sweep's job
+  (:mod:`repro.cluster.antientropy`).
 
 Everything is callback-style so the identical logic runs on the
 synchronous in-process transport (unit tests, demos) and the
@@ -37,6 +49,8 @@ __all__ = [
     "QuorumResult",
     "StatusCollector",
     "StatusOutcome",
+    "Hint",
+    "HintQueue",
     "majority",
 ]
 
@@ -177,7 +191,14 @@ class QuorumExecutor:
         payload: Any,
         quorum: int,
         callback: Callable[[QuorumResult], None],
+        on_reply: Optional[Callable[[ShardReply], None]] = None,
     ) -> None:
+        """Fan out; ``callback`` fires at the quorum verdict.
+
+        ``on_reply`` (when given) observes *every* individual reply,
+        including those arriving after the verdict — the hook hinted
+        handoff uses to catch replicas that missed a successful write.
+        """
         if not 1 <= quorum <= len(shard_ids):
             raise ValueError(
                 f"quorum {quorum} invalid for {len(shard_ids)} replica(s)"
@@ -198,6 +219,8 @@ class QuorumExecutor:
 
         def _on_reply(reply: ShardReply) -> None:
             self._note(reply)
+            if on_reply is not None:
+                on_reply(reply)
             if reply.ok:
                 result.acks.append(reply)
             else:
@@ -327,3 +350,168 @@ class StatusCollector:
             outcome.stale_shards.append(shard_id)
             if self._on_stale is not None:
                 self._on_stale(shard_id, outcome)
+
+
+@dataclass
+class Hint:
+    """One missed replica write, queued for redelivery."""
+
+    shard_id: str
+    method: str  # 'apply_state' | 'claim'
+    payload: Dict[str, Any]
+    epoch: int = 0
+    queued_at: float = 0.0
+    attempts: int = 0
+
+    @property
+    def serial(self) -> Optional[int]:
+        return self.payload.get("serial")
+
+
+class HintQueue:
+    """Coordinator-side store of writes that missed a replica.
+
+    Semantics (Dynamo-style hinted handoff, scoped to this cluster):
+
+    * Hints coalesce per ``(shard, method, serial)`` keeping the
+      highest epoch — replaying an old hint after a newer one would be
+      rejected by the shard's LWW guard anyway, so only the newest is
+      worth carrying.
+    * The per-shard queue is bounded (``max_per_shard``); when full the
+      *oldest* hint is dropped and counted, never silently.
+    * Replay is sequential per shard and stops at the first transport
+      failure (the replica is still down; hammering it helps nobody).
+      A hint the replica explicitly *rejects* — reachable shard,
+      application error, e.g. ``apply_state`` on a serial a disk wipe
+      erased — is retried at most ``max_attempts`` times and then
+      dropped for the anti-entropy sweep to restore.
+    * ``drained_at`` records the moment the queue last became empty
+      after holding hints: the E19 "handoff drain time" measurement.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        max_per_shard: int = 4096,
+        max_attempts: int = 3,
+    ):
+        if max_per_shard < 1:
+            raise ValueError("hint queue must hold at least one hint per shard")
+        if max_attempts < 1:
+            raise ValueError("hints need at least one replay attempt")
+        self._clock = clock
+        self.max_per_shard = int(max_per_shard)
+        self.max_attempts = int(max_attempts)
+        self._hints: Dict[str, List[Hint]] = {}
+        self._replaying: set = set()
+        self.hints_queued = 0
+        self.hints_replayed = 0
+        self.hints_dropped = 0
+        self.hints_coalesced = 0
+        self.drained_at: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self, shard_id: str, method: str, payload: Dict[str, Any], epoch: int = 0
+    ) -> None:
+        """Queue one missed write for ``shard_id``."""
+        queue = self._hints.setdefault(shard_id, [])
+        serial = payload.get("serial")
+        for hint in queue:
+            if hint.method == method and hint.serial == serial:
+                self.hints_coalesced += 1
+                if epoch > hint.epoch:
+                    hint.payload = dict(payload)
+                    hint.epoch = epoch
+                    hint.attempts = 0
+                return
+        if len(queue) >= self.max_per_shard:
+            queue.pop(0)
+            self.hints_dropped += 1
+        queue.append(
+            Hint(
+                shard_id=shard_id,
+                method=method,
+                payload=dict(payload),
+                epoch=epoch,
+                queued_at=self._clock(),
+            )
+        )
+        self.hints_queued += 1
+
+    # -- inspection ---------------------------------------------------------------
+
+    def pending(self, shard_id: Optional[str] = None) -> int:
+        if shard_id is not None:
+            return len(self._hints.get(shard_id, []))
+        return sum(len(q) for q in self._hints.values())
+
+    def shards_with_hints(self) -> List[str]:
+        return sorted(s for s, q in self._hints.items() if q)
+
+    def _note_drain(self) -> None:
+        if self.pending() == 0:
+            self.drained_at = self._clock()
+
+    # -- replay -------------------------------------------------------------------
+
+    def replay(
+        self,
+        shard_id: str,
+        transport: ShardTransport,
+        on_result: Optional[Callable[[str, bool], None]] = None,
+        on_done: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Redeliver ``shard_id``'s hints sequentially (callback chain).
+
+        ``on_result(shard_id, ok)`` reports each delivery outcome to
+        health tracking; ``on_done(replayed)`` fires when this round
+        stops (queue empty, transport failure, or round already
+        running).  Concurrent rounds per shard are refused — a second
+        timer tick while a replay chain is still in flight must not
+        interleave duplicate deliveries.
+        """
+        queue = self._hints.get(shard_id)
+        if not queue or shard_id in self._replaying:
+            if on_done is not None:
+                on_done(0)
+            return
+        self._replaying.add(shard_id)
+        replayed = {"n": 0}
+
+        def _finish() -> None:
+            self._replaying.discard(shard_id)
+            self._note_drain()
+            if on_done is not None:
+                on_done(replayed["n"])
+
+        def _next() -> None:
+            if not queue:
+                _finish()
+                return
+            hint = queue[0]
+
+            def _on_reply(reply: ShardReply) -> None:
+                if on_result is not None:
+                    on_result(shard_id, reply.ok)
+                if reply.ok:
+                    queue.pop(0)
+                    self.hints_replayed += 1
+                    replayed["n"] += 1
+                    _next()
+                    return
+                hint.attempts += 1
+                if hint.attempts >= self.max_attempts:
+                    queue.pop(0)
+                    self.hints_dropped += 1
+                    _next()
+                    return
+                _finish()  # replica still unreachable; try next round
+
+            transport.invoke(shard_id, hint.method, hint.payload, _on_reply)
+
+        _next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HintQueue(pending={self.pending()}, replayed={self.hints_replayed})"

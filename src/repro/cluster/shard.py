@@ -32,11 +32,16 @@ serves the in-process transport and the netsim RPC endpoints:
   on ``revocation_epoch``.
 * ``status`` — batched signed statuses, each carrying the record's
   epoch so quorum readers can detect divergence.
+* ``digest`` / ``fetch_records`` / ``install_record`` — the
+  anti-entropy surface: a cheap ``{serial: epoch}`` summary for
+  reconciliation, full-record export from a fresh holder, and
+  idempotent LWW installation on a stale or wiped replica.
 """
 
 from __future__ import annotations
 
 import hashlib
+from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import ClaimError, RevocationError
@@ -168,6 +173,61 @@ class ClusterShard:
         self.states_applied += 1
         return {"applied": True, "epoch": epoch}
 
+    # -- protocol: anti-entropy -------------------------------------------------------
+
+    def digest(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``{serial: epoch}`` summary for anti-entropy reconciliation.
+
+        ``payload['serials']`` (optional) restricts the summary; by
+        default every held record is reported.
+        """
+        serials = payload.get("serials")
+        store = self.ledger.store
+        if serials is None:
+            entries = {
+                record.identifier.serial: record.revocation_epoch
+                for record in store.records()
+            }
+        else:
+            entries = {}
+            for serial in serials:
+                record = store.get(serial)
+                if record is not None:
+                    entries[serial] = record.revocation_epoch
+        return {"records": entries}
+
+    def fetch_records(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Export full records for re-replication (cloned, never aliased)."""
+        records = []
+        for serial in payload["serials"]:
+            record = self.ledger.store.get(serial)
+            if record is not None:
+                records.append(replace(record))
+        return {"records": records}
+
+    def install_record(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Adopt a re-replicated record (idempotent, LWW on epoch).
+
+        Unlike ``apply_state`` this carries the whole claim record, so
+        it restores replicas that lost their disk entirely.  A record
+        already held at an equal or newer epoch is left untouched.
+        """
+        incoming = payload["record"]
+        serial = incoming.identifier.serial
+        existing = self.ledger.store.get(serial)
+        if existing is None:
+            self.ledger.store.put(replace(incoming))
+            self.states_applied += 1
+            return {"installed": True, "epoch": incoming.revocation_epoch}
+        if incoming.revocation_epoch <= existing.revocation_epoch:
+            self.stale_applies_ignored += 1
+            return {"installed": False, "epoch": existing.revocation_epoch}
+        existing.state = incoming.state
+        existing.revocation_epoch = incoming.revocation_epoch
+        self.ledger.store.log_operation("install_record", serial, self.ledger.now())
+        self.states_applied += 1
+        return {"installed": True, "epoch": incoming.revocation_epoch}
+
     # -- protocol: status -------------------------------------------------------------
 
     def status(self, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -200,6 +260,9 @@ class ClusterShard:
             "unrevoke": self.unrevoke,
             "apply_state": self.apply_state,
             "status": self.status,
+            "digest": self.digest,
+            "fetch_records": self.fetch_records,
+            "install_record": self.install_record,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

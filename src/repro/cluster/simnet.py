@@ -63,13 +63,20 @@ class ShardCostModel:
             return self.request_overhead + self.per_status_item * len(
                 payload["serials"]
             )
-        if method in ("claim", "revoke", "unrevoke", "apply_state"):
+        if method in ("claim", "revoke", "unrevoke", "apply_state", "install_record"):
             return self.request_overhead + self.per_write
         return self.request_overhead
 
 
 class NetsimShardTransport:
-    """ShardTransport over netsim RPC endpoints."""
+    """ShardTransport over netsim RPC endpoints.
+
+    Advertises ``supports_deadlines``: callers may pass a per-call
+    ``timeout`` and the effective RPC timeout shrinks to fit it —
+    deadline propagation reaching the wire.
+    """
+
+    supports_deadlines = True
 
     def __init__(
         self,
@@ -97,6 +104,7 @@ class NetsimShardTransport:
         method: str,
         payload: Any,
         callback: Callable[[ShardReply], None],
+        timeout: Optional[float] = None,
     ) -> None:
         self.calls += 1
         endpoint = self._endpoints.get(shard_id)
@@ -110,6 +118,12 @@ class NetsimShardTransport:
             else:
                 callback(ShardReply(shard_id, error=str(result.error)))
 
+        effective_timeout = self.timeout
+        if timeout is not None:
+            # Deadline propagation: never wait longer than the caller's
+            # remaining budget (floored so a nearly-spent budget still
+            # sends one RPC rather than an instant timeout).
+            effective_timeout = max(min(self.timeout, timeout), 1e-4)
         endpoint.call(
             self._frontend_node,
             method,
@@ -117,7 +131,7 @@ class NetsimShardTransport:
             _on_result,
             request_bytes=self.request_bytes,
             response_bytes=self.response_bytes,
-            timeout=self.timeout,
+            timeout=effective_timeout,
             retries=self.retries,
         )
 
@@ -156,6 +170,7 @@ class SimulatedCluster:
         key_bits: int = 512,
         failure_threshold: int = 2,
         probation: float = 5.0,
+        filterset=None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -221,6 +236,8 @@ class SimulatedCluster:
             config=config,
             clock=clock,
             scheduler=self.simulator.schedule,
+            filterset=filterset,
+            rng=self.rngs.stream("resilience"),
         )
 
     # -- faults -------------------------------------------------------------------

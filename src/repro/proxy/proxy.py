@@ -12,6 +12,16 @@ The proxy hides viewer identity from ledgers (section 4.2): ledger-side
 request logs record the proxy, never the user.  The
 :class:`~repro.proxy.anonymity.ObservationLog` captures exactly what a
 ledger sees for the E8 privacy experiment.
+
+The proxy also carries the client half of the resilience layer: ledger
+queries retry on :class:`LedgerUnavailableError` under a
+:class:`~repro.resilience.BackoffPolicy`, a per-ledger circuit breaker
+stops hammering a ledger that keeps timing out, and — when
+``degraded_reads`` is enabled — an unreachable ledger is answered from
+the Bloom verdict with ``degraded=True`` instead of an exception.
+Degradation is fail-closed: reaching the ledger-query stage at all
+means the filter said "might be revoked", so the degraded answer
+reports *revoked*.
 """
 
 from __future__ import annotations
@@ -19,12 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.core.errors import LedgerUnavailableError
 from repro.core.identifiers import PhotoIdentifier
 from repro.ledger.proofs import StatusProof
 from repro.ledger.registry import LedgerRegistry
 from repro.proxy.anonymity import ObservationLog
 from repro.proxy.cache import TtlLruCache
 from repro.proxy.filterset import ProxyFilterSet
+from repro.resilience import BackoffPolicy, CircuitBreaker
 
 __all__ = ["IrsProxy", "ProxyAnswer", "ProxyStats"]
 
@@ -37,7 +49,9 @@ class ProxyAnswer:
 
     * ``'filter'`` -- Bloom miss, definitely not revoked, no proof;
     * ``'cache'`` -- recent ledger proof replayed from cache;
-    * ``'ledger'`` -- fresh signed proof from the hosting ledger.
+    * ``'ledger'`` -- fresh signed proof from the hosting ledger;
+    * ``'degraded'`` -- ledger unreachable, answered from the filter
+      verdict (fail-closed: reported revoked), no proof.
     """
 
     identifier: str
@@ -45,6 +59,7 @@ class ProxyAnswer:
     source: str
     checked_at: float
     proof: Optional[StatusProof] = None
+    degraded: bool = False
 
 
 @dataclass
@@ -53,6 +68,9 @@ class ProxyStats:
     filter_short_circuits: int = 0
     cache_hits: int = 0
     ledger_queries: int = 0
+    retries: int = 0
+    degraded_answers: int = 0
+    breaker_refusals: int = 0
 
     @property
     def ledger_query_fraction(self) -> float:
@@ -86,6 +104,16 @@ class IrsProxy:
         When provided, every *ledger-bound* request is recorded there
         with this proxy's name as the requester -- modelling what
         ledger operators can observe.
+    max_retries / backoff / rng / sleep:
+        Ledger-query retry policy.  ``sleep(seconds)`` is how a delay
+        is actually spent (a no-op by default, so synchronous tests pay
+        nothing); ``rng`` jitters the schedule.
+    breaker_threshold:
+        Consecutive ledger failures that open the proxy's breaker; None
+        (default) disables it.
+    degraded_reads:
+        When True an unreachable ledger produces a fail-closed degraded
+        answer instead of raising :class:`LedgerUnavailableError`.
     """
 
     def __init__(
@@ -96,13 +124,34 @@ class IrsProxy:
         cache: Optional[TtlLruCache] = None,
         clock: Optional[Callable[[], float]] = None,
         observation_log: Optional[ObservationLog] = None,
+        max_retries: int = 0,
+        backoff: Optional[BackoffPolicy] = None,
+        rng=None,
+        sleep: Optional[Callable[[float], None]] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_reset_timeout: float = 5.0,
+        degraded_reads: bool = False,
     ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.name = name
         self._registry = registry
         self.filterset = filterset
         self.cache = cache
         self._clock = clock or (lambda: 0.0)
         self._observations = observation_log
+        self.max_retries = int(max_retries)
+        self._backoff = backoff or BackoffPolicy()
+        self._rng = rng
+        self._sleep = sleep or (lambda seconds: None)
+        self.breaker: Optional[CircuitBreaker] = None
+        if breaker_threshold is not None:
+            self.breaker = CircuitBreaker(
+                self._clock,
+                failure_threshold=breaker_threshold,
+                reset_timeout=breaker_reset_timeout,
+            )
+        self.degraded_reads = degraded_reads
         self.stats = ProxyStats()
 
     def status(self, identifier: PhotoIdentifier) -> ProxyAnswer:
@@ -131,7 +180,22 @@ class IrsProxy:
                     proof=cached,
                 )
 
-        proof = self._query_ledger(identifier)
+        try:
+            proof = self._query_with_retries(identifier)
+        except LedgerUnavailableError:
+            if not self.degraded_reads:
+                raise
+            # Fail-closed degradation: this query got past the filter,
+            # so the record *might* be revoked — report it revoked
+            # rather than letting an outage imply "valid".
+            self.stats.degraded_answers += 1
+            return ProxyAnswer(
+                identifier=key,
+                revoked=True,
+                source="degraded",
+                checked_at=now,
+                degraded=True,
+            )
         if self.cache is not None:
             self.cache.put(key, proof)
         return ProxyAnswer(
@@ -141,6 +205,30 @@ class IrsProxy:
             checked_at=proof.checked_at,
             proof=proof,
         )
+
+    def _query_with_retries(self, identifier: PhotoIdentifier) -> StatusProof:
+        """One ledger query under the breaker and retry policy."""
+        if self.breaker is not None and not self.breaker.allow():
+            self.stats.breaker_refusals += 1
+            raise LedgerUnavailableError(
+                f"ledger {identifier.ledger_id!r}: circuit breaker open"
+            )
+        attempt = 0
+        while True:
+            try:
+                proof = self._query_ledger(identifier)
+            except LedgerUnavailableError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt >= self.max_retries:
+                    raise
+                self._sleep(self._backoff.delay(attempt, self._rng))
+                attempt += 1
+                self.stats.retries += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return proof
 
     def _query_ledger(self, identifier: PhotoIdentifier) -> StatusProof:
         self.stats.ledger_queries += 1

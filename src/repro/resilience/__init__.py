@@ -1,0 +1,36 @@
+"""Reusable resilience policies: backoff, deadlines, breakers, shedding.
+
+The cluster's first line of defense against the chaos harness is
+*policy*, not protocol: retries must be bounded and jittered (or a
+partition turns into a retry storm), requests must carry deadlines (or
+one dead shard stalls a page render), persistently failing replicas
+must be circuit-broken (or every request pays a timeout to re-discover
+the same dead node), and overload must be shed early (or queues grow
+without bound and everyone times out).  This package holds those
+policies as small, clock-driven, seed-deterministic values so the
+cluster frontend, the proxy, and the browser extension can share one
+implementation — and so the chaos determinism tests can replay them
+byte-identically.
+
+* :class:`BackoffPolicy` — capped exponential backoff with seeded
+  downward jitter (deterministic per RNG stream).
+* :class:`Deadline` — an absolute-time request budget that propagates
+  through batched sub-calls.
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-target
+  closed/open/half-open state machines over any clock.
+* :class:`TokenBucket` — deterministic token-bucket admission control
+  for load shedding.
+"""
+
+from repro.resilience.policy import BackoffPolicy, Deadline
+from repro.resilience.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.resilience.shedding import TokenBucket
+
+__all__ = [
+    "BackoffPolicy",
+    "Deadline",
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
+    "TokenBucket",
+]

@@ -1,0 +1,177 @@
+"""Per-target circuit breakers: stop paying timeouts to dead nodes.
+
+The failure detector (:mod:`repro.cluster.health`) answers "who do I
+*prefer*"; the breaker answers "who do I refuse to call at all".  The
+distinction matters under chaos: a suspected shard still receives
+hedged reads (suspicion is advisory), but an *open* breaker removes the
+shard from the candidate set entirely, so a partitioned replica costs
+one timeout per reset window instead of one per request — which is the
+difference between a latency blip and a cluster-wide stall when a
+partition takes out a whole replica group.
+
+States follow the classic machine:
+
+* **closed** — traffic flows; ``failure_threshold`` consecutive
+  failures trip it open.
+* **open** — all traffic refused until ``reset_timeout`` elapses.
+* **half-open** — up to ``half_open_probes`` trial requests are
+  admitted; one success recloses, one failure re-opens (and restarts
+  the reset clock).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One target's closed/open/half-open state machine over a clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        half_open_probes: int = 1,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("breaker failure threshold must be at least 1")
+        if reset_timeout <= 0:
+            raise ValueError("breaker reset timeout must be positive")
+        if half_open_probes < 1:
+            raise ValueError("breaker must admit at least one half-open probe")
+        self._clock = clock
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_admitted = 0
+        # Counters for experiment reporting.
+        self.times_opened = 0
+        self.times_reclosed = 0
+        self.calls_refused = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, accounting for reset-timeout expiry."""
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_admitted = 0
+
+    # -- admission ---------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request be sent to this target right now?
+
+        In half-open state each ``allow() == True`` *consumes* one of
+        the probe slots, so callers must only ask when they are about
+        to send — the probe budget is the admission, not a preview.
+        """
+        self._maybe_half_open()
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probes_admitted < self.half_open_probes:
+                self._probes_admitted += 1
+                return True
+            self.calls_refused += 1
+            return False
+        self.calls_refused += 1
+        return False
+
+    # -- evidence ----------------------------------------------------------------
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            self.times_reclosed += 1
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()  # failed probe: back to open, restart the clock
+            return
+        if self._state is BreakerState.OPEN:
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.times_opened += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CircuitBreaker({self._state.value})"
+
+
+class BreakerBoard:
+    """A lazily populated breaker per target (shard, ledger, ...)."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        half_open_probes: int = 1,
+    ):
+        self._clock = clock
+        self._kwargs = dict(
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            half_open_probes=half_open_probes,
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, target: str) -> CircuitBreaker:
+        if target not in self._breakers:
+            self._breakers[target] = CircuitBreaker(self._clock, **self._kwargs)
+        return self._breakers[target]
+
+    def allow(self, target: str) -> bool:
+        return self.breaker(target).allow()
+
+    def record(self, target: str, ok: bool) -> None:
+        if ok:
+            self.breaker(target).record_success()
+        else:
+            self.breaker(target).record_failure()
+
+    def state(self, target: str) -> BreakerState:
+        return self.breaker(target).state
+
+    def open_targets(self) -> List[str]:
+        return sorted(
+            t
+            for t, b in self._breakers.items()
+            if b.state is not BreakerState.CLOSED
+        )
+
+    @property
+    def times_opened(self) -> int:
+        return sum(b.times_opened for b in self._breakers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BreakerBoard(open={self.open_targets()})"

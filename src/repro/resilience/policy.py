@@ -1,0 +1,103 @@
+"""Backoff schedules and request deadlines.
+
+Both are *values over an external clock*: nothing here sleeps, spawns
+timers, or reads wall time.  The caller (frontend, proxy, extension)
+asks for a delay or a remaining budget and decides what to do with it,
+which is what lets the identical policy run under the discrete-event
+simulator and in synchronous unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BackoffPolicy", "Deadline"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with downward jitter.
+
+    The undithered schedule is ``min(base * multiplier**attempt, cap)``
+    — non-decreasing in ``attempt`` and never above ``cap``.  Jitter
+    multiplies a draw from ``[1 - jitter, 1]`` onto the base delay, so
+    jittered delays stay within ``(0, cap]``: retries de-synchronize
+    (the thundering-herd fix) without ever exceeding the cap a deadline
+    budget was provisioned against.  Determinism comes from the caller:
+    pass a seeded ``numpy`` generator and the jitter sequence is a pure
+    function of that stream.
+    """
+
+    base: float = 0.01
+    multiplier: float = 2.0
+    cap: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.base <= 0:
+            raise ValueError("backoff base must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be at least 1")
+        if self.cap < self.base:
+            raise ValueError("backoff cap cannot be below the base delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("backoff jitter must lie in [0, 1]")
+
+    def base_delay(self, attempt: int) -> float:
+        """The undithered delay before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt cannot be negative")
+        # Compute in log space to avoid overflow on absurd attempt counts.
+        delay = self.base
+        for _ in range(attempt):
+            delay *= self.multiplier
+            if delay >= self.cap:
+                return self.cap
+        return min(delay, self.cap)
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """The jittered delay before retry number ``attempt`` (0-based).
+
+        ``rng`` is any object with ``uniform()`` (a ``numpy`` Generator
+        stream); None disables jitter, returning the base schedule.
+        """
+        raw = self.base_delay(attempt)
+        if rng is None or self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * float(rng.uniform()))
+
+
+class Deadline:
+    """An absolute-time budget for one request and its sub-calls.
+
+    Created once at request admission (``Deadline.after(now, budget)``)
+    and handed down through retries, failovers and batched RPCs: every
+    layer asks ``remaining(now)`` and shrinks its own timeout to fit,
+    so the client-visible latency bound survives any amount of internal
+    retrying — the "deadline propagation" half of the resilience layer.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float):
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, now: float, budget: float) -> "Deadline":
+        if budget <= 0:
+            raise ValueError("deadline budget must be positive")
+        return cls(now + budget)
+
+    def remaining(self, now: float) -> float:
+        """Seconds left, clamped at zero."""
+        return max(self.at - now, 0.0)
+
+    def expired(self, now: float) -> bool:
+        return now >= self.at
+
+    def allows(self, now: float, delay: float) -> bool:
+        """Would waiting ``delay`` seconds still leave budget?"""
+        return now + delay < self.at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(at={self.at:.6f})"

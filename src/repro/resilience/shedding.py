@@ -1,0 +1,59 @@
+"""Token-bucket load shedding: refuse early, answer degraded.
+
+Under overload, the worst thing a revocation frontend can do is accept
+every query and let them all time out — the browser then blocks on a
+dead deadline instead of falling back to the Bloom verdict.  A token
+bucket admits a sustained ``rate`` with bursts up to ``burst``; queries
+refused here are answered immediately from the degraded path, keeping
+the shards inside their capacity region.  Refill is computed lazily
+from the clock (no timers), so admission decisions are a deterministic
+function of the query arrival times — chaos replay safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Deterministic token-bucket admission control."""
+
+    def __init__(self, rate: float, burst: float, clock: Callable[[], float]):
+        if rate <= 0:
+            raise ValueError("token rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must admit at least one request")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self.admitted = 0
+        self.refused = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Admit one request iff a token is available right now."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            self.admitted += 1
+            return True
+        self.refused += 1
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TokenBucket(rate={self.rate}, tokens={self.tokens:.2f})"

@@ -1,0 +1,68 @@
+"""E19 harness tests: determinism and the resilience guarantees."""
+
+import pytest
+
+from repro.chaos import (
+    POLICIES,
+    resilience_config,
+    run_resilient_chaos,
+)
+
+_FAST = dict(queries=120, revocations=10, population=60, horizon=4.0, drain=3.0)
+
+
+def test_identical_seeds_produce_identical_rows():
+    """The full E19 row — digest included — replays byte-identically."""
+    a = run_resilient_chaos(seed=11, intensity=0.5, policy="full", **_FAST)
+    b = run_resilient_chaos(seed=11, intensity=0.5, policy="full", **_FAST)
+    assert a.row() == b.row()
+    assert a.digest == b.digest
+
+
+def test_different_seeds_differ():
+    a = run_resilient_chaos(seed=11, intensity=0.5, policy="full", **_FAST)
+    b = run_resilient_chaos(seed=12, intensity=0.5, policy="full", **_FAST)
+    assert a.row() != b.row()
+
+
+def test_full_policy_survives_intensity_half():
+    """The PR's acceptance bar, at test scale: no violations, no
+    fail-open, and every status query answered within the deadline."""
+    report = run_resilient_chaos(seed=0, intensity=0.5, policy="full", **_FAST)
+    assert report.check.ok, report.check.by_invariant()
+    assert report.fail_open == 0
+    assert report.availability == 1.0
+    assert report.deadline_rate >= 0.99
+
+
+def test_policies_share_the_same_adversary():
+    """Policy choice must not perturb the fault plan or workload."""
+    reports = {
+        policy: run_resilient_chaos(
+            seed=5, intensity=0.75, policy=policy, **_FAST
+        )
+        for policy in POLICIES
+    }
+    faults = {policy: r.faults for policy, r in reports.items()}
+    assert faults["none"] == faults["retry"] == faults["full"]
+    ops = {policy: r.status_ops for policy, r in reports.items()}
+    assert ops["none"] == ops["retry"] == ops["full"]
+
+
+def test_resilience_config_tiers_are_cumulative():
+    none = resilience_config("none")
+    retry = resilience_config("retry")
+    full = resilience_config("full")
+    assert none.request_deadline is None and not none.degraded_reads
+    assert retry.request_deadline is not None and retry.max_retries > 0
+    assert not retry.degraded_reads
+    assert full.request_deadline == retry.request_deadline
+    assert full.degraded_reads and full.hinted_handoff
+    assert full.breaker_threshold is not None
+
+
+def test_unknown_policy_is_rejected():
+    with pytest.raises(ValueError):
+        resilience_config("heroic")
+    with pytest.raises(ValueError):
+        run_resilient_chaos(seed=0, intensity=0.1, policy="heroic", **_FAST)

@@ -1,0 +1,80 @@
+"""Property tests for :class:`repro.resilience.BackoffPolicy`.
+
+Three properties are the contract the frontend's deadline budgeting
+relies on: delays are bounded by the cap (so a deadline provisioned
+against ``cap`` survives any retry count), the undithered schedule is
+non-decreasing (so retries genuinely back off), and jitter is a pure
+function of the seeded stream (so chaos runs replay byte-identically).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resilience import BackoffPolicy
+
+
+@st.composite
+def policies(draw):
+    base = draw(st.floats(1e-4, 1.0, allow_nan=False, allow_infinity=False))
+    cap = draw(st.floats(base, 10.0, allow_nan=False, allow_infinity=False))
+    multiplier = draw(st.floats(1.0, 8.0, allow_nan=False, allow_infinity=False))
+    jitter = draw(st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False))
+    return BackoffPolicy(base=base, multiplier=multiplier, cap=cap, jitter=jitter)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies(), attempt=st.integers(0, 200), seed=st.integers(0, 2**16))
+def test_jittered_delay_is_positive_and_bounded_by_cap(policy, attempt, seed):
+    rng = np.random.default_rng(seed)
+    delay = policy.delay(attempt, rng)
+    assert 0.0 < delay <= policy.cap
+    # The jittered delay never exceeds the undithered schedule either.
+    assert delay <= policy.base_delay(attempt)
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies(), attempt=st.integers(0, 100))
+def test_base_schedule_is_non_decreasing(policy, attempt):
+    assert policy.base_delay(attempt) <= policy.base_delay(attempt + 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(policy=policies(), seed=st.integers(0, 2**16))
+def test_jitter_is_deterministic_per_seed(policy, seed):
+    a = [policy.delay(n, np.random.default_rng(seed)) for n in range(8)]
+    b = [policy.delay(n, np.random.default_rng(seed)) for n in range(8)]
+    assert a == b
+
+
+def test_no_rng_means_no_jitter():
+    policy = BackoffPolicy(base=0.01, multiplier=2.0, cap=0.25, jitter=0.5)
+    assert [policy.delay(n) for n in range(6)] == [
+        policy.base_delay(n) for n in range(6)
+    ]
+
+
+def test_schedule_saturates_at_cap_without_overflow():
+    policy = BackoffPolicy(base=0.01, multiplier=2.0, cap=0.25)
+    assert policy.base_delay(10_000) == policy.cap
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(base=0.0),
+        dict(base=-1.0),
+        dict(multiplier=0.5),
+        dict(base=0.5, cap=0.1),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+    ],
+)
+def test_invalid_policies_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        BackoffPolicy(**kwargs)
+
+
+def test_negative_attempt_is_rejected():
+    with pytest.raises(ValueError):
+        BackoffPolicy().base_delay(-1)

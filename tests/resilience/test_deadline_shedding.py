@@ -1,0 +1,80 @@
+"""Deadline budgets and token-bucket load shedding."""
+
+import pytest
+
+from repro.netsim.simulator import ManualClock
+from repro.resilience import Deadline, TokenBucket
+
+
+class TestDeadline:
+    def test_after_sets_the_absolute_expiry(self):
+        deadline = Deadline.after(10.0, 0.25)
+        assert deadline.at == pytest.approx(10.25)
+
+    def test_remaining_shrinks_and_clamps_at_zero(self):
+        deadline = Deadline.after(0.0, 1.0)
+        assert deadline.remaining(0.4) == pytest.approx(0.6)
+        assert deadline.remaining(1.0) == 0.0
+        assert deadline.remaining(5.0) == 0.0
+
+    def test_expired(self):
+        deadline = Deadline.after(0.0, 1.0)
+        assert not deadline.expired(0.999)
+        assert deadline.expired(1.0)
+
+    def test_allows_requires_budget_beyond_the_delay(self):
+        deadline = Deadline.after(0.0, 1.0)
+        assert deadline.allows(0.0, 0.5)
+        assert not deadline.allows(0.6, 0.4)  # lands exactly on expiry
+        assert not deadline.allows(0.9, 0.5)
+
+    def test_non_positive_budget_is_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0, 0.0)
+
+
+class TestTokenBucket:
+    def test_burst_is_admitted_then_refused(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock.now)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        assert bucket.admitted == 3
+        assert bucket.refused == 1
+
+    def test_refill_is_a_function_of_elapsed_time(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock.now)
+        for _ in range(3):
+            bucket.try_acquire()
+        clock.advance(0.1)  # one token back at 10/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_tokens_never_exceed_the_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=100.0, burst=5, clock=clock.now)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_sustained_rate_is_enforced(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=5.0, burst=1, clock=clock.now)
+        admitted = 0
+        for _ in range(100):  # 100 arrivals over 10 s at 10/s offered
+            clock.advance(0.1)
+            if bucket.try_acquire():
+                admitted += 1
+        # 5/s sustained over 10 s, plus the initial burst token.
+        assert admitted <= 51
+
+    @pytest.mark.parametrize("kwargs", [dict(rate=0.0), dict(burst=0.5)])
+    def test_invalid_parameters_are_rejected(self, kwargs):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            TokenBucket(
+                rate=kwargs.get("rate", 1.0),
+                burst=kwargs.get("burst", 1.0),
+                clock=clock.now,
+            )
