@@ -229,6 +229,64 @@ def _demo_resilience(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _demo_obs(args: argparse.Namespace) -> None:
+    import hashlib
+
+    from repro.obs import metrics_tables, slowest_spans_table, stage_breakdown
+    from repro.obs.demo import run_traced_workload
+
+    for name in ("shards", "queries"):
+        if getattr(args, name) < 1:
+            raise SystemExit(f"python -m repro obs: --{name} must be at least 1")
+    report = run_traced_workload(
+        num_shards=args.shards,
+        seed=args.seed,
+        queries=args.queries,
+        revocations=args.revocations,
+        kill_shard=args.kill_shard,
+    )
+    print(
+        f"obs: {report.num_shards} shard(s), seed {report.seed}, "
+        f"{report.queries} status checks, "
+        f"{report.revocations_attempted} revocations"
+    )
+    print(
+        f"  answered: {report.availability:.1%}, revocations acknowledged: "
+        f"{report.revocations_acked}/{report.revocations_attempted}"
+    )
+    spans = report.obs.spans
+    print(stage_breakdown(spans, title="per-stage latency (sim time)").render())
+    print(slowest_spans_table(spans, limit=args.slowest).render())
+    for table in metrics_tables(report.obs.metrics):
+        print(table.render())
+    jsonl = report.obs.export_spans_jsonl()
+    digest = hashlib.sha256(jsonl.encode("utf-8")).hexdigest()
+    print(
+        f"\nspan export: {len(spans)} spans, sha256 {digest[:16]} "
+        "(same seed reproduces these bytes exactly)"
+    )
+    if args.jsonl is not None:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(jsonl)
+        print(f"  spans written to {args.jsonl}")
+    if args.prometheus is not None:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(report.obs.export_prometheus())
+        print(f"  metrics written to {args.prometheus}")
+    check = report.check
+    if check.ok:
+        print(
+            f"consistency: OK — {check.spans_checked} spans cross-validated "
+            "against the client-visible history"
+        )
+    else:
+        print(f"consistency: {check.by_invariant()}")
+        for violation in check.violations:
+            print(f"  [{violation.invariant}] serial={violation.serial}: "
+                  f"{violation.detail}")
+        raise SystemExit(1)
+
+
 _DEMOS = {
     "quickstart": (_demo_quickstart, "claim/label/revoke/validate lifecycle"),
     "scaling": (_demo_scaling, "section 4.4 Bloom filter scaling table"),
@@ -310,6 +368,43 @@ def main(argv: list[str] | None = None) -> int:
         "--queries", type=int, default=400,
         help="status checks driven through the fault windows (default 400)",
     )
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="traced cluster workload: per-stage latency breakdown, "
+        "metrics tables, deterministic span export",
+    )
+    obs_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; identical seeds export byte-identical spans "
+        "(default 0)",
+    )
+    obs_parser.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default 4)"
+    )
+    obs_parser.add_argument(
+        "--queries", type=int, default=400,
+        help="status checks to drive through the frontend (default 400)",
+    )
+    obs_parser.add_argument(
+        "--revocations", type=int, default=12,
+        help="owner revocations interleaved with the reads (default 12)",
+    )
+    obs_parser.add_argument(
+        "--slowest", type=int, default=10,
+        help="rows in the slowest-span table (default 10)",
+    )
+    obs_parser.add_argument(
+        "--kill-shard", action="store_true",
+        help="crash one replica mid-run so the trace shows failovers",
+    )
+    obs_parser.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="write the JSON-lines span dump to PATH",
+    )
+    obs_parser.add_argument(
+        "--prometheus", metavar="PATH", default=None,
+        help="write the Prometheus-style metrics exposition to PATH",
+    )
     args = parser.parse_args(argv)
     if args.demo == "cluster":
         _demo_cluster(args)
@@ -317,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         _demo_chaos(args)
     elif args.demo == "resilience":
         _demo_resilience(args)
+    elif args.demo == "obs":
+        _demo_obs(args)
     else:
         _DEMOS[args.demo][0]()
     return 0

@@ -101,6 +101,13 @@ class IrsBrowserExtension:
         status source; ``'degrade'`` converts it into a fail-closed
         block (the check only ran because the filter said "might be
         revoked").
+    obs:
+        Optional :class:`~repro.obs.Observability`.  Opens an
+        ``extension.check`` span per decision (the root of the
+        extension → proxy → ledger trace when the proxy shares the
+        same obs) and mirrors the stats counters into
+        ``extension_*`` metrics.  None (default) disables all
+        instrumentation.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class IrsBrowserExtension:
         freshness_max_age: float = 3600.0,
         clock=None,
         on_unavailable: str = "raise",
+        obs=None,
     ):
         if on_unavailable not in ("raise", "degrade"):
             raise ValueError(
@@ -131,6 +139,7 @@ class IrsBrowserExtension:
         self.freshness_max_age = float(freshness_max_age)
         self._clock = clock or (lambda: 0.0)
         self.on_unavailable = on_unavailable
+        self.obs = obs
         self.stats = ExtensionStats()
         if accept_freshness_proofs and registry is None:
             raise ValueError(
@@ -205,12 +214,30 @@ class IrsBrowserExtension:
         return self._decide(identifier)
 
     def _decide(self, identifier: PhotoIdentifier) -> DisplayDecision:
+        if self.obs is None:
+            return self._decide_impl(identifier)
+        self.obs.counter("extension_checks_total").inc()
+        with self.obs.span(
+            "extension.check", serial=identifier.serial
+        ) as span:
+            decision = self._decide_impl(identifier)
+            span.set_tag(display=decision.display, reason=decision.reason)
+            if not decision.display:
+                self.obs.counter("extension_blocked_total").inc()
+            self.obs.histogram("extension_check_latency_seconds").observe(
+                self.obs.now() - span.started_at
+            )
+            return decision
+
+    def _decide_impl(self, identifier: PhotoIdentifier) -> DisplayDecision:
         key = identifier.to_string()
 
         if self.local_filter is not None and not self.local_filter.might_be_revoked(
             identifier.to_compact()
         ):
             self.stats.filter_short_circuits += 1
+            if self.obs is not None:
+                self.obs.counter("extension_filter_short_circuits_total").inc()
             return DisplayDecision(
                 display=True, reason="local filter miss", identifier=identifier
             )
@@ -219,9 +246,13 @@ class IrsBrowserExtension:
             cached = self.cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
+                if self.obs is not None:
+                    self.obs.counter("extension_cache_hits_total").inc()
                 return self._verdict(identifier, bool(cached), "cache")
 
         self.stats.checks_sent += 1
+        if self.obs is not None:
+            self.obs.counter("extension_status_queries_total").inc()
         try:
             answer = self._status(identifier)
         except LedgerUnavailableError:
@@ -245,6 +276,8 @@ class IrsBrowserExtension:
     def _degraded_block(self, identifier: PhotoIdentifier) -> DisplayDecision:
         self.stats.degraded_blocks += 1
         self.stats.blocked += 1
+        if self.obs is not None:
+            self.obs.counter("extension_degraded_blocks_total").inc()
         return DisplayDecision(
             display=False,
             reason="ledger unreachable (degraded, fail-closed)",

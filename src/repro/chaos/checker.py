@@ -60,6 +60,7 @@ class CheckReport:
     status_ops_checked: int = 0
     writes_checked: int = 0
     serials_checked: int = 0
+    spans_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -122,6 +123,105 @@ class ConsistencyChecker:
         self._check_durability(ops, writes, report)
         if replica_states is not None:
             self._check_convergence(writes, replica_states, live_shards, report)
+        return report
+
+    # -- invariant 0: spans agree with the history ----------------------------------
+
+    def check_spans(
+        self,
+        history: "HistoryRecorder | Sequence[Op]",
+        spans: Sequence,
+        report: Optional[CheckReport] = None,
+    ) -> CheckReport:
+        """Cross-validate the trace against the client-visible history.
+
+        The observability layer (:mod:`repro.obs`) and the history
+        recorder watch the *same* operations through two independent
+        hooks — the frontend's ``obs`` spans and its ``observer``
+        protocol.  If both are deterministic functions of the run, they
+        must agree: one ``frontend.status`` span per status operation,
+        with identical serial, invocation/completion times, answer
+        source and degraded flag.  Any disagreement
+        (``span_history_mismatch``) means one of the two observation
+        channels is lying about the run — exactly the kind of bug a
+        metrics layer can introduce silently.
+
+        Spans are matched to operations in creation order: both span
+        ids and op ids are handed out sequentially inside the same
+        ``status_async`` call, so the i-th status op owns the i-th
+        ``frontend.status`` span.
+        """
+        ops = [
+            op
+            for op in (
+                history.ops
+                if isinstance(history, HistoryRecorder)
+                else list(history)
+            )
+            if op.kind == "status"
+        ]
+        status_spans = sorted(
+            (s for s in spans if s.name == "frontend.status"),
+            key=lambda s: s.span_id,
+        )
+        if report is None:
+            report = CheckReport()
+        if len(ops) != len(status_spans):
+            report.violations.append(
+                Violation(
+                    invariant="span_history_mismatch",
+                    serial=-1,
+                    detail=(
+                        f"{len(ops)} status ops in the history but "
+                        f"{len(status_spans)} frontend.status spans in "
+                        "the trace"
+                    ),
+                )
+            )
+            return report
+        for op, span in zip(ops, status_spans):
+            report.spans_checked += 1
+            problems: List[str] = []
+            if span.tags.get("serial") != op.serial:
+                problems.append(
+                    f"serial {span.tags.get('serial')} != {op.serial}"
+                )
+            if abs(span.started_at - op.invoked_at) > 1e-9:
+                problems.append(
+                    f"span started at t={span.started_at:.9f} but op "
+                    f"invoked at t={op.invoked_at:.9f}"
+                )
+            if op.completed and not span.finished:
+                problems.append("op completed but span never ended")
+            elif not op.completed and span.finished:
+                problems.append("span ended but op never completed")
+            elif op.completed and span.finished:
+                if abs(span.ended_at - op.completed_at) > 1e-9:
+                    problems.append(
+                        f"span ended at t={span.ended_at:.9f} but op "
+                        f"completed at t={op.completed_at:.9f}"
+                    )
+                if span.tags.get("source") != op.source:
+                    problems.append(
+                        f"span source {span.tags.get('source')!r} != "
+                        f"op source {op.source!r}"
+                    )
+                if bool(span.tags.get("degraded")) != bool(op.degraded):
+                    problems.append(
+                        f"span degraded={span.tags.get('degraded')} != "
+                        f"op degraded={op.degraded}"
+                    )
+            if problems:
+                report.violations.append(
+                    Violation(
+                        invariant="span_history_mismatch",
+                        serial=op.serial,
+                        detail=(
+                            f"op {op.op_id} vs span {span.span_id}: "
+                            + "; ".join(problems)
+                        ),
+                    )
+                )
         return report
 
     # -- invariant 1: monotonic epochs --------------------------------------------

@@ -64,6 +64,7 @@ class AntiEntropySweeper:
         transport: ShardTransport,
         replication_factor: int,
         on_result: Optional[Callable[[str, bool], None]] = None,
+        obs: Optional[object] = None,
     ):
         if replication_factor < 1:
             raise ValueError("replication factor must be at least 1")
@@ -72,6 +73,7 @@ class AntiEntropySweeper:
         self.transport = transport
         self.replication_factor = int(replication_factor)
         self._on_result = on_result  # health feedback (detector/breakers)
+        self.obs = obs  # duck-typed Observability; sweep span + counters
         self.sweeps_run = 0
 
     # -- placement ---------------------------------------------------------------
@@ -91,6 +93,28 @@ class AntiEntropySweeper:
     ) -> None:
         """One full digest-reconcile-push round; ``callback(report)``."""
         self.sweeps_run += 1
+        span = None
+        if self.obs is not None:
+            self.obs.counter("antientropy_sweeps_total").inc()
+            span = self.obs.start("antientropy.sweep")
+
+            inner = callback
+
+            def callback(report: SweepReport) -> None:  # noqa: F811
+                self.obs.counter("antientropy_records_pushed_total").inc(
+                    report.records_pushed
+                )
+                self.obs.counter("antientropy_push_failures_total").inc(
+                    report.push_failures
+                )
+                span.end(
+                    serials_scanned=report.serials_scanned,
+                    records_pushed=report.records_pushed,
+                    push_failures=report.push_failures,
+                    shards_unreachable=report.shards_unreachable,
+                )
+                inner(report)
+
         report = SweepReport()
         shard_ids = list(self.transport.shard_ids())
         digests: Dict[str, Dict[int, int]] = {}

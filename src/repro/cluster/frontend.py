@@ -68,7 +68,13 @@ from repro.cluster.replication import (
 )
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import content_serial
-from repro.resilience import BackoffPolicy, BreakerBoard, Deadline, TokenBucket
+from repro.resilience import (
+    BackoffPolicy,
+    BreakerBoard,
+    BreakerState,
+    Deadline,
+    TokenBucket,
+)
 
 __all__ = ["ClusterFrontend", "ClusterConfig", "ClusterAnswer", "FrontendStats"]
 
@@ -211,6 +217,7 @@ class _ReadContext:
     attempts: int = 0  # fresh read attempts consumed (retries)
     hops: int = 0  # failover hops within the current attempt
     answered: bool = False
+    span: Optional[Any] = None  # obs trace span for this query, if tracing
 
 
 @dataclass
@@ -271,6 +278,15 @@ class ClusterFrontend:
     rng:
         Optional seeded stream (``uniform()``) for backoff jitter; None
         disables jitter, keeping the undithered schedule.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  When set, the
+        frontend emits ``frontend_*`` counters and latency histograms,
+        opens a ``frontend.status`` span per query (with
+        ``replication.read`` / ``frontend.batch`` children and
+        retry/failover/deadline events), and wires the breaker board,
+        token bucket and hint queue into the same registry.  When None
+        (the default) no instrumentation code runs and the hot path
+        allocates nothing extra.
     """
 
     def __init__(
@@ -286,6 +302,7 @@ class ClusterFrontend:
         filterset=None,
         observer=None,
         rng=None,
+        obs=None,
     ):
         self.cluster_id = cluster_id
         self.ring = ring
@@ -303,6 +320,8 @@ class ClusterFrontend:
         self.filterset = filterset
         self.observer = observer
         self._rng = rng
+        self.obs = obs
+        self._open_breakers: set = set()
         self._backoff = self.config.backoff_policy()
         self.breakers: Optional[BreakerBoard] = None
         if self.config.breaker_threshold is not None:
@@ -311,11 +330,15 @@ class ClusterFrontend:
                 failure_threshold=self.config.breaker_threshold,
                 reset_timeout=self.config.breaker_reset_timeout,
                 half_open_probes=self.config.breaker_half_open_probes,
+                on_transition=(
+                    self._breaker_transition if obs is not None else None
+                ),
             )
         self.shedder: Optional[TokenBucket] = None
         if self.config.shed_rate is not None:
             self.shedder = TokenBucket(
-                self.config.shed_rate, self.config.shed_burst, self._clock
+                self.config.shed_rate, self.config.shed_burst, self._clock,
+                obs=obs,
             )
         self.hints: Optional[HintQueue] = None
         if self.config.hinted_handoff:
@@ -326,6 +349,7 @@ class ClusterFrontend:
                 self._clock,
                 max_per_shard=self.config.max_hints_per_shard,
                 max_attempts=6,
+                obs=obs,
             )
         self._hint_timer_armed = False
         self.executor = QuorumExecutor(transport, detector=self.detector)
@@ -346,6 +370,17 @@ class ClusterFrontend:
     def _end(self, op_id, **attrs) -> None:
         if self.observer is not None and op_id is not None:
             self.observer.complete(op_id, **attrs)
+
+    def _breaker_transition(self, target: str, state: BreakerState) -> None:
+        """Board hook: count transitions, track the open-breaker gauge."""
+        self.obs.counter(
+            "breaker_transitions_total", target=target, to=state.value
+        ).inc()
+        if state is BreakerState.CLOSED:
+            self._open_breakers.discard(target)
+        else:
+            self._open_breakers.add(target)
+        self.obs.gauge("breakers_open").set(len(self._open_breakers))
 
     # -- health fan-out ----------------------------------------------------------
 
@@ -402,11 +437,29 @@ class ClusterFrontend:
         key = identifier.to_string()
         op_id = self._begin("status", identifier.serial)
         ctx = _ReadContext()
+        if self.obs is not None:
+            self.obs.counter("frontend_queries_total").inc()
+            ctx.span = self.obs.start(
+                "frontend.status", serial=identifier.serial
+            )
 
         def _observed(answer: ClusterAnswer) -> None:
             if ctx.answered:
                 return  # deadline backstop and quorum raced; first wins
             ctx.answered = True
+            if ctx.span is not None:
+                self.obs.counter(
+                    "frontend_answers_total", source=answer.source
+                ).inc()
+                self.obs.histogram(
+                    "frontend_status_latency_seconds"
+                ).observe(self.obs.now() - ctx.span.started_at)
+                ctx.span.end(
+                    source=answer.source,
+                    revoked=answer.revoked,
+                    degraded=answer.degraded,
+                    ok=answer.ok,
+                )
             self._end(
                 op_id,
                 ok=answer.ok,
@@ -424,12 +477,17 @@ class ClusterFrontend:
             and not self.filterset.might_be_revoked(identifier.to_compact())
         ):
             self.stats.filter_short_circuits += 1
+            if ctx.span is not None:
+                self.obs.counter("frontend_filter_short_circuits_total").inc()
             _observed(
                 ClusterAnswer(identifier=key, revoked=False, source="filter")
             )
             return
         if self.shedder is not None and not self.shedder.try_acquire():
             self.stats.load_shed += 1
+            if ctx.span is not None:
+                self.obs.counter("frontend_load_shed_total").inc()
+                ctx.span.event("load_shed")
             _observed(self._degraded_answer(identifier, "load shed"))
             return
         if self.config.request_deadline is not None:
@@ -440,6 +498,11 @@ class ClusterFrontend:
                 def _backstop() -> None:
                     if not ctx.answered:
                         self.stats.deadline_answers += 1
+                        if ctx.span is not None:
+                            self.obs.counter(
+                                "frontend_deadline_answers_total"
+                            ).inc()
+                            ctx.span.event("deadline_exceeded")
                         _observed(
                             self._degraded_answer(identifier, "deadline exceeded")
                         )
@@ -482,14 +545,27 @@ class ClusterFrontend:
     ) -> None:
         key = identifier.to_string()
         quorum = min(self.config.read_quorum, len(read_set))
+        rspan = None
+        if ctx.span is not None:
+            rspan = self.obs.start(
+                "replication.read",
+                parent=ctx.span,
+                shards=",".join(read_set),
+                quorum=quorum,
+            )
 
         def _on_done(outcome: StatusOutcome) -> None:
+            if rspan is not None:
+                rspan.end(ok=outcome.ok)
             if not outcome.ok and fallback:
                 if ctx.hops < self.config.max_failover_depth:
                     # Failover: retry on the untried survivors, spaced
                     # by the backoff schedule (hop number = attempt).
                     ctx.hops += 1
                     self.stats.failovers += 1
+                    if ctx.span is not None:
+                        self.obs.counter("frontend_failovers_total").inc()
+                        ctx.span.event("failover", hop=ctx.hops)
                     retry = fallback[: self.config.read_quorum]
                     rest = fallback[len(retry):]
                     self._later(
@@ -531,10 +607,15 @@ class ClusterFrontend:
                 ctx.attempts += 1
                 ctx.hops = 0
                 self.stats.retries += 1
+                if ctx.span is not None:
+                    self.obs.counter("frontend_retries_total").inc()
+                    ctx.span.event("retry", attempt=ctx.attempts, delay=delay)
                 self._later(
                     delay, lambda: self._start_read(identifier, ctx, callback)
                 )
                 return
+        if ctx.span is not None:
+            ctx.span.event("degraded", reason=reason or "quorum unreachable")
         callback(self._degraded_answer(identifier, reason))
 
     def _degraded_answer(
@@ -554,6 +635,8 @@ class ClusterFrontend:
         key = identifier.to_string()
         if self.config.degraded_reads:
             self.stats.degraded_answers += 1
+            if self.obs is not None:
+                self.obs.counter("frontend_degraded_answers_total").inc()
             revoked = True  # no filter at all: maximally conservative
             if self.filterset is not None:
                 revoked = bool(
@@ -593,6 +676,8 @@ class ClusterFrontend:
     def _repair(self, shard_id: str, outcome: StatusOutcome) -> None:
         """Push the winning state to a replica that answered stale."""
         self.stats.read_repairs += 1
+        if self.obs is not None:
+            self.obs.counter("read_repairs_total", shard=shard_id).inc()
         self.transport.invoke(
             shard_id,
             "apply_state",
@@ -668,8 +753,14 @@ class ClusterFrontend:
         }
         replicas = self.replicas_for(identifier)
         op_id = self._begin("claim", serial)
+        span = None
+        if self.obs is not None:
+            self.obs.counter("frontend_claims_total").inc()
+            span = self.obs.start("frontend.claim", serial=serial)
 
         def _on_result(result) -> None:
+            if span is not None:
+                span.end(ok=result.ok)
             if result.ok:
                 self.stats.claims += 1
                 if initially_revoked:
@@ -864,6 +955,8 @@ class ClusterFrontend:
                     f"{results[0].error}"
                 )
         self.stats.revocations += 1
+        if self.obs is not None:
+            self.obs.counter("frontend_revocations_total", action=action).inc()
         if action == "revoke":
             self._note_revoked(identifier)
         return outcome
@@ -896,9 +989,17 @@ class ClusterFrontend:
         ]
         candidates = self._breakers_last(candidates)
         op_id = self._begin(action, identifier.serial)
+        span = None
+        if self.obs is not None:
+            self.obs.counter("frontend_revocations_total", action=action).inc()
+            span = self.obs.start(
+                f"frontend.{action}", serial=identifier.serial
+            )
         errors: List[str] = []
 
         def _fail(error: str) -> None:
+            if span is not None:
+                span.end(ok=False, error=error)
             self._end(op_id, ok=False, error=error)
             callback(None, error)
 
@@ -925,7 +1026,7 @@ class ClusterFrontend:
                 )
                 self._flip_and_propagate(
                     identifier, coordinator, nonce, signature, action,
-                    replicas, op_id, callback,
+                    replicas, op_id, span, callback,
                 )
 
             self.transport.invoke(
@@ -944,6 +1045,7 @@ class ClusterFrontend:
         action: str,
         replicas: List[str],
         op_id,
+        span,
         callback: Callable[[Optional[Dict[str, Any]], Optional[str]], None],
     ) -> None:
         """Verified flip on the coordinator, then quorum ``apply_state``."""
@@ -952,6 +1054,8 @@ class ClusterFrontend:
             if not reply.ok:
                 self._record_result(coordinator, False)
                 error = f"{action} via {coordinator} failed: {reply.error}"
+                if span is not None:
+                    span.end(ok=False, error=error)
                 self._end(op_id, ok=False, error=error)
                 callback(None, error)
                 return
@@ -965,6 +1069,8 @@ class ClusterFrontend:
                 self.stats.revocations += 1
                 if action == "revoke":
                     self._note_revoked(identifier)
+                if span is not None:
+                    span.end(ok=True, epoch=verdict["epoch"])
                 self._end(op_id, ok=True, **verdict)
                 callback(outcome, None)
 
@@ -978,6 +1084,8 @@ class ClusterFrontend:
                         f"{action} verified but replication quorum failed: "
                         f"{result.error}"
                     )
+                    if span is not None:
+                        span.end(ok=False, error=error)
                     self._end(op_id, ok=False, error=error)
                     callback(None, error)
                     return
@@ -1094,8 +1202,19 @@ class ClusterFrontend:
         self.stats.batches_sent += 1
         self.stats.batch_items += len(batch)
         serials = [serial for serial, _, _ in batch]
+        bspan = None
+        if self.obs is not None:
+            self.obs.counter("frontend_batches_total", shard=shard_id).inc()
+            self.obs.histogram(
+                "frontend_batch_size", buckets=(1, 2, 4, 8, 16, 32, 64)
+            ).observe(len(batch))
+            bspan = self.obs.start(
+                "frontend.batch", shard=shard_id, items=len(batch)
+            )
 
         def _on_reply(reply) -> None:
+            if bspan is not None:
+                bspan.end(ok=reply.ok)
             self._inflight -= 1
             if reply.ok:
                 self._record_result(shard_id, True)

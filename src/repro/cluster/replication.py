@@ -394,12 +394,14 @@ class HintQueue:
         clock: Callable[[], float],
         max_per_shard: int = 4096,
         max_attempts: int = 3,
+        obs: Optional[object] = None,
     ):
         if max_per_shard < 1:
             raise ValueError("hint queue must hold at least one hint per shard")
         if max_attempts < 1:
             raise ValueError("hints need at least one replay attempt")
         self._clock = clock
+        self.obs = obs  # duck-typed Observability; queue/replay telemetry
         self.max_per_shard = int(max_per_shard)
         self.max_attempts = int(max_attempts)
         self._hints: Dict[str, List[Hint]] = {}
@@ -421,6 +423,10 @@ class HintQueue:
         for hint in queue:
             if hint.method == method and hint.serial == serial:
                 self.hints_coalesced += 1
+                if self.obs is not None:
+                    self.obs.counter(
+                        "hints_coalesced_total", shard=shard_id
+                    ).inc()
                 if epoch > hint.epoch:
                     hint.payload = dict(payload)
                     hint.epoch = epoch
@@ -428,7 +434,7 @@ class HintQueue:
                 return
         if len(queue) >= self.max_per_shard:
             queue.pop(0)
-            self.hints_dropped += 1
+            self._note_dropped(shard_id)
         queue.append(
             Hint(
                 shard_id=shard_id,
@@ -439,6 +445,14 @@ class HintQueue:
             )
         )
         self.hints_queued += 1
+        if self.obs is not None:
+            self.obs.counter("hints_queued_total", shard=shard_id).inc()
+            self.obs.gauge("hints_pending").set(self.pending())
+
+    def _note_dropped(self, shard_id: str) -> None:
+        self.hints_dropped += 1
+        if self.obs is not None:
+            self.obs.counter("hints_dropped_total", shard=shard_id).inc()
 
     # -- inspection ---------------------------------------------------------------
 
@@ -451,6 +465,8 @@ class HintQueue:
         return sorted(s for s, q in self._hints.items() if q)
 
     def _note_drain(self) -> None:
+        if self.obs is not None:
+            self.obs.gauge("hints_pending").set(self.pending())
         if self.pending() == 0:
             self.drained_at = self._clock()
 
@@ -499,12 +515,16 @@ class HintQueue:
                     queue.pop(0)
                     self.hints_replayed += 1
                     replayed["n"] += 1
+                    if self.obs is not None:
+                        self.obs.counter(
+                            "hints_replayed_total", shard=shard_id
+                        ).inc()
                     _next()
                     return
                 hint.attempts += 1
                 if hint.attempts >= self.max_attempts:
                     queue.pop(0)
-                    self.hints_dropped += 1
+                    self._note_dropped(shard_id)
                     _next()
                     return
                 _finish()  # replica still unreachable; try next round

@@ -41,6 +41,7 @@ from repro.cluster.health import FailureDetector
 from repro.cluster.replication import ShardReply
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import ClusterDirectory, ClusterShard, content_serial
+from repro.obs import Observability
 
 __all__ = ["SimulatedCluster", "NetsimShardTransport", "ShardCostModel"]
 
@@ -155,6 +156,14 @@ class SimulatedCluster:
     rpc_timeout / rpc_retries:
         Transport-level failure semantics; the timeout bounds how long
         a dead replica can stall a quorum.
+    instrument:
+        When True, builds an :class:`~repro.obs.Observability` over the
+        *simulation* clock (``self.obs``), hands it to the frontend and
+        its resilience machinery, and wraps every shard RPC handler in
+        a ``shard.<method>`` span plus ``shard_requests_total`` counter.
+        The obs clock is created here, not passed in, so spans and the
+        event schedule can never disagree about the time base.  Default
+        False: ``self.obs is None`` and nothing is instrumented.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class SimulatedCluster:
         failure_threshold: int = 2,
         probation: float = 5.0,
         filterset=None,
+        instrument: bool = False,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -178,6 +188,9 @@ class SimulatedCluster:
         self.rngs = RngRegistry(seed=seed)
         self.network = Network(self.simulator, self.rngs.stream("net"))
         clock = self.simulator.clock().now
+        self.obs: Optional[Observability] = (
+            Observability(clock) if instrument else None
+        )
         self.tsa = TimestampAuthority(
             keypair=KeyPair.generate(bits=key_bits, rng=self.rngs.stream("tsa")),
             clock=clock,
@@ -217,6 +230,8 @@ class SimulatedCluster:
                 cost_fn=(cost_model.cost if cost_model is not None else None),
             )
             for method, handler in shard.rpc_handlers().items():
+                if self.obs is not None:
+                    handler = self._traced_handler(shard_id, method, handler)
                 endpoint.register(method, handler)
             self.endpoints[shard_id] = endpoint
 
@@ -238,7 +253,34 @@ class SimulatedCluster:
             scheduler=self.simulator.schedule,
             filterset=filterset,
             rng=self.rngs.stream("resilience"),
+            obs=self.obs,
         )
+
+    def _traced_handler(self, shard_id: str, method: str, handler):
+        """Wrap one shard RPC handler in a span + request counter.
+
+        Shard spans are roots (the frontend's batch span lives in a
+        different callback frame) and have zero sim duration — service
+        occupancy is charged by the endpoint's cost model, not inside
+        the handler — but they still record *that* and *when* each
+        request hit each replica, which is what the trace needs.
+        """
+
+        def _traced(payload):
+            self.obs.counter(
+                "shard_requests_total", shard=shard_id, method=method
+            ).inc()
+            span = self.obs.start(f"shard.{method}", shard=shard_id)
+            try:
+                result = handler(payload)
+            except Exception as exc:
+                span.status = "error"
+                span.end(ok=False, error=str(exc))
+                raise
+            span.end(ok=True)
+            return result
+
+        return _traced
 
     # -- faults -------------------------------------------------------------------
 

@@ -28,18 +28,28 @@ def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
-    """Render a fixed-width table with a header rule."""
-    str_rows = [[_fmt(c) for c in row] for row in rows]
+    """Render a fixed-width table with a header rule.
+
+    Ragged input is tolerated: short rows (or short headers) are padded
+    with empty cells to the widest row, so a zero-row table or a row
+    missing a trailing column renders instead of crashing the bench
+    that is trying to report results.
+    """
+    ncols = max([len(headers)] + [len(row) for row in rows], default=0)
+    if ncols == 0:
+        return ""
+    padded_headers = list(headers) + [""] * (ncols - len(headers))
+    padded_rows = [list(row) + [""] * (ncols - len(row)) for row in rows]
+    str_rows = [[_fmt(c) for c in row] for row in padded_rows]
     widths = [
-        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
-        for i, h in enumerate(headers)
+        max([len(padded_headers[i])] + [len(r[i]) for r in str_rows])
+        for i in range(ncols)
     ]
     lines = [
-        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join(h.rjust(w) for h, w in zip(padded_headers, widths)),
         "  ".join("-" * w for w in widths),
     ]
-    for row in str_rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    lines.extend(format_row(row, widths) for row in padded_rows)
     return "\n".join(lines)
 
 

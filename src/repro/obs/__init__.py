@@ -1,0 +1,61 @@
+"""Deterministic observability: metrics registry + request tracing.
+
+The paper's quantitative story (§4.3 viewing latency, §4.4 ledger
+load) is about *where time and load go* in the revocation pipeline.
+This package makes that question answerable inside any run — bench,
+chaos harness, or demo — without changing the run's behaviour:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms in a :class:`MetricsRegistry`.
+* :mod:`repro.obs.tracing` — ``trace_id``/``span_id``/parent spans
+  with tags and timestamped events, threaded through extension →
+  proxy → frontend → replication → shard.
+* :mod:`repro.obs.export` — JSON-lines span dumps, Prometheus-style
+  text exposition, and human tables via
+  :mod:`repro.metrics.reporting`.
+* :mod:`repro.obs.obs` — the :class:`Observability` facade components
+  take as a nullable ``obs=`` hook; with ``obs=None`` the hot path
+  allocates nothing (the E20 bench holds the overhead under 5% p50).
+
+**The determinism rule:** every timestamp comes from the injected
+clock (the discrete-event simulator's in every experiment), never from
+wall time, and ids are sequential — so two runs of the same seeded
+workload export byte-identical JSON-lines.  That rule is what lets the
+chaos checker cross-validate spans against the client-visible history
+(:meth:`repro.chaos.ConsistencyChecker.check_spans`).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Tracer
+from repro.obs.export import (
+    metrics_tables,
+    prometheus_text,
+    slowest_spans_table,
+    span_to_dict,
+    spans_to_jsonl,
+    stage_breakdown,
+)
+from repro.obs.obs import Observability
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "metrics_tables",
+    "prometheus_text",
+    "slowest_spans_table",
+    "span_to_dict",
+    "spans_to_jsonl",
+    "stage_breakdown",
+    "Observability",
+]

@@ -1,0 +1,201 @@
+"""Exporters: JSON-lines spans, Prometheus text, human tables.
+
+Three read-side formats over one write side
+(:class:`~repro.obs.metrics.MetricsRegistry` +
+:class:`~repro.obs.tracing.Tracer`):
+
+* :func:`spans_to_jsonl` — one canonical JSON object per finished
+  span, sorted keys, compact separators.  Byte-identical across
+  identical seeded runs (the determinism regression test's artifact).
+* :func:`prometheus_text` — Prometheus-style exposition (``# TYPE``
+  headers, ``name{label="..."} value`` samples, cumulative ``le``
+  histogram buckets) so a real scrape endpoint could serve it verbatim.
+* :func:`metrics_tables` / :func:`stage_breakdown` /
+  :func:`slowest_spans_table` — human tables reusing
+  :mod:`repro.metrics.reporting`, which is what ``python -m repro obs``
+  prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+from repro.metrics.reporting import Table
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+__all__ = [
+    "spans_to_jsonl",
+    "span_to_dict",
+    "prometheus_text",
+    "metrics_tables",
+    "stage_breakdown",
+    "slowest_spans_table",
+]
+
+
+# -- spans --------------------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> dict:
+    """Canonical JSON-safe projection of one finished span."""
+    return {
+        "trace": span.trace_id,
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start": span.started_at,
+        "end": span.ended_at,
+        "duration": span.duration,
+        "status": span.status,
+        "tags": {k: span.tags[k] for k in sorted(span.tags)},
+        "events": [
+            {"at": at, "name": name, "attrs": {k: attrs[k] for k in sorted(attrs)}}
+            for at, name, attrs in span.events
+        ],
+    }
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON line per finished span, in completion order."""
+    lines = [
+        json.dumps(span_to_dict(s), sort_keys=True, separators=(",", ":"))
+        for s in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (no numpy)."""
+    if not ordered:
+        return 0.0
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def stage_breakdown(spans: Iterable[Span], title: str = "") -> Table:
+    """Aggregate spans by name: where did the request path spend time?"""
+    by_name: dict = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    table = Table(
+        headers=["span", "count", "p50 (ms)", "p99 (ms)", "total (ms)"],
+        title=title or "per-stage span breakdown",
+    )
+    for name in sorted(by_name):
+        durations = sorted(by_name[name])
+        table.add(
+            name,
+            len(durations),
+            f"{_percentile(durations, 50) * 1e3:.3f}",
+            f"{_percentile(durations, 99) * 1e3:.3f}",
+            f"{sum(durations) * 1e3:.3f}",
+        )
+    return table
+
+
+def slowest_spans_table(
+    spans: Iterable[Span], limit: int = 10, title: str = ""
+) -> Table:
+    """The ``limit`` longest spans with enough context to chase them."""
+    ranked = sorted(
+        spans, key=lambda s: (-s.duration, s.span_id)
+    )[: max(limit, 0)]
+    table = Table(
+        headers=["ms", "span", "trace", "start (s)", "tags"],
+        title=title or f"slowest {limit} spans",
+    )
+    for span in ranked:
+        tags = ",".join(f"{k}={span.tags[k]}" for k in sorted(span.tags))
+        table.add(
+            f"{span.duration * 1e3:.3f}",
+            span.name,
+            span.trace_id,
+            f"{span.started_at:.4f}",
+            tags or "-",
+        )
+    return table
+
+
+# -- metrics ------------------------------------------------------------------------
+
+
+def _label_text(labels) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus-style text exposition of the whole registry."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def _type_header(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for metric in registry.all_metrics():
+        if isinstance(metric, Counter):
+            _type_header(metric.name, "counter")
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} {metric.value:g}"
+            )
+        elif isinstance(metric, Gauge):
+            _type_header(metric.name, "gauge")
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} {metric.value:g}"
+            )
+        elif isinstance(metric, Histogram):
+            _type_header(metric.name, "histogram")
+            cumulative = metric.cumulative()
+            bounds = [f"{b:g}" for b in metric.buckets] + ["+Inf"]
+            for bound, count in zip(bounds, cumulative):
+                labels = tuple(metric.labels) + (("le", bound),)
+                lines.append(
+                    f"{metric.name}_bucket{_label_text(labels)} {count}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_text(metric.labels)} "
+                f"{metric.total:g}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_text(metric.labels)} "
+                f"{metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_tables(registry: MetricsRegistry) -> List[Table]:
+    """Human tables: one for counters+gauges, one for histograms."""
+    tables: List[Table] = []
+    scalars = registry.counters() + registry.gauges()
+    if scalars:
+        table = Table(
+            headers=["metric", "labels", "value"], title="counters and gauges"
+        )
+        for metric in sorted(scalars, key=lambda m: (m.name, m.labels)):
+            labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+            table.add(metric.name, labels or "-", f"{metric.value:g}")
+        tables.append(table)
+    histograms = registry.histograms()
+    if histograms:
+        table = Table(
+            headers=["histogram", "labels", "count", "p50", "p99", "mean"],
+            title="histograms",
+        )
+        for metric in histograms:
+            labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+            table.add(
+                metric.name,
+                labels or "-",
+                metric.count,
+                f"{metric.percentile(50):g}",
+                f"{metric.percentile(99):g}",
+                f"{metric.mean:.6g}",
+            )
+        tables.append(table)
+    return tables

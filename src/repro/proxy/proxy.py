@@ -114,6 +114,12 @@ class IrsProxy:
     degraded_reads:
         When True an unreachable ledger produces a fail-closed degraded
         answer instead of raising :class:`LedgerUnavailableError`.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  Opens a
+        ``proxy.status`` span per query (with a ``proxy.ledger_query``
+        child around the actual ledger round trip) and mirrors the
+        stats counters into ``proxy_*`` metrics.  None (default)
+        disables all instrumentation.
     """
 
     def __init__(
@@ -131,6 +137,7 @@ class IrsProxy:
         breaker_threshold: Optional[int] = None,
         breaker_reset_timeout: float = 5.0,
         degraded_reads: bool = False,
+        obs=None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -152,10 +159,32 @@ class IrsProxy:
                 reset_timeout=breaker_reset_timeout,
             )
         self.degraded_reads = degraded_reads
+        self.obs = obs
         self.stats = ProxyStats()
 
     def status(self, identifier: PhotoIdentifier) -> ProxyAnswer:
         """Answer a browser's revocation check."""
+        if self.obs is None:
+            return self._status_impl(identifier)
+        self.obs.counter("proxy_queries_total").inc()
+        with self.obs.span(
+            "proxy.status", serial=identifier.serial
+        ) as span:
+            answer = self._status_impl(identifier)
+            span.set_tag(
+                source=answer.source,
+                revoked=answer.revoked,
+                degraded=answer.degraded,
+            )
+            self.obs.counter(
+                "proxy_answers_total", source=answer.source
+            ).inc()
+            self.obs.histogram("proxy_status_latency_seconds").observe(
+                self.obs.now() - span.started_at
+            )
+            return answer
+
+    def _status_impl(self, identifier: PhotoIdentifier) -> ProxyAnswer:
         self.stats.queries += 1
         now = self._clock()
         key = identifier.to_string()
@@ -164,6 +193,8 @@ class IrsProxy:
             identifier.to_compact()
         ):
             self.stats.filter_short_circuits += 1
+            if self.obs is not None:
+                self.obs.counter("proxy_filter_short_circuits_total").inc()
             return ProxyAnswer(
                 identifier=key, revoked=False, source="filter", checked_at=now
             )
@@ -172,6 +203,8 @@ class IrsProxy:
             cached = self.cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
+                if self.obs is not None:
+                    self.obs.counter("proxy_cache_hits_total").inc()
                 return ProxyAnswer(
                     identifier=key,
                     revoked=cached.revoked,
@@ -189,6 +222,8 @@ class IrsProxy:
             # so the record *might* be revoked — report it revoked
             # rather than letting an outage imply "valid".
             self.stats.degraded_answers += 1
+            if self.obs is not None:
+                self.obs.counter("proxy_degraded_answers_total").inc()
             return ProxyAnswer(
                 identifier=key,
                 revoked=True,
@@ -210,6 +245,8 @@ class IrsProxy:
         """One ledger query under the breaker and retry policy."""
         if self.breaker is not None and not self.breaker.allow():
             self.stats.breaker_refusals += 1
+            if self.obs is not None:
+                self.obs.counter("proxy_breaker_refusals_total").inc()
             raise LedgerUnavailableError(
                 f"ledger {identifier.ledger_id!r}: circuit breaker open"
             )
@@ -225,6 +262,8 @@ class IrsProxy:
                 self._sleep(self._backoff.delay(attempt, self._rng))
                 attempt += 1
                 self.stats.retries += 1
+                if self.obs is not None:
+                    self.obs.counter("proxy_retries_total").inc()
                 continue
             if self.breaker is not None:
                 self.breaker.record_success()
@@ -239,7 +278,13 @@ class IrsProxy:
                 identifier=identifier.to_string(),
                 time=self._clock(),
             )
-        return self._registry.status(identifier)
+        if self.obs is None:
+            return self._registry.status(identifier)
+        self.obs.counter("proxy_ledger_queries_total").inc()
+        # Context-manager span: an unreachable ledger raises through
+        # the block, which closes the span tagged status='error'.
+        with self.obs.span("proxy.ledger_query", ledger=identifier.ledger_id):
+            return self._registry.status(identifier)
 
     def refresh_filters(self) -> int:
         """Pull filter updates; returns bytes transferred."""

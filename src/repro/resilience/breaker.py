@@ -34,7 +34,13 @@ class BreakerState(enum.Enum):
 
 
 class CircuitBreaker:
-    """One target's closed/open/half-open state machine over a clock."""
+    """One target's closed/open/half-open state machine over a clock.
+
+    ``on_transition(new_state)``, when given, fires on every state
+    *change* — trip, half-open expiry, reclose — which is how the
+    observability layer counts transitions without the breaker knowing
+    anything about metrics.
+    """
 
     def __init__(
         self,
@@ -42,6 +48,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout: float = 1.0,
         half_open_probes: int = 1,
+        on_transition: Optional[Callable[[BreakerState], None]] = None,
     ):
         if failure_threshold < 1:
             raise ValueError("breaker failure threshold must be at least 1")
@@ -53,6 +60,7 @@ class CircuitBreaker:
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout = float(reset_timeout)
         self.half_open_probes = int(half_open_probes)
+        self._on_transition = on_transition
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -61,6 +69,13 @@ class CircuitBreaker:
         self.times_opened = 0
         self.times_reclosed = 0
         self.calls_refused = 0
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        if self._on_transition is not None:
+            self._on_transition(state)
 
     @property
     def state(self) -> BreakerState:
@@ -73,7 +88,7 @@ class CircuitBreaker:
             self._state is BreakerState.OPEN
             and self._clock() - self._opened_at >= self.reset_timeout
         ):
-            self._state = BreakerState.HALF_OPEN
+            self._transition(BreakerState.HALF_OPEN)
             self._probes_admitted = 0
 
     # -- admission ---------------------------------------------------------------
@@ -103,7 +118,7 @@ class CircuitBreaker:
         self._maybe_half_open()
         if self._state is BreakerState.HALF_OPEN:
             self.times_reclosed += 1
-        self._state = BreakerState.CLOSED
+        self._transition(BreakerState.CLOSED)
         self._consecutive_failures = 0
 
     def record_failure(self) -> None:
@@ -118,7 +133,7 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = BreakerState.OPEN
+        self._transition(BreakerState.OPEN)
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self.times_opened += 1
@@ -128,7 +143,11 @@ class CircuitBreaker:
 
 
 class BreakerBoard:
-    """A lazily populated breaker per target (shard, ledger, ...)."""
+    """A lazily populated breaker per target (shard, ledger, ...).
+
+    ``on_transition(target, new_state)`` observes every per-target
+    state change (the board-level twin of the breaker hook).
+    """
 
     def __init__(
         self,
@@ -136,6 +155,7 @@ class BreakerBoard:
         failure_threshold: int = 5,
         reset_timeout: float = 1.0,
         half_open_probes: int = 1,
+        on_transition: Optional[Callable[[str, BreakerState], None]] = None,
     ):
         self._clock = clock
         self._kwargs = dict(
@@ -143,11 +163,18 @@ class BreakerBoard:
             reset_timeout=reset_timeout,
             half_open_probes=half_open_probes,
         )
+        self._on_transition = on_transition
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, target: str) -> CircuitBreaker:
         if target not in self._breakers:
-            self._breakers[target] = CircuitBreaker(self._clock, **self._kwargs)
+            hook = None
+            if self._on_transition is not None:
+                board_hook = self._on_transition
+                hook = lambda state, t=target: board_hook(t, state)  # noqa: E731
+            self._breakers[target] = CircuitBreaker(
+                self._clock, on_transition=hook, **self._kwargs
+            )
         return self._breakers[target]
 
     def allow(self, target: str) -> bool:

@@ -12,15 +12,27 @@ function of the query arrival times — chaos replay safe.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 __all__ = ["TokenBucket"]
 
 
 class TokenBucket:
-    """Deterministic token-bucket admission control."""
+    """Deterministic token-bucket admission control.
 
-    def __init__(self, rate: float, burst: float, clock: Callable[[], float]):
+    ``obs`` (any :class:`~repro.obs.Observability`-shaped object, duck
+    typed so this module stays import-free) mirrors admissions and
+    refusals into ``shed_admitted_total`` / ``shed_refused_total`` and
+    keeps a ``shed_tokens`` gauge of the bucket level.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float],
+        obs: Optional[object] = None,
+    ):
         if rate <= 0:
             raise ValueError("token rate must be positive")
         if burst < 1:
@@ -28,6 +40,7 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock = clock
+        self.obs = obs
         self._tokens = self.burst
         self._refilled_at = clock()
         self.admitted = 0
@@ -51,8 +64,14 @@ class TokenBucket:
         if self._tokens >= cost:
             self._tokens -= cost
             self.admitted += 1
+            if self.obs is not None:
+                self.obs.counter("shed_admitted_total").inc()
+                self.obs.gauge("shed_tokens").set(self._tokens)
             return True
         self.refused += 1
+        if self.obs is not None:
+            self.obs.counter("shed_refused_total").inc()
+            self.obs.gauge("shed_tokens").set(self._tokens)
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -101,3 +101,38 @@ class TestReporting:
         slug = table.slug()
         assert slug == "e5_ledger_load_0_revoked"
         assert Table(headers=["x"]).slug() == "table"
+
+
+class TestFormatTableRegressions:
+    """format_table must render, not crash, on degenerate shapes."""
+
+    def test_zero_rows(self):
+        text = format_table(["name", "value"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule, no body
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_ragged_rows_padded(self):
+        text = format_table(["a", "b", "c"], [["x"], ["y", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_row_wider_than_headers(self):
+        text = format_table(["only"], [["x", "extra", "wider"]])
+        assert "extra" in text and "wider" in text
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_empty_table(self):
+        assert format_table([], []) == ""
+
+    def test_body_matches_format_row(self):
+        # The body is rendered by format_row itself, so float formatting
+        # can never drift between the two paths.
+        headers = ["v"]
+        rows = [[0.000012345], [1.5]]
+        text = format_table(headers, rows)
+        widths = [len(text.splitlines()[0])]
+        for row in rows:
+            assert format_row(row, widths) in text

@@ -1,0 +1,101 @@
+"""The determinism rule, end to end, plus span/history cross-validation.
+
+Two runs of the same seeded traced workload must export byte-identical
+JSON-lines and identical Prometheus text — every timestamp is
+simulation time, every id sequential, every random draw seeded.  A
+changed trace therefore *is* a changed behaviour, which is what lets
+the chaos checker treat span/history disagreement as a violation.
+"""
+
+from repro.chaos.checker import ConsistencyChecker
+from repro.chaos.history import HistoryRecorder
+from repro.obs import Tracer
+from repro.obs.demo import run_traced_workload
+
+
+def _small_run(seed):
+    return run_traced_workload(
+        num_shards=3, seed=seed, queries=80, revocations=4
+    )
+
+
+class TestByteIdenticalRuns:
+    def test_same_seed_same_bytes(self):
+        one, two = _small_run(seed=7), _small_run(seed=7)
+        jsonl_one = one.obs.export_spans_jsonl()
+        assert jsonl_one == two.obs.export_spans_jsonl()
+        assert jsonl_one  # the run actually traced something
+        assert one.obs.export_prometheus() == two.obs.export_prometheus()
+        assert one.history.signature() == two.history.signature()
+
+    def test_different_seed_different_trace(self):
+        assert (
+            _small_run(seed=7).obs.export_spans_jsonl()
+            != _small_run(seed=8).obs.export_spans_jsonl()
+        )
+
+    def test_traced_run_cross_validates(self):
+        report = _small_run(seed=7).check
+        assert report.ok, report.violations
+        assert report.spans_checked == 80
+
+    def test_chaotic_run_still_cross_validates(self):
+        """Killing a replica mid-run must not desynchronise the trace."""
+        run = run_traced_workload(
+            num_shards=3, seed=11, queries=80, revocations=4, kill_shard=True
+        )
+        assert run.check.ok, run.check.violations
+        assert run.answered == run.queries  # degraded reads keep answering
+
+
+class TestCheckSpans:
+    """Synthetic histories/traces, to pin the mismatch detection."""
+
+    def _pair(self):
+        state = {"t": 0.0}
+        recorder = HistoryRecorder(lambda: state["t"])
+        tracer = Tracer(lambda: state["t"])
+        for serial, source in ((3, "shard"), (9, "filter")):
+            op_id = recorder.begin("status", serial)
+            span = tracer.start("frontend.status", serial=serial)
+            state["t"] += 0.01
+            recorder.complete(
+                op_id, ok=True, revoked=False, source=source, degraded=False
+            )
+            span.end(source=source, revoked=False, degraded=False, ok=True)
+            state["t"] += 0.01
+        return recorder, tracer
+
+    def _check(self, recorder, spans):
+        checker = ConsistencyChecker(placement=lambda serial: ["shard-0"])
+        return checker.check_spans(recorder, spans)
+
+    def test_agreeing_channels_pass(self):
+        recorder, tracer = self._pair()
+        report = self._check(recorder, tracer.finished)
+        assert report.ok
+        assert report.spans_checked == 2
+
+    def test_missing_span_is_a_violation(self):
+        recorder, tracer = self._pair()
+        report = self._check(recorder, tracer.finished[:1])
+        assert not report.ok
+        assert report.violations[0].invariant == "span_history_mismatch"
+        assert "2 status ops" in report.violations[0].detail
+
+    def test_disagreeing_source_is_a_violation(self):
+        recorder, tracer = self._pair()
+        spans = tracer.finished
+        spans[1].tags["source"] = "degraded"  # the lie
+        report = self._check(recorder, spans)
+        assert not report.ok
+        [violation] = report.violations
+        assert violation.invariant == "span_history_mismatch"
+        assert violation.serial == 9
+        assert "source" in violation.detail
+
+    def test_non_status_ops_are_ignored(self):
+        recorder, tracer = self._pair()
+        recorder.begin("revoke", 3)  # no matching span, and that's fine
+        report = self._check(recorder, tracer.finished)
+        assert report.ok

@@ -1,0 +1,130 @@
+"""Exporters: canonical JSONL, Prometheus text, human tables."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics_tables,
+    prometheus_text,
+    slowest_spans_table,
+    span_to_dict,
+    spans_to_jsonl,
+    stage_breakdown,
+)
+
+
+def _clocked_tracer():
+    state = {"t": 0.0}
+    tracer = Tracer(lambda: state["t"])
+    return tracer, state
+
+
+class TestSpanJsonl:
+    def test_empty_stream_is_empty_string(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_one_line_per_span_with_trailing_newline(self):
+        tracer, state = _clocked_tracer()
+        root = tracer.start("root", serial=3)
+        state["t"] = 0.25
+        root.event("retry", attempt=1)
+        state["t"] = 1.0
+        root.end(ok=True)
+        text = spans_to_jsonl(tracer.finished)
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {
+            "trace": 1,
+            "span": 1,
+            "parent": None,
+            "name": "root",
+            "start": 0.0,
+            "end": 1.0,
+            "duration": 1.0,
+            "status": "ok",
+            "tags": {"ok": True, "serial": 3},
+            "events": [{"at": 0.25, "name": "retry", "attrs": {"attempt": 1}}],
+        }
+        # Canonical form: sorted keys, compact separators.
+        assert lines[0] == json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", shard="a").inc(3)
+        registry.gauge("breakers_open").set(1)
+        h = registry.histogram("latency_seconds", buckets=(0.1, 0.5))
+        h.observe(0.05)
+        h.observe(0.2)
+        h.observe(2.0)
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        assert "# TYPE requests_total counter" in lines
+        assert 'requests_total{shard="a"} 3' in lines
+        assert "# TYPE breakers_open gauge" in lines
+        assert "breakers_open 1" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+        # Cumulative le buckets, +Inf last, then _sum/_count.
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="0.5"} 2' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert "latency_seconds_sum 2.25" in lines
+        assert "latency_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_exports_nothing(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestHumanTables:
+    def _spans(self):
+        tracer, state = _clocked_tracer()
+        for i, dur in enumerate((0.010, 0.030, 0.020)):
+            state["t"] = float(i)
+            span = tracer.start("frontend.status", serial=i)
+            state["t"] = float(i) + dur
+            span.end()
+        state["t"] = 10.0
+        shard = tracer.start("shard.status_batch")
+        state["t"] = 10.5
+        shard.end()
+        return tracer.finished
+
+    def test_stage_breakdown_aggregates_by_name(self):
+        table = stage_breakdown(self._spans())
+        rows = {row[0]: row for row in table.rows}
+        assert rows["frontend.status"][1] == 3
+        assert rows["frontend.status"][2] == "20.000"  # p50 ms
+        assert rows["shard.status_batch"][1] == 1
+        assert table.render()  # renders without crashing
+
+    def test_slowest_spans_ranked_by_duration(self):
+        table = slowest_spans_table(self._spans(), limit=2)
+        assert len(table.rows) == 2
+        assert table.rows[0][1] == "shard.status_batch"
+        assert table.rows[1][1] == "frontend.status"
+        assert table.rows[1][4] == "serial=1"  # the 30ms one
+
+    def test_metrics_tables_split_scalars_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        tables = metrics_tables(registry)
+        assert [t.title for t in tables] == ["counters and gauges", "histograms"]
+        assert metrics_tables(MetricsRegistry()) == []
+
+
+class TestSpanToDict:
+    def test_unfinished_span_refuses_export(self):
+        tracer = Tracer()
+        open_span = tracer.start("pending")
+        with pytest.raises(ValueError):
+            span_to_dict(open_span)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Docs health checks: intra-repo links + metric-name drift.
+
+Run from anywhere inside the repository:
+
+    python tools/check_docs.py
+
+Two checks, both exact:
+
+1. **Links** — every relative markdown link in the repo's ``*.md``
+   files must resolve to a file (or directory) that exists. External
+   links (``http(s)://``, ``mailto:``) and pure ``#fragment`` links
+   are skipped; a ``path#fragment`` link is checked for the path part.
+2. **Metric drift** — the union of metric names documented in
+   ``docs/observability.md`` must equal the union of names emitted in
+   ``src/`` (``obs.counter("...")`` / ``gauge`` / ``histogram`` call
+   sites). Either direction of drift fails: an undocumented metric is
+   invisible to operators, a documented-but-gone metric is a lie.
+
+Exit status 0 on success, 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files checked for links (globs relative to the repo root).
+DOC_GLOBS = ("*.md", "docs/*.md", "benchmarks/*.md", "examples/*.md")
+
+#: ``[text](target)`` — good enough for the plain links these docs use.
+#: Image embeds (``![alt](...)``) are skipped: the auto-extracted paper
+#: dumps reference figures that were never vendored.
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+
+#: An emission site: ``.counter("name"`` etc. on an obs/registry object.
+EMIT_RE = re.compile(r"\.(?:counter|gauge|histogram)\(\s*\"([a-z_]+)\"")
+
+#: A documented metric: a backticked name in a table row, e.g.
+#: ``| `frontend_queries_total` | counter | ...`` (labels stripped).
+DOC_METRIC_RE = re.compile(r"^\|\s*`([a-z_]+)(?:\{[^}]*\})?`\s*\|")
+
+
+def _doc_files() -> list[Path]:
+    files: list[Path] = []
+    for glob in DOC_GLOBS:
+        files.extend(sorted(REPO.glob(glob)))
+    return files
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    for doc in _doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure fragment
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return problems
+
+
+def emitted_metrics() -> set[str]:
+    names: set[str] = set()
+    for source in sorted((REPO / "src").rglob("*.py")):
+        if source.parent.name == "obs":
+            continue  # the layer itself, not an instrumentation site
+        for match in EMIT_RE.finditer(source.read_text(encoding="utf-8")):
+            names.add(match.group(1))
+    return names
+
+
+def documented_metrics() -> set[str]:
+    doc = REPO / "docs" / "observability.md"
+    names: set[str] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = DOC_METRIC_RE.match(line.strip())
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def check_metric_drift() -> list[str]:
+    emitted = emitted_metrics()
+    documented = documented_metrics()
+    problems = [
+        f"docs/observability.md: emitted in src/ but not documented: {name}"
+        for name in sorted(emitted - documented)
+    ]
+    problems.extend(
+        f"docs/observability.md: documented but not emitted in src/: {name}"
+        for name in sorted(documented - emitted)
+    )
+    if not emitted:
+        problems.append("found no metric emission sites in src/ (regex rot?)")
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_metric_drift()
+    for problem in problems:
+        print(f"FAIL {problem}")
+    docs = len(_doc_files())
+    if problems:
+        print(f"docs check: {len(problems)} problem(s) across {docs} files")
+        return 1
+    print(
+        f"docs check: OK — {docs} markdown files, "
+        f"{len(documented_metrics())} metrics in sync"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
