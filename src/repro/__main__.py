@@ -405,7 +405,18 @@ def main(argv: list[str] | None = None) -> int:
         "--prometheus", metavar="PATH", default=None,
         help="write the Prometheus-style metrics exposition to PATH",
     )
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="AST-based determinism & contract linter (the CI gate)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     args = parser.parse_args(argv)
+    if args.demo == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args)
     if args.demo == "cluster":
         _demo_cluster(args)
     elif args.demo == "chaos":

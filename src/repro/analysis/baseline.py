@@ -1,0 +1,94 @@
+"""Grandfathered findings: a committed JSON baseline.
+
+A baseline lets the strict CI gate land before every historical
+finding is fixed: findings recorded in the baseline are reported as
+*baselined* (visible, non-fatal) while anything new fails the gate.
+The goal state — and this repository's committed state — is an empty
+baseline.
+
+Matching is by ``(path, rule, message)`` multiset, deliberately
+ignoring line numbers so unrelated edits above a grandfathered finding
+don't resurrect it.  Two identical findings in one file consume two
+baseline entries: fixing one of them shrinks the debt, adding a third
+fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """The committed debt ledger, consumed finding by finding."""
+
+    def __init__(self, findings: Iterable[Finding] = ()):
+        self.entries: List[Finding] = sorted(findings, key=Finding.sort_key)
+
+    @staticmethod
+    def _key(finding: Finding) -> Tuple[str, str, str]:
+        return (finding.path, finding.rule, finding.message)
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into ``(new, baselined)``.
+
+        Each baseline entry absorbs at most one current finding.
+        """
+        budget = Counter(self._key(entry) for entry in self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = self._key(finding)
+            if budget[key] > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    findings = [
+        Finding(
+            path=entry["path"],
+            line=int(entry.get("line", 0)),
+            col=int(entry.get("col", 0)),
+            rule=entry["rule"],
+            message=entry["message"],
+        )
+        for entry in data.get("findings", [])
+    ]
+    return Baseline(findings)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the canonical baseline form (sorted, stable bytes)."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    payload = {
+        "version": _VERSION,
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,196 @@
+"""Command-line front end: ``python -m repro lint`` / ``tools/lint.py``.
+
+Configuration lives in ``[tool.repro_lint]`` in pyproject.toml and is
+read with :mod:`tomllib` where available (3.11+); on 3.10 the committed
+defaults baked into :class:`LintConfig` and this module apply, and the
+two are kept identical by ``tests/analysis/test_cli.py``.
+
+Exit status: ``--strict`` exits 1 when any non-baselined,
+non-suppressed finding remains (the CI gate); without ``--strict`` the
+run is advisory and always exits 0 (the benchmarks/examples sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.engine import (
+    LintConfig,
+    LintResult,
+    lint_paths,
+    repo_root,
+    with_overrides,
+)
+from repro.analysis.registry import all_rules
+from repro.analysis.report import findings_to_jsonl, render_table
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+#: committed defaults, mirrored in ``[tool.repro_lint]``.
+DEFAULT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+_CONFIG_TUPLES = (
+    "allow_wall_clock",
+    "rpc_dirs",
+    "rpc_methods",
+    "obs_exempt_segments",
+)
+
+
+def _load_pyproject_config(root: Path) -> dict:
+    """``[tool.repro_lint]`` as a dict; empty when absent or on 3.10."""
+    pyproject = root / "pyproject.toml"
+    if not pyproject.exists():
+        return {}
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10: defaults in code apply
+        return {}
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("repro_lint", {})
+    return section if isinstance(section, dict) else {}
+
+
+def build_config(root: Path) -> LintConfig:
+    """LintConfig for ``root`` with the pyproject overlay applied."""
+    section = _load_pyproject_config(root)
+    overrides = {
+        key: tuple(section[key])
+        for key in _CONFIG_TUPLES
+        if isinstance(section.get(key), list)
+    }
+    return with_overrides(LintConfig(root=root), **overrides)
+
+
+def configured_paths(root: Path) -> List[str]:
+    section = _load_pyproject_config(root)
+    paths = section.get("paths")
+    if isinstance(paths, list) and paths:
+        return [str(p) for p in paths]
+    return list(DEFAULT_PATHS)
+
+
+def configured_baseline(root: Path) -> str:
+    section = _load_pyproject_config(root)
+    baseline = section.get("baseline")
+    return str(baseline) if isinstance(baseline, str) else DEFAULT_BASELINE
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--paths",
+        nargs="+",
+        metavar="PATH",
+        help="files or directories to lint (default: [tool.repro_lint] "
+        "paths, falling back to src/repro)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on any non-baselined, non-suppressed finding",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "jsonl"),
+        default="table",
+        help="report format (default: table)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline JSON of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE}; pass an empty string to disable)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print registered rule ids and summaries, then exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show baselined and suppressed findings in table output",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="repository root (default: nearest ancestor with pyproject.toml)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    root = Path(args.root).resolve() if args.root else repo_root()
+    if args.list_rules:
+        for one_rule in all_rules():
+            print(f"{one_rule.id}: {one_rule.summary}")
+        return 0
+    config = build_config(root)
+    paths = [
+        Path(p) if Path(p).is_absolute() else root / p
+        for p in (args.paths or configured_paths(root))
+    ]
+    baseline_arg = (
+        args.baseline if args.baseline is not None else configured_baseline(root)
+    )
+    baseline_path: Optional[Path] = None
+    if baseline_arg:
+        baseline_path = (
+            Path(baseline_arg)
+            if Path(baseline_arg).is_absolute()
+            else root / baseline_arg
+        )
+    if args.write_baseline:
+        if baseline_path is None:
+            print("lint: --write-baseline needs a baseline path", file=sys.stderr)
+            return 2
+        result = lint_paths(paths, config=config, select=args.select)
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"lint: wrote {len(result.findings)} findings to "
+            f"{baseline_path.relative_to(root) if baseline_path.is_relative_to(root) else baseline_path}"
+        )
+        return 0
+    result = lint_paths(
+        paths, config=config, select=args.select, baseline_path=baseline_path
+    )
+    _emit(result, args)
+    if args.strict and not result.clean:
+        return 1
+    return 0
+
+
+def _emit(result: LintResult, args: argparse.Namespace) -> None:
+    if args.format == "jsonl":
+        sys.stdout.write(findings_to_jsonl(result.findings))
+    else:
+        print(render_table(result, verbose=args.verbose))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism and contract linter for repro",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/lint.py
+    raise SystemExit(main())

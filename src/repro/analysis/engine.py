@@ -1,0 +1,196 @@
+"""The lint engine: walk files, run rules, apply suppressions + baseline.
+
+Determinism is a feature here, not a nicety — the JSONL report is a
+regression artifact exactly like the span export: files are visited in
+sorted order, rules run in registry order, findings are deduplicated
+and totally ordered, so the same tree produces the same bytes
+(``tests/analysis/test_report_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    INVALID_SUPPRESSION,
+    PARSE_ERROR,
+    UNSUPPRESSABLE,
+    Rule,
+    all_rules,
+)
+from repro.analysis.source import SourceModule, parse_module
+from repro.analysis.suppress import Suppression, parse_suppressions
+
+__all__ = ["LintConfig", "LintResult", "lint_paths", "repo_root"]
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor containing pyproject.toml (else the start)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return current
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything a run needs beyond the file list.
+
+    Defaults mirror ``[tool.repro_lint]`` in pyproject.toml; the CLI
+    overlays the committed config on top of these, so library callers
+    (tests) get identical behavior without reading TOML.
+    """
+
+    root: Path = field(default_factory=repo_root)
+    #: rel-path fnmatch patterns fully exempt from no-wall-clock.
+    allow_wall_clock: Tuple[str, ...] = ()
+    #: path segments in which deadline-discipline applies.
+    rpc_dirs: Tuple[str, ...] = ("cluster", "proxy", "browser")
+    #: attribute names that constitute the RPC surface.
+    rpc_methods: Tuple[str, ...] = ("invoke", "call")
+    #: path segments in which obs-purity is skipped (the layer itself).
+    obs_exempt_segments: Tuple[str, ...] = ("obs",)
+
+
+@dataclass
+class LintResult:
+    """One run's verdict, pre-partitioned for the reporters."""
+
+    findings: List[Finding] = field(default_factory=list)  # actionable
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: set = set()
+    for path in paths:
+        path = path.resolve()
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            files.update(p.resolve() for p in path.rglob("*.py"))
+    return sorted(files)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _check_module(
+    module: SourceModule, rules: Sequence[Rule], config: LintConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for one_rule in rules:
+        findings.extend(one_rule.check(module, config))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+    baseline_path: Optional[Path] = None,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths``; returns a :class:`LintResult`.
+
+    ``select`` restricts to a subset of rule ids (tests use this to
+    exercise one rule against one fixture).  ``baseline`` (or a
+    ``baseline_path`` to load one from) absorbs grandfathered findings
+    into :attr:`LintResult.baselined`.
+    """
+    config = config or LintConfig()
+    rules = all_rules(select)
+    known_ids = {known.id for known in all_rules()}
+    if baseline is None:
+        baseline = (
+            load_baseline(baseline_path) if baseline_path else Baseline()
+        )
+    result = LintResult()
+    raw: List[Finding] = []
+    for path in _iter_python_files(paths):
+        rel = _relpath(path, config.root)
+        result.files_checked += 1
+        try:
+            module = parse_module(path, rel)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    path=rel,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    rule=PARSE_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        suppressions, problems = parse_suppressions(module.lines)
+        for line, suppression in sorted(suppressions.items()):
+            # Validated against the *full* registry, not `select`: a
+            # suppression that silently matched nothing would re-open
+            # the gate it was written to document.
+            if suppression.rule not in known_ids:
+                problems.append(
+                    (
+                        line,
+                        f"suppression names unknown rule id "
+                        f"'{suppression.rule}'",
+                    )
+                )
+            elif suppression.rule in UNSUPPRESSABLE:
+                problems.append(
+                    (
+                        line,
+                        f"rule '{suppression.rule}' cannot be suppressed",
+                    )
+                )
+        for line, message in sorted(problems):
+            raw.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=0,
+                    rule=INVALID_SUPPRESSION,
+                    message=message,
+                )
+            )
+        for finding in _check_module(module, rules, config):
+            suppression = _matching_suppression(suppressions, finding)
+            if suppression is not None:
+                result.suppressed.append((finding, suppression))
+            else:
+                raw.append(finding)
+    unique = sorted(set(raw), key=Finding.sort_key)
+    result.findings, result.baselined = baseline.split(unique)
+    result.suppressed.sort(key=lambda pair: pair[0].sort_key())
+    return result
+
+
+def _matching_suppression(
+    suppressions, finding: Finding
+) -> Optional[Suppression]:
+    if finding.rule in UNSUPPRESSABLE:
+        return None
+    for line in (finding.line, finding.line - 1):
+        suppression = suppressions.get(line)
+        if suppression is not None and suppression.rule == finding.rule:
+            return suppression
+    return None
+
+
+def with_overrides(config: LintConfig, **overrides) -> LintConfig:
+    """Frozen-dataclass convenience for the CLI's TOML overlay."""
+    return replace(config, **overrides)

@@ -1,0 +1,93 @@
+"""The pluggable rule registry.
+
+A rule is a pure function ``check(module, config) -> iterable of
+Finding`` registered under a stable kebab-case id.  Registration order
+is import order and import order is fixed
+(:mod:`repro.analysis.rules` imports each rule module explicitly), so
+the registry — and therefore report ordering — is deterministic.
+
+Two ids are *engine-emitted*: ``parse-error`` (a file that does not
+parse) and ``invalid-suppression`` (a malformed ``allow`` directive).
+They are registered here like any other rule so the docs drift check
+(`tools/check_docs.py`) sees one authoritative id list, but their
+check functions are no-ops — the engine raises them itself, and
+neither can be suppressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import LintConfig
+    from repro.analysis.source import SourceModule
+
+__all__ = [
+    "Rule",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+    "PARSE_ERROR",
+    "INVALID_SUPPRESSION",
+    "UNSUPPRESSABLE",
+]
+
+PARSE_ERROR = "parse-error"
+INVALID_SUPPRESSION = "invalid-suppression"
+
+#: Findings about the lint mechanism itself cannot be allowed away.
+UNSUPPRESSABLE = frozenset({PARSE_ERROR, INVALID_SUPPRESSION})
+
+CheckFn = Callable[["SourceModule", "LintConfig"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity, one-line rationale, checker."""
+
+    id: str
+    summary: str
+    check: CheckFn
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str) -> Callable[[CheckFn], CheckFn]:
+    """Register ``check`` under ``rule_id`` (decorator)."""
+
+    def _register(check: CheckFn) -> CheckFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"rule {rule_id!r} registered twice")
+        _REGISTRY[rule_id] = Rule(id=rule_id, summary=summary, check=check)
+        return check
+
+    return _register
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Registered rules in registration order, optionally filtered."""
+    import repro.analysis.rules  # noqa: F401  - registration side effect
+
+    rules = list(_REGISTRY.values())
+    if select is None:
+        return rules
+    wanted = set(select)
+    unknown = wanted - set(_REGISTRY)
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {sorted(unknown)}")
+    return [r for r in rules if r.id in wanted]
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401  - registration side effect
+
+    return _REGISTRY[rule_id]
+
+
+def rule_ids() -> List[str]:
+    return [r.id for r in all_rules()]

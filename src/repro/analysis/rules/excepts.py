@@ -1,0 +1,85 @@
+"""no-silent-except: failures are data, never silence.
+
+This codebase deliberately converts failures into values — RPC errors
+become ``RpcResult.error``, shard misbehaviour becomes probe evidence,
+chaos violations become checker verdicts.  A bare ``except:`` or an
+``except Exception: pass`` is the opposite: it discards the evidence,
+catches ``KeyboardInterrupt``/cancellation (bare form), and leaves the
+consistency checker blind to the very fault it exists to catch.
+
+Flagged:
+
+* ``except:`` — always, regardless of body (it swallows
+  ``SystemExit`` and ``KeyboardInterrupt`` too).
+* ``except Exception:`` / ``except BaseException:`` whose body does
+  nothing (only ``pass`` / ``...``) — broad catch *and* no handling.
+
+A broad catch with a real body (logging, converting to an error reply,
+re-raising) is fine; a *narrow* ``except SomeError: pass`` is fine
+too — the type documents exactly what is being ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+RULE_ID = "no-silent-except"
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):  # builtins.Exception
+        return node.attr in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(element) for element in node.elts)
+    return False
+
+
+def _body_is_silent(body) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@rule(
+    RULE_ID,
+    "bare except: and except Exception: pass swallow failures the "
+    "checker and probes exist to observe; narrow the type or handle it",
+)
+def check(module, config) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield Finding(
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=RULE_ID,
+                message=(
+                    "bare except: catches KeyboardInterrupt/SystemExit "
+                    "and hides the failure; name the exception type"
+                ),
+            )
+        elif _is_broad(node.type) and _body_is_silent(node.body):
+            yield Finding(
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=RULE_ID,
+                message=(
+                    "except Exception with an empty body silently discards "
+                    "the failure; narrow the type or record the error"
+                ),
+            )

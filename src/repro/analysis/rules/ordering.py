@@ -1,0 +1,256 @@
+"""no-iteration-order-hazard: sets must be sorted before ordering matters.
+
+CPython set iteration order depends on hash values, and string hashes
+are randomized per process (``PYTHONHASHSEED``) — iterating a set into
+a list, a joined string, or a report row is the classic "passes on my
+machine, flaky in CI" nondeterminism.  Dicts are insertion-ordered on
+every Python this repo supports, so plain dict iteration is exempt;
+the hazard this rule hunts is *sets* (and expressions derived from
+sets) flowing into order-sensitive output without ``sorted(...)``.
+
+Static certainty over coverage: the rule only flags expressions it can
+*prove* are sets — literals, comprehensions, ``set(...)`` /
+``frozenset(...)`` calls, set operators over those, and local names
+bound exclusively to such expressions.  Consumption is order-sensitive
+when the set feeds a list/tuple/enumerate conversion, a join, an
+ordered comprehension, or a ``for`` loop whose body appends, yields,
+or writes.  Order-insensitive reducers (``sum``, ``len``, ``min``,
+``max``, ``any``, ``all``, ``set``, ``sorted`` itself) never flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+RULE_ID = "no-iteration-order-hazard"
+
+#: consuming calls where input order is irrelevant (or restored).
+ORDER_INSENSITIVE = frozenset(
+    {
+        "sorted",
+        "set",
+        "frozenset",
+        "sum",
+        "len",
+        "min",
+        "max",
+        "any",
+        "all",
+        "Counter",
+        "iter",  # order decided by the eventual consumer, not here
+    }
+)
+
+#: ordered-output conversions of an iterable argument.
+ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "reversed"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: loop-body accumulation that bakes iteration order into output.
+_ORDERED_SINK_METHODS = frozenset(
+    {"append", "extend", "insert", "appendleft", "write", "writelines"}
+)
+
+
+def _scope_of(module, node: ast.AST) -> ast.AST:
+    for ancestor in module.ancestors(node):
+        if isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)
+        ):
+            return ancestor
+    return module.tree
+
+
+def _certain_set_names(module) -> Dict[ast.AST, Set[str]]:
+    """Per-scope names provably bound only to set expressions.
+
+    Iterated to a fixpoint (bounded) so ``s = set(x); t = s | other``
+    resolves ``t`` once ``s`` is known.
+    """
+    scopes: Dict[ast.AST, Dict[str, bool]] = {}
+
+    def note(scope: ast.AST, name: str, is_set: bool) -> None:
+        entry = scopes.setdefault(scope, {})
+        entry[name] = entry.get(name, True) and is_set
+
+    for _ in range(3):
+        current = {
+            scope: {n for n, ok in entry.items() if ok}
+            for scope, entry in scopes.items()
+        }
+        scopes = {}
+        for node in ast.walk(module.tree):
+            scope = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    scope = _scope_of(module, node)
+                    note(
+                        scope,
+                        target.id,
+                        _is_set_expr(module, node.value, current.get(scope, set())),
+                    )
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if node.value is not None:
+                    scope = _scope_of(module, node)
+                    note(
+                        scope,
+                        node.target.id,
+                        _is_set_expr(module, node.value, current.get(scope, set())),
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if not isinstance(node.op, _SET_OPS):
+                    note(_scope_of(module, node), node.target.id, False)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        note(_scope_of(module, node), name_node.id, False)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    args.posonlyargs + args.args + args.kwonlyargs
+                ):
+                    note(node, arg.arg, False)
+            elif isinstance(node, ast.comprehension):
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        note(_scope_of(module, node.iter), name_node.id, False)
+        if {
+            scope: {n for n, ok in entry.items() if ok}
+            for scope, entry in scopes.items()
+        } == current:
+            break
+    return {
+        scope: {n for n, ok in entry.items() if ok}
+        for scope, entry in scopes.items()
+    }
+
+
+def _is_set_expr(module, node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+        ):
+            return _is_set_expr(module, node.func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_expr(module, node.left, set_names) and _is_set_expr(
+            module, node.right, set_names
+        )
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _consumer_call_name(module, node: ast.AST) -> Optional[str]:
+    """Name of the call directly consuming ``node`` as an argument."""
+    parent = module.parent(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        if isinstance(parent.func, ast.Name):
+            return parent.func.id
+        if isinstance(parent.func, ast.Attribute):
+            return parent.func.attr
+    return None
+
+
+def _loop_bakes_order(node: ast.For) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in _ORDERED_SINK_METHODS
+        ):
+            return True
+    return False
+
+
+def _finding(module, node: ast.AST, what: str) -> Finding:
+    return Finding(
+        path=module.rel,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=RULE_ID,
+        message=(
+            f"{what} iterates a set in nondeterministic order; "
+            "wrap it in sorted(...)"
+        ),
+    )
+
+
+@rule(
+    RULE_ID,
+    "iterating a set into ordered output (list/join/report rows) without "
+    "sorted() makes the output depend on hash randomization",
+)
+def check(module, config) -> Iterator[Finding]:
+    set_names = _certain_set_names(module)
+
+    def is_set(node: ast.AST) -> bool:
+        scope = _scope_of(module, node)
+        return _is_set_expr(module, node, set_names.get(scope, set()))
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For) and is_set(node.iter):
+            if _loop_bakes_order(node):
+                yield _finding(module, node.iter, "a for loop")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if not is_set(generator.iter):
+                    continue
+                consumer = _consumer_call_name(module, node)
+                if consumer in ORDER_INSENSITIVE:
+                    continue
+                kind = (
+                    "a list comprehension"
+                    if isinstance(node, ast.ListComp)
+                    else "a dict comprehension"
+                    if isinstance(node, ast.DictComp)
+                    else "a generator expression"
+                )
+                yield _finding(module, generator.iter, kind)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in ORDER_SENSITIVE_CALLS and node.args:
+                if is_set(node.args[0]):
+                    consumer = _consumer_call_name(module, node)
+                    if consumer not in ORDER_INSENSITIVE:
+                        yield _finding(module, node.args[0], f"{name}(...)")
+            elif (
+                name == "join"
+                and isinstance(func, ast.Attribute)
+                and node.args
+                and is_set(node.args[0])
+            ):
+                yield _finding(module, node.args[0], "str.join")
+        elif isinstance(node, ast.Starred) and is_set(node.value):
+            parent = module.parent(node)
+            if isinstance(parent, (ast.List, ast.Tuple)):
+                yield _finding(module, node.value, "unpacking into a sequence")

@@ -1,0 +1,173 @@
+"""no-unseeded-random: randomness must flow from explicit seeds.
+
+Two failure modes, both invisible at run time until a rerun disagrees:
+
+* **Process-global streams** — module-level ``random.*`` and the
+  legacy ``numpy.random.*`` functions share hidden global state, so
+  any import-order or call-order change reshuffles every consumer.
+* **Entropy-seeded generators** — ``np.random.default_rng()`` (no
+  argument) pulls OS entropy; two runs can never be compared.
+
+The fix is always the same shape: construct ``np.random.default_rng(
+seed)`` / ``random.Random(seed)`` at the boundary and pass the
+generator down (see ``repro.netsim.rand.RngRegistry`` for the
+per-subsystem stream pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+RULE_ID = "no-unseeded-random"
+
+#: numpy.random names that are fine *when called with a seed argument*.
+SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: stdlib random names that are fine when seeded explicitly.
+STDLIB_CONSTRUCTORS = frozenset({"Random"})
+
+
+def _call_parent(module, node: ast.AST) -> Optional[ast.Call]:
+    parent = module.parent(node)
+    if isinstance(parent, ast.Call) and parent.func is node:
+        return parent
+    return None
+
+
+def _unseeded(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
+
+@rule(
+    RULE_ID,
+    "module-level random.* / numpy.random.* and default_rng() without a "
+    "seed draw from hidden global state or OS entropy; pass seeded "
+    "generators explicitly",
+)
+def check(module, config) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if (
+                    node.module == "random"
+                    and alias.name not in STDLIB_CONSTRUCTORS
+                ):
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"imports random.{alias.name}: module-level "
+                            "random functions share process-global state; "
+                            "use a seeded random.Random instance"
+                        ),
+                    )
+            continue
+        if not isinstance(node, ast.Attribute):
+            continue
+        canonical = module.imports.resolve(node)
+        if canonical is None:
+            continue
+        head, _, attr = canonical.rpartition(".")
+        if head == "random":
+            if attr in STDLIB_CONSTRUCTORS:
+                call = _call_parent(module, node)
+                if call is not None and _unseeded(call):
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            "random.Random() without a seed argument is "
+                            "entropy-seeded; pass an explicit seed"
+                        ),
+                    )
+            else:
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"random.{attr} uses the process-global stream; "
+                        "use a seeded random.Random instance"
+                    ),
+                )
+        elif head == "numpy.random":
+            if attr in SEEDABLE_CONSTRUCTORS:
+                call = _call_parent(module, node)
+                if call is not None and _unseeded(call):
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"numpy.random.{attr}() without an explicit "
+                            "seed is entropy-seeded and unreproducible"
+                        ),
+                    )
+            else:
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"legacy numpy.random.{attr} mutates the global "
+                        "stream; use np.random.default_rng(seed)"
+                    ),
+                )
+    # `from numpy.random import default_rng` binds a bare name; calls
+    # through it are Name nodes, not Attributes, so they need their
+    # own pass:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Name
+        ):
+            continue
+        canonical = module.imports.resolve(node.func)
+        if canonical is None:
+            continue
+        head, _, attr = canonical.rpartition(".")
+        if head == "numpy.random" and attr in SEEDABLE_CONSTRUCTORS:
+            if _unseeded(node):
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"numpy.random.{attr}() without an explicit seed "
+                        "is entropy-seeded and unreproducible"
+                    ),
+                )
+        elif canonical == "random.Random" and _unseeded(node):
+            yield Finding(
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=RULE_ID,
+                message=(
+                    "random.Random() without a seed argument is "
+                    "entropy-seeded; pass an explicit seed"
+                ),
+            )

@@ -1,0 +1,104 @@
+"""no-wall-clock: all time must come from the injected sim clock.
+
+Every latency, timeout, and timestamp in this reproduction is
+simulation time; a single ``time.time()`` on a hot path silently turns
+a deterministic experiment into a flaky one (E18's chaos verdicts and
+E20's byte-identical span exports both assume the substrate never
+reads the host clock).  The rule flags *references*, not just calls:
+``clock=time.monotonic`` as a default argument is exactly the bug.
+
+String literals and docstrings cannot trip this rule — the check is
+AST-based and never looks inside constants.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+RULE_ID = "no-wall-clock"
+
+#: time-module attributes that read (or block on) the host clock.
+BANNED_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+        "localtime",
+        "gmtime",
+        "ctime",
+    }
+)
+
+#: fully-resolved datetime constructors that read the host clock.
+BANNED_DATETIME = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _is_banned(canonical: str) -> bool:
+    if canonical in BANNED_DATETIME:
+        return True
+    module, _, attr = canonical.rpartition(".")
+    return module == "time" and attr in BANNED_TIME
+
+
+@rule(
+    RULE_ID,
+    "wall-clock reads (time.time/monotonic/perf_counter, datetime.now) "
+    "break sim-time determinism; inject the simulation clock",
+)
+def check(module, config) -> Iterator[Finding]:
+    for pattern in config.allow_wall_clock:
+        if fnmatch(module.rel, pattern):
+            return
+    flagged_lines = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                canonical = f"{node.module}.{alias.name}"
+                if _is_banned(canonical):
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"imports wall-clock function {canonical}; "
+                            "take a clock callable instead"
+                        ),
+                    )
+        elif isinstance(node, ast.Attribute):
+            canonical = module.imports.resolve(node)
+            if canonical is not None and _is_banned(canonical):
+                # one finding per (line, target): `time.time()` is a
+                # Call wrapping the same Attribute, not two findings.
+                key = (node.lineno, canonical)
+                if key in flagged_lines:
+                    continue
+                flagged_lines.add(key)
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"wall-clock access {canonical}; all time must "
+                        "come from the injected simulation clock"
+                    ),
+                )

@@ -1,0 +1,165 @@
+"""Parsed source files and the AST plumbing every rule shares.
+
+One :class:`SourceModule` per file: raw text, split lines, the parsed
+tree, and a child->parent map (the :mod:`ast` module does not keep
+parent links, and most rules need to ask "what consumes this node?").
+
+Because rules work on the AST, string literals and docstrings are
+invisible to them by construction — a docstring that *mentions*
+``time.monotonic`` can never trip the wall-clock rule (regression test
+in ``tests/analysis``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["SourceModule", "ImportTable", "parse_module", "dotted_name"]
+
+
+@dataclass
+class ImportTable:
+    """What the module-level imports bind each name to.
+
+    ``modules`` maps a local alias to a dotted module path
+    (``np`` -> ``numpy``, ``nr`` -> ``numpy.random``); ``symbols`` maps
+    a from-imported name to its dotted origin
+    (``default_rng`` -> ``numpy.random.default_rng``).
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    symbols: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, tree: ast.AST) -> "ImportTable":
+        table = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                # `import a.b as c` binds c -> a.b; plain `import a.b`
+                # binds only `a` (attribute access goes a.b.<x>).
+                for alias in node.names:
+                    if alias.asname:
+                        table.modules[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        table.modules[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table.symbols[local] = f"{node.module}.{alias.name}"
+        return table
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, or None.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``; a
+        bare ``default_rng`` resolves via the symbol table.  Chains that
+        bottom out in anything but an imported name resolve to None.
+        """
+        parts = dotted_name(node)
+        if parts is None:
+            return None
+        head, rest = parts[0], parts[1:]
+        if head in self.modules:
+            return ".".join([self.modules[head], *rest])
+        if head in self.symbols:
+            return ".".join([self.symbols[head], *rest])
+        return None
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return parts[::-1]
+
+
+@dataclass
+class SourceModule:
+    """One parsed file, ready for rules."""
+
+    path: Path  # absolute
+    rel: str  # repo-relative, forward slashes (report identity)
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    imports: ImportTable = field(default_factory=ImportTable)
+
+    @property
+    def rel_parts(self) -> Tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk child -> parent up to the module node."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def preceding_siblings(self, node: ast.AST) -> Iterator[ast.stmt]:
+        """Statements before ``node``'s ancestor chain in each block.
+
+        For every enclosing statement list (function body, if body,
+        ...), yields the statements that run before the branch holding
+        ``node`` — the material early-return guard analysis scans.
+        Stops at the nearest enclosing function boundary.
+        """
+        current: ast.AST = node
+        for ancestor in self.ancestors(node):
+            for fieldname in ("body", "orelse", "finalbody"):
+                block = getattr(ancestor, fieldname, None)
+                if isinstance(block, list) and current in block:
+                    index = block.index(current)
+                    for stmt in block[:index]:
+                        yield stmt
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return
+            current = ancestor
+
+
+def _link_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def parse_module(path: Path, rel: str) -> SourceModule:
+    """Parse one file; raises SyntaxError for the engine to report."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    module = SourceModule(
+        path=path,
+        rel=rel,
+        text=text,
+        lines=text.splitlines(),
+        tree=tree,
+        parents=_link_parents(tree),
+        imports=ImportTable.collect(tree),
+    )
+    return module
+
+
+def block_terminates(body: Sequence[ast.stmt]) -> bool:
+    """Does this block unconditionally leave the enclosing scope?"""
+    if not body:
+        return False
+    return isinstance(body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))

@@ -1,0 +1,91 @@
+"""Per-line lint suppressions: ``repro-lint: allow[rule-id] reason``.
+
+The directive lives in a ``#`` comment (the examples in this module
+omit the hash so the scanner does not anchor to its own docs).  A
+suppression silences one rule on one line.  It may sit on the
+flagged line itself or on its own line directly above (for lines that
+are already at the formatter's width budget).  The reason is
+mandatory: a suppression is a claim that the finding is a false
+positive, and the claim has to say why — a reason-less or malformed
+suppression is itself reported (``invalid-suppression``) instead of
+being honored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Suppression", "parse_suppressions", "SUPPRESSION_RE"]
+
+#: ``repro-lint: allow[rule-id] reason`` in a line's trailing comment.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rule>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+#: Anything that *looks* like a suppression attempt, including typos
+#: the strict regex would silently skip (``allow(rule)``, ``Allow[...]``).
+ATTEMPT_RE = re.compile(r"#\s*repro-lint\b", re.IGNORECASE)
+
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``allow`` directive."""
+
+    line: int  # 1-based line the comment sits on
+    rule: str
+    reason: str
+
+    def covers(self, finding_line: int) -> bool:
+        """Same line, or the comment line directly above the finding."""
+        return finding_line in (self.line, self.line + 1)
+
+
+def parse_suppressions(
+    lines: Sequence[str],
+) -> Tuple[Dict[int, Suppression], List[Tuple[int, str]]]:
+    """Scan raw source lines for suppression directives.
+
+    Returns ``(by_line, problems)`` where ``by_line`` maps the comment's
+    line number to its :class:`Suppression` and ``problems`` lists
+    ``(line, message)`` pairs for malformed directives (bad rule id,
+    missing reason, unparseable syntax).  String literals that merely
+    contain the marker text are the caller's (AST rules') concern only
+    in that they never produce findings; a suppression directive inside
+    a string is harmless because nothing anchors to it.
+    """
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Tuple[int, str]] = []
+    for number, raw in enumerate(lines, start=1):
+        match = SUPPRESSION_RE.search(raw)
+        if match is None:
+            if ATTEMPT_RE.search(raw) and "allow" in raw:
+                problems.append(
+                    (
+                        number,
+                        "unparseable suppression; the form is "
+                        "'repro-lint: allow[rule-id] reason' after a '#'",
+                    )
+                )
+            continue
+        rule = match.group("rule").strip()
+        reason = match.group("reason").strip()
+        if not _RULE_ID_RE.match(rule):
+            problems.append(
+                (number, f"suppression names an invalid rule id {rule!r}")
+            )
+            continue
+        if not reason:
+            problems.append(
+                (
+                    number,
+                    f"suppression for {rule!r} has no reason; say why the "
+                    "finding is a false positive",
+                )
+            )
+            continue
+        by_line[number] = Suppression(line=number, rule=rule, reason=reason)
+    return by_line, problems

@@ -57,7 +57,7 @@ class NaiveAttacker:
     """
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
 
     def strip_and_mangle(self, photo: Photo, noise_sigma: float = 0.12) -> AttackResult:
         """Strip metadata and add noise heavy enough to kill the watermark.
@@ -114,7 +114,7 @@ class SophisticatedAttacker:
     ):
         self.ledger = ledger
         self._toolkit = OwnerToolkit(
-            rng=rng or np.random.default_rng(),
+            rng=rng or np.random.default_rng(0),
             watermark_codec=watermark_codec or WatermarkCodec(payload_len=12),
         )
 

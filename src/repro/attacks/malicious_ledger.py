@@ -45,7 +45,7 @@ class LyingLedger(Ledger):
         if not 0.0 <= lie_probability <= 1.0:
             raise ValueError("lie_probability must be in [0, 1]")
         self.lie_probability = float(lie_probability)
-        self._lie_rng = lie_rng or np.random.default_rng()
+        self._lie_rng = lie_rng or np.random.default_rng(0)
         self.lies_told = 0
 
     def status(self, identifier: PhotoIdentifier) -> StatusProof:
@@ -87,7 +87,7 @@ class StonewallingLedger(Ledger):
         if not 0.0 <= drop_probability <= 1.0:
             raise ValueError("drop_probability must be in [0, 1]")
         self.drop_probability = float(drop_probability)
-        self._drop_rng = drop_rng or np.random.default_rng()
+        self._drop_rng = drop_rng or np.random.default_rng(0)
         self.requests_dropped = 0
 
     def revoke(

@@ -65,6 +65,7 @@ class AntiEntropySweeper:
         replication_factor: int,
         on_result: Optional[Callable[[str, bool], None]] = None,
         obs: Optional[object] = None,
+        rpc_timeout: Optional[float] = None,
     ):
         if replication_factor < 1:
             raise ValueError("replication factor must be at least 1")
@@ -74,6 +75,10 @@ class AntiEntropySweeper:
         self.replication_factor = int(replication_factor)
         self._on_result = on_result  # health feedback (detector/breakers)
         self.obs = obs  # duck-typed Observability; sweep span + counters
+        # Budget for every digest poll / fetch / install RPC: a sweep is
+        # background work and must never wait on a dead replica longer
+        # than the transport would make a foreground read wait.
+        self.rpc_timeout = rpc_timeout
         self.sweeps_run = 0
 
     # -- placement ---------------------------------------------------------------
@@ -138,7 +143,10 @@ class AntiEntropySweeper:
             callback(report)
             return
         for shard_id in shard_ids:
-            self.transport.invoke(shard_id, "digest", {}, _polled(shard_id))
+            self.transport.invoke(
+                shard_id, "digest", {}, _polled(shard_id),
+                timeout=self.rpc_timeout,
+            )
 
     def _reconcile(
         self,
@@ -228,11 +236,13 @@ class AntiEntropySweeper:
 
             for record, target in installs:
                 self.transport.invoke(
-                    target, "install_record", {"record": record}, _installed(target)
+                    target, "install_record", {"record": record},
+                    _installed(target), timeout=self.rpc_timeout,
                 )
 
         self.transport.invoke(
-            source, "fetch_records", {"serials": serials}, _on_fetch
+            source, "fetch_records", {"serials": serials}, _on_fetch,
+            timeout=self.rpc_timeout,
         )
 
     def sweep(self) -> SweepReport:

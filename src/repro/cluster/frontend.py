@@ -373,14 +373,16 @@ class ClusterFrontend:
 
     def _breaker_transition(self, target: str, state: BreakerState) -> None:
         """Board hook: count transitions, track the open-breaker gauge."""
-        self.obs.counter(
-            "breaker_transitions_total", target=target, to=state.value
-        ).inc()
+        if self.obs is not None:
+            self.obs.counter(
+                "breaker_transitions_total", target=target, to=state.value
+            ).inc()
         if state is BreakerState.CLOSED:
             self._open_breakers.discard(target)
         else:
             self._open_breakers.add(target)
-        self.obs.gauge("breakers_open").set(len(self._open_breakers))
+        if self.obs is not None:
+            self.obs.gauge("breakers_open").set(len(self._open_breakers))
 
     # -- health fan-out ----------------------------------------------------------
 
@@ -447,7 +449,7 @@ class ClusterFrontend:
             if ctx.answered:
                 return  # deadline backstop and quorum raced; first wins
             ctx.answered = True
-            if ctx.span is not None:
+            if self.obs is not None and ctx.span is not None:
                 self.obs.counter(
                     "frontend_answers_total", source=answer.source
                 ).inc()
@@ -477,7 +479,7 @@ class ClusterFrontend:
             and not self.filterset.might_be_revoked(identifier.to_compact())
         ):
             self.stats.filter_short_circuits += 1
-            if ctx.span is not None:
+            if self.obs is not None and ctx.span is not None:
                 self.obs.counter("frontend_filter_short_circuits_total").inc()
             _observed(
                 ClusterAnswer(identifier=key, revoked=False, source="filter")
@@ -485,7 +487,7 @@ class ClusterFrontend:
             return
         if self.shedder is not None and not self.shedder.try_acquire():
             self.stats.load_shed += 1
-            if ctx.span is not None:
+            if self.obs is not None and ctx.span is not None:
                 self.obs.counter("frontend_load_shed_total").inc()
                 ctx.span.event("load_shed")
             _observed(self._degraded_answer(identifier, "load shed"))
@@ -498,7 +500,7 @@ class ClusterFrontend:
                 def _backstop() -> None:
                     if not ctx.answered:
                         self.stats.deadline_answers += 1
-                        if ctx.span is not None:
+                        if self.obs is not None and ctx.span is not None:
                             self.obs.counter(
                                 "frontend_deadline_answers_total"
                             ).inc()
@@ -546,7 +548,7 @@ class ClusterFrontend:
         key = identifier.to_string()
         quorum = min(self.config.read_quorum, len(read_set))
         rspan = None
-        if ctx.span is not None:
+        if self.obs is not None and ctx.span is not None:
             rspan = self.obs.start(
                 "replication.read",
                 parent=ctx.span,
@@ -563,7 +565,7 @@ class ClusterFrontend:
                     # by the backoff schedule (hop number = attempt).
                     ctx.hops += 1
                     self.stats.failovers += 1
-                    if ctx.span is not None:
+                    if self.obs is not None and ctx.span is not None:
                         self.obs.counter("frontend_failovers_total").inc()
                         ctx.span.event("failover", hop=ctx.hops)
                     retry = fallback[: self.config.read_quorum]
@@ -607,7 +609,7 @@ class ClusterFrontend:
                 ctx.attempts += 1
                 ctx.hops = 0
                 self.stats.retries += 1
-                if ctx.span is not None:
+                if self.obs is not None and ctx.span is not None:
                     self.obs.counter("frontend_retries_total").inc()
                     ctx.span.event("retry", attempt=ctx.attempts, delay=delay)
                 self._later(
@@ -687,6 +689,7 @@ class ClusterFrontend:
                 "epoch": outcome.epoch,
             },
             lambda reply: None,  # best effort; next read re-detects
+            timeout=None,  # repair carries no request budget; transport default
         )
 
     # -- status: synchronous conveniences ------------------------------------------
@@ -894,7 +897,8 @@ class ClusterFrontend:
         for i, coordinator in enumerate(candidates):
             box: List = []
             self.transport.invoke(
-                coordinator, "challenge", {"serial": identifier.serial}, box.append
+                coordinator, "challenge", {"serial": identifier.serial},
+                box.append, timeout=None,  # sync path; completes inline
             )
             if box and box[0].ok:
                 self._record_result(coordinator, True)
@@ -926,6 +930,7 @@ class ClusterFrontend:
             action,
             {"serial": identifier.serial, "nonce": nonce, "signature": signature},
             box.append,
+            timeout=None,  # sync path; completes inline
         )
         if not box or not box[0].ok:
             error = box[0].error if box else "no reply"
@@ -1032,6 +1037,10 @@ class ClusterFrontend:
             self.transport.invoke(
                 coordinator, "challenge", {"serial": identifier.serial},
                 _on_challenge,
+                # Revocations have no configured deadline (they are rare,
+                # owner-driven, and must not time out into ambiguity);
+                # the transport default bounds a dead coordinator.
+                timeout=None,
             )
 
         _try_coordinator(0)
@@ -1108,6 +1117,7 @@ class ClusterFrontend:
             action,
             {"serial": identifier.serial, "nonce": nonce, "signature": signature},
             _on_action,
+            timeout=None,  # see the challenge leg above
         )
 
     def revoke(self, identifier: PhotoIdentifier, keypair: KeyPair) -> Dict[str, Any]:

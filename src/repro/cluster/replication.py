@@ -79,6 +79,13 @@ class ShardTransport(Protocol):
     ``invoke`` must always call ``callback`` exactly once, with an
     error reply rather than an exception on failure (a dead shard is an
     experiment condition, not a bug).
+
+    ``timeout`` is the caller's remaining budget for this call in
+    seconds (``None`` = the transport's default).  Asynchronous
+    transports enforce it by answering with a timeout error reply;
+    synchronous ones may ignore it (the call cannot outlive the caller
+    there), but every call *site* must still pass it so the budget is
+    threaded when the transport does matter.
     """
 
     def invoke(
@@ -87,6 +94,7 @@ class ShardTransport(Protocol):
         method: str,
         payload: Any,
         callback: Callable[[ShardReply], None],
+        timeout: Optional[float] = None,
     ) -> None:  # pragma: no cover - protocol
         ...
 
@@ -124,7 +132,10 @@ class LocalShardTransport:
         method: str,
         payload: Any,
         callback: Callable[[ShardReply], None],
+        timeout: Optional[float] = None,
     ) -> None:
+        # `timeout` is accepted for transport interchangeability but has
+        # nothing to enforce: the call completes before invoke returns.
         self.calls += 1
         shard = self._shards.get(shard_id)
         if shard is None:
@@ -192,12 +203,15 @@ class QuorumExecutor:
         quorum: int,
         callback: Callable[[QuorumResult], None],
         on_reply: Optional[Callable[[ShardReply], None]] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         """Fan out; ``callback`` fires at the quorum verdict.
 
         ``on_reply`` (when given) observes *every* individual reply,
         including those arriving after the verdict — the hook hinted
         handoff uses to catch replicas that missed a successful write.
+        ``timeout`` is the per-replica RPC budget, threaded to every
+        fan-out leg.
         """
         if not 1 <= quorum <= len(shard_ids):
             raise ValueError(
@@ -240,7 +254,9 @@ class QuorumExecutor:
                 )
 
         for shard_id in shard_ids:
-            self._transport.invoke(shard_id, method, payload, _on_reply)
+            self._transport.invoke(
+                shard_id, method, payload, _on_reply, timeout=timeout
+            )
 
 
 @dataclass
@@ -478,6 +494,7 @@ class HintQueue:
         transport: ShardTransport,
         on_result: Optional[Callable[[str, bool], None]] = None,
         on_done: Optional[Callable[[int], None]] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         """Redeliver ``shard_id``'s hints sequentially (callback chain).
 
@@ -529,7 +546,9 @@ class HintQueue:
                     return
                 _finish()  # replica still unreachable; try next round
 
-            transport.invoke(shard_id, hint.method, hint.payload, _on_reply)
+            transport.invoke(
+                shard_id, hint.method, hint.payload, _on_reply, timeout=timeout
+            )
 
         _next()
 

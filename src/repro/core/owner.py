@@ -71,7 +71,7 @@ class OwnerToolkit:
         key_bits: int = 512,
         watermark_codec: Optional[WatermarkCodec] = None,
     ):
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
         self._key_bits = int(key_bits)
         self.watermark_codec = watermark_codec or WatermarkCodec(payload_len=12)
 

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.errors import ClaimError
-from repro.core.identifiers import PhotoIdentifier
+from repro.core.identifiers import IdentifierError, PhotoIdentifier
 from repro.core.owner import ClaimReceipt
 from repro.crypto.signatures import KeyPair
 from repro.ledger.ledger import Ledger
@@ -41,7 +41,7 @@ class VideoOwnerToolkit:
         key_bits: int = 512,
         video_codec: Optional[VideoWatermarkCodec] = None,
     ):
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
         self._key_bits = int(key_bits)
         self.video_codec = video_codec or VideoWatermarkCodec()
 
@@ -111,7 +111,7 @@ class VideoOwnerToolkit:
         if raw is not None:
             try:
                 return PhotoIdentifier.from_string(raw)
-            except Exception:  # noqa: BLE001 - malformed => try watermark
+            except IdentifierError:  # malformed => try watermark
                 pass
         try:
             payload = self.video_codec.extract(video)

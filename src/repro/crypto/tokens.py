@@ -107,7 +107,7 @@ class MixingMarket:
     """
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
         self._holdings: Dict[str, List[PaymentToken]] = {}
 
     def deposit(self, account: str, token: PaymentToken) -> None:

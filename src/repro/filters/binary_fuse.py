@@ -201,7 +201,7 @@ class BinaryFuseFilter:
         return 8.0 * self.nbytes / self._num_keys
 
     def measure_fpr(self, num_probes: int, rng=None) -> float:
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         raw = rng.integers(0, 2**63, size=num_probes, dtype=np.int64)
         hits = sum(
             1

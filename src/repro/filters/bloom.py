@@ -184,7 +184,7 @@ class BloomFilter:
         Probes are drawn from a keyspace disjoint from normal keys by a
         distinguishing prefix, so every probe is a true negative.
         """
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         hits = 0
         raw = rng.integers(0, 2**63, size=num_probes, dtype=np.int64)
         for value in raw:

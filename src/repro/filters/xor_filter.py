@@ -180,7 +180,7 @@ class XorFilter:
 
     def measure_fpr(self, num_probes: int, rng=None) -> float:
         """Empirical FPR with guaranteed-absent probe keys."""
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         raw = rng.integers(0, 2**63, size=num_probes, dtype=np.int64)
         hits = sum(
             1

@@ -62,7 +62,7 @@ class HonestyProber:
 
     def __init__(self, ledger: Ledger, rng: Optional[np.random.Generator] = None):
         self.ledger = ledger
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
         self._canaries: List[_Canary] = []
         self._last_merkle_size = 0
         self._last_merkle_root: Optional[bytes] = None

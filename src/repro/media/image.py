@@ -93,7 +93,7 @@ class PhotoGenerator:
     """Seeded generator of synthetic natural-looking photos."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng(0)
 
     def generate(
         self,

@@ -137,7 +137,7 @@ def add_noise(
     """Additive Gaussian noise with standard deviation ``sigma``."""
     if sigma < 0:
         raise ValueError("sigma must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     noisy = photo.pixels + rng.standard_normal(photo.pixels.shape) * sigma
     result = Photo(pixels=np.clip(noisy, 0.0, 1.0))
     result.metadata = _carry_metadata(photo, preserve_metadata)

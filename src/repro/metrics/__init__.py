@@ -1,12 +1,16 @@
-"""Measurement and reporting helpers shared by tests and benches."""
+"""Measurement and reporting helpers shared by tests and benches.
 
-from repro.metrics.stats import (
-    summarize,
-    percentile,
-    Summary,
-    confidence_interval_mean,
-)
+The stats half needs numpy/scipy; the reporting half is pure Python
+and is imported by dependency-free paths (``repro.obs.export``, the
+``repro lint`` CLI).  Stats symbols are therefore resolved lazily so
+importing a reporting helper never drags scipy in.
+"""
+
 from repro.metrics.reporting import format_table, format_row, Table
+
+_STATS_EXPORTS = frozenset(
+    {"summarize", "percentile", "Summary", "confidence_interval_mean"}
+)
 
 __all__ = [
     "summarize",
@@ -17,3 +21,15 @@ __all__ = [
     "format_row",
     "Table",
 ]
+
+
+def __getattr__(name: str):
+    if name in _STATS_EXPORTS:
+        from repro.metrics import stats
+
+        return getattr(stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

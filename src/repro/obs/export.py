@@ -26,6 +26,7 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import Span
 
 __all__ = [
+    "canonical_jsonl",
     "spans_to_jsonl",
     "span_to_dict",
     "prometheus_text",
@@ -33,6 +34,21 @@ __all__ = [
     "stage_breakdown",
     "slowest_spans_table",
 ]
+
+
+def canonical_jsonl(records: Iterable[dict]) -> str:
+    """One canonical JSON line per record: sorted keys, compact
+    separators, trailing newline iff non-empty.
+
+    The byte-determinism contract every JSONL artifact in this repo
+    shares (span exports, lint reports): identical inputs produce
+    identical bytes.
+    """
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # -- spans --------------------------------------------------------------------------
@@ -59,11 +75,7 @@ def span_to_dict(span: Span) -> dict:
 
 def spans_to_jsonl(spans: Iterable[Span]) -> str:
     """One JSON line per finished span, in completion order."""
-    lines = [
-        json.dumps(span_to_dict(s), sort_keys=True, separators=(",", ":"))
-        for s in spans
-    ]
-    return "\n".join(lines) + ("\n" if lines else "")
+    return canonical_jsonl(span_to_dict(s) for s in spans)
 
 
 def _percentile(ordered: Sequence[float], q: float) -> float:

@@ -1,0 +1,27 @@
+"""Shared fixtures for the lint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import LintConfig, lint_paths, repo_root
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = repo_root(Path(__file__).parent)
+
+
+@pytest.fixture
+def config():
+    return LintConfig(root=REPO_ROOT)
+
+
+@pytest.fixture
+def lint_fixture(config):
+    """Lint one fixture file by name; returns the LintResult."""
+
+    def _lint(name, select=None, **kwargs):
+        return lint_paths(
+            [FIXTURES / name], config=config, select=select, **kwargs
+        )
+
+    return _lint

@@ -1,0 +1,22 @@
+"""Fixture: silent exception swallowing."""
+
+
+def bare(handler):
+    try:
+        handler()
+    except:  # line 7: catches KeyboardInterrupt too
+        pass
+
+
+def broad_silent(handler):
+    try:
+        handler()
+    except Exception:  # line 14: broad and silent
+        pass
+
+
+def broad_ellipsis(handler):
+    try:
+        handler()
+    except BaseException:  # line 21: broad and silent
+        ...

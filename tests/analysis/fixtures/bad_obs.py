@@ -1,0 +1,20 @@
+"""Fixture: obs-purity violations — unguarded and value-leaking."""
+
+
+class Frontend:
+    def __init__(self, obs=None):
+        self.obs = obs
+
+    def unguarded(self):
+        self.obs.counter("queries_total").inc()  # line 9
+
+    def leaks_into_logic(self):
+        if self.obs is not None:
+            if self.obs.now() > 1.0:  # line 13: value gates control flow
+                return "late"
+        return "early"
+
+    def leaks_into_return(self):
+        if self.obs is not None:
+            return self.obs.now()  # line 19: value escapes via return
+        return 0.0

@@ -1,0 +1,23 @@
+"""Fixture: set-iteration order baked into ordered output."""
+
+
+def loop_appends(names):
+    seen = set(names)
+    out = []
+    for name in seen:  # line 7: order reaches an append
+        out.append(name)
+    return out
+
+
+def comprehension(names):
+    seen = set(names)
+    return [name for name in seen]  # line 14: ordered list from a set
+
+
+def joined(names):
+    seen = set(names)
+    return ",".join(seen)  # line 19: order reaches the string
+
+
+def listed():
+    return list({"a", "b", "c"})  # line 23: conversion keeps order

@@ -1,0 +1,26 @@
+"""Fixture: unseeded randomness in every shape the rule covers."""
+
+import random
+import numpy as np
+from random import shuffle
+
+
+def module_stream():
+    return random.random()  # line 9: process-global stream
+
+
+def unseeded_ctor():
+    return np.random.default_rng()  # line 13: entropy-seeded
+
+
+def legacy_numpy():
+    return np.random.rand(3)  # line 17: legacy global generator
+
+
+def unseeded_stdlib():
+    return random.Random()  # line 21: no seed argument
+
+
+def imported_name(items):
+    shuffle(items)  # flagged at the import, line 5
+    return items

@@ -1,0 +1,30 @@
+"""Fixture: suppression mechanics — valid, covering, and malformed."""
+
+import time
+
+
+def same_line():
+    return time.time()  # repro-lint: allow[no-wall-clock] fixture exercises same-line coverage
+
+
+def line_above():
+    # repro-lint: allow[no-wall-clock] fixture exercises line-above coverage
+    return time.time()
+
+
+def not_covered():
+    # repro-lint: allow[no-wall-clock] two lines above the finding: does not cover
+
+    return time.time()  # line 18: still a finding
+
+
+def wrong_rule():
+    return time.time()  # repro-lint: allow[no-silent-except] rule mismatch: does not cover
+
+
+def missing_reason():
+    return time.time()  # repro-lint: allow[no-wall-clock]
+
+
+def unknown_rule():
+    return time.time()  # repro-lint: allow[no-such-rule] reason given but rule unknown

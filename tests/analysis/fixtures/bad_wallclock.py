@@ -1,0 +1,25 @@
+"""Fixture: every style of wall-clock leak the rule must catch.
+
+A docstring that merely *mentions* time.monotonic must NOT be flagged
+(the proxy cache docstring regression).
+"""
+
+import time
+from time import perf_counter
+import datetime
+
+
+def stamp():
+    return time.time()  # line 13: direct call
+
+
+def default_arg(clock=time.monotonic):  # line 16: reference, not a call
+    return clock()
+
+
+def imported():
+    return perf_counter()  # flagged at the import, line 8
+
+
+def dated():
+    return datetime.datetime.now()  # line 24

@@ -1,0 +1,10 @@
+"""Fixture: RPC sites missing a budget (lives under a cluster/ segment)."""
+
+
+def fan_out(transport, shard_ids, payload, on_reply):
+    for shard_id in shard_ids:
+        transport.invoke(shard_id, "status", payload, on_reply)  # line 6
+
+
+def single(endpoint, payload, on_reply):
+    endpoint.call("status", payload, on_reply)  # line 10

@@ -1,0 +1,23 @@
+"""Fixture: budgeted RPC sites the rule must accept."""
+
+
+def threaded(transport, shard_id, payload, on_reply, deadline):
+    transport.invoke(shard_id, "status", payload, on_reply, timeout=deadline)
+
+
+def explicit_default(transport, shard_id, payload, on_reply):
+    transport.invoke(shard_id, "status", payload, on_reply, timeout=None)
+
+
+def splatted(transport, shard_id, payload, on_reply, **kwargs):
+    transport.invoke(shard_id, "status", payload, on_reply, **kwargs)
+
+
+def deadline_keyword(endpoint, payload, on_reply, budget):
+    endpoint.call("status", payload, on_reply, deadline=budget)
+
+
+def not_an_rpc(pool):
+    # .invoke on a name outside rpc_methods scope still matches the
+    # attribute, but ordinary method names do not.
+    return pool.submit("status")

@@ -1,0 +1,21 @@
+"""Fixture: exception handling the rule must accept."""
+
+
+class ShardDown(Exception):
+    pass
+
+
+def narrow_silent(handler):
+    # A narrow type documents exactly what is ignored.
+    try:
+        handler()
+    except ShardDown:
+        pass
+
+
+def broad_handled(handler, errors):
+    # Broad, but the failure becomes data.
+    try:
+        handler()
+    except Exception as exc:
+        errors.append(str(exc))

@@ -1,0 +1,23 @@
+"""Fixture: the three guard idioms obs-purity must accept."""
+
+
+class Frontend:
+    def __init__(self, obs=None):
+        self.obs = obs
+
+    def block_guard(self):
+        if self.obs is not None:
+            self.obs.counter("queries_total").inc()
+            span = self.obs.start("frontend.status")
+            span.end(ok=True)
+
+    def short_circuit(self):
+        self.obs and self.obs.counter("queries_total").inc()
+
+    def early_return(self, obs):
+        if obs is None:
+            return None
+        obs.gauge("inflight").set(1)
+        # One obs value feeding another obs call, as a visible chain.
+        obs.histogram("latency_seconds").observe(obs.now())
+        return None

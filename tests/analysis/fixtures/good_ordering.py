@@ -1,0 +1,21 @@
+"""Fixture: order-insensitive set consumption that must pass."""
+
+
+def sorted_first(names):
+    seen = set(names)
+    return [name.upper() for name in sorted(seen)]
+
+
+def aggregates(values):
+    seen = set(values)
+    return sum(seen), len(seen), min(seen), max(seen)
+
+
+def membership_loop(names, allowed):
+    seen = set(names)
+    return all(name in allowed for name in seen)
+
+
+def dict_order(mapping):
+    # dicts are insertion-ordered; iterating one is deterministic.
+    return [key for key in mapping]

@@ -1,0 +1,20 @@
+"""Fixture: seeded randomness idioms that must pass."""
+
+import random
+import numpy as np
+
+
+def seeded_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_literal():
+    return np.random.default_rng(0)
+
+
+def seeded_stdlib(seed: int):
+    return random.Random(seed)
+
+
+def injected(rng: np.random.Generator):
+    return rng.integers(0, 10)

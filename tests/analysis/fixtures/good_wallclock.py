@@ -1,0 +1,13 @@
+"""Fixture: injected-clock idioms that must not trip no-wall-clock.
+
+Users pass clock= (e.g. the simulator clock or time.monotonic) — that
+sentence lives in prose, where the AST cannot see it.
+"""
+
+
+class Cache:
+    def __init__(self, clock):
+        self._clock = clock  # injected; the sim clock in every run
+
+    def now(self):
+        return self._clock()

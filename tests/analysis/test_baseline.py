@@ -1,0 +1,120 @@
+"""Baseline round-trip, line-insensitive matching, multiset budget."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.engine import LintConfig, lint_paths
+from repro.analysis.findings import Finding
+
+
+def _finding(path="pkg/mod.py", line=10, col=4, rule="no-wall-clock",
+             message="wall-clock access time.time"):
+    return Finding(path=path, line=line, col=col, rule=rule, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [_finding(line=3), _finding(path="pkg/other.py", line=9)]
+        write_baseline(path, findings)
+        loaded = load_baseline(path)
+        assert len(loaded) == 2
+        assert [e.path for e in loaded.entries] == [
+            "pkg/mod.py",
+            "pkg/other.py",
+        ]
+
+    def test_written_file_is_stable_bytes(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        findings = [_finding(), _finding(path="pkg/other.py")]
+        write_baseline(first, findings)
+        write_baseline(second, list(reversed(findings)))
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_text(encoding="utf-8").endswith("\n")
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        loaded = load_baseline(tmp_path / "nope.json")
+        assert len(loaded) == 0
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_committed_baseline_is_empty(self):
+        from tests.analysis.conftest import REPO_ROOT
+
+        committed = load_baseline(REPO_ROOT / "tools" / "lint_baseline.json")
+        assert len(committed) == 0
+
+
+class TestSplit:
+    def test_matching_ignores_line_numbers(self):
+        baseline = Baseline([_finding(line=10)])
+        new, baselined = baseline.split([_finding(line=99)])
+        assert new == []
+        assert [f.line for f in baselined] == [99]
+
+    def test_message_and_rule_must_match(self):
+        baseline = Baseline([_finding()])
+        new, baselined = baseline.split([_finding(rule="no-unseeded-random")])
+        assert baselined == []
+        assert len(new) == 1
+
+    def test_each_entry_absorbs_at_most_one_finding(self):
+        # Two identical findings against a one-entry baseline: the
+        # second is new debt and must fail the gate.
+        baseline = Baseline([_finding(line=10)])
+        new, baselined = baseline.split(
+            [_finding(line=10), _finding(line=20)]
+        )
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_fixing_one_of_two_shrinks_the_debt(self):
+        baseline = Baseline([_finding(line=10), _finding(line=20)])
+        new, baselined = baseline.split([_finding(line=15)])
+        assert new == []
+        assert len(baselined) == 1
+
+
+class TestEngineIntegration:
+    def test_baseline_moves_findings_out_of_the_gate(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nnow = time.time()\n", encoding="utf-8")
+        config = LintConfig(root=tmp_path)
+        first = lint_paths([target], config=config)
+        assert first.findings and not first.clean
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings)
+        second = lint_paths(
+            [target], config=config, baseline_path=baseline_path
+        )
+        assert second.clean
+        assert len(second.baselined) == len(first.findings)
+
+    def test_new_finding_alongside_baselined_still_fails(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nnow = time.time()\n", encoding="utf-8")
+        config = LintConfig(root=tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path, lint_paths([target], config=config).findings
+        )
+        target.write_text(
+            "import time\n"
+            "now = time.time()\n"
+            "later = time.monotonic()\n",
+            encoding="utf-8",
+        )
+        result = lint_paths(
+            [target], config=config, baseline_path=baseline_path
+        )
+        assert len(result.baselined) == 1
+        assert len(result.findings) == 1
+        assert "time.monotonic" in result.findings[0].message

@@ -1,0 +1,211 @@
+"""CLI behavior: the strict gate, config overlay, and entry points."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import DEFAULT_BASELINE, DEFAULT_PATHS, main
+from repro.analysis.engine import LintConfig
+
+from tests.analysis.conftest import REPO_ROOT
+
+RULE_IDS = {
+    "no-wall-clock",
+    "no-unseeded-random",
+    "no-iteration-order-hazard",
+    "obs-purity",
+    "deadline-discipline",
+    "no-silent-except",
+    "parse-error",
+    "invalid-suppression",
+}
+
+
+def _violating_tree(tmp_path):
+    """A tiny repo tree with one wall-clock and one RNG violation."""
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(
+        "import random\n"
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return time.time() + random.random()\n",
+        encoding="utf-8",
+    )
+    return pkg
+
+
+class TestStrictGate:
+    def test_repository_head_is_clean(self, capsys):
+        # The committed tree must pass its own gate with an empty
+        # baseline — the headline acceptance criterion.
+        code = main(
+            ["--root", str(REPO_ROOT), "--strict", "--format", "jsonl"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_injected_violations_fail_and_are_named(self, tmp_path, capsys):
+        _violating_tree(tmp_path)
+        code = main(
+            ["--root", str(tmp_path), "--paths", "src", "--strict"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "src/mod.py" in out
+        assert "no-wall-clock" in out
+        assert "no-unseeded-random" in out
+        assert ":5:" in out  # both violations sit on line 5
+
+    def test_non_strict_run_is_advisory(self, tmp_path, capsys):
+        _violating_tree(tmp_path)
+        code = main(["--root", str(tmp_path), "--paths", "src"])
+        assert code == 0
+        assert "no-wall-clock" in capsys.readouterr().out
+
+    def test_proxy_cache_docstring_regression(self, capsys):
+        # proxy/cache.py discusses time.monotonic in prose; the
+        # AST-based rule must not flag documentation.
+        cache = REPO_ROOT / "src" / "repro" / "proxy" / "cache.py"
+        assert "time.monotonic" in cache.read_text(encoding="utf-8")
+        code = main(
+            [
+                "--root",
+                str(REPO_ROOT),
+                "--paths",
+                "src/repro/proxy/cache.py",
+                "--select",
+                "no-wall-clock",
+                "--strict",
+            ]
+        )
+        assert code == 0
+
+
+class TestBaselineFlow:
+    def test_write_then_gate_then_disable(self, tmp_path, capsys):
+        _violating_tree(tmp_path)
+        baseline = tmp_path / "bl.json"
+        assert (
+            main(
+                [
+                    "--root",
+                    str(tmp_path),
+                    "--paths",
+                    "src",
+                    "--write-baseline",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        # Grandfathered: the gate passes with the baseline applied...
+        assert (
+            main(
+                [
+                    "--root",
+                    str(tmp_path),
+                    "--paths",
+                    "src",
+                    "--strict",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        # ...and fails when the baseline is explicitly disabled.
+        assert (
+            main(
+                [
+                    "--root",
+                    str(tmp_path),
+                    "--paths",
+                    "src",
+                    "--strict",
+                    "--baseline",
+                    "",
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_write_baseline_without_path_errors(self, tmp_path, capsys):
+        _violating_tree(tmp_path)
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--paths",
+                "src",
+                "--write-baseline",
+                "--baseline",
+                "",
+            ]
+        )
+        assert code == 2
+        assert "baseline path" in capsys.readouterr().err
+
+
+class TestConfig:
+    def test_list_rules_covers_the_registry(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_pyproject_section_matches_code_defaults(self):
+        # On 3.10 (no tomllib) the code defaults stand alone; this test
+        # pins the two sources together wherever TOML is readable.
+        tomllib = pytest.importorskip("tomllib")
+        with (REPO_ROOT / "pyproject.toml").open("rb") as handle:
+            section = tomllib.load(handle)["tool"]["repro_lint"]
+        defaults = LintConfig()
+        assert section["paths"] == list(DEFAULT_PATHS)
+        assert section["baseline"] == DEFAULT_BASELINE
+        assert tuple(section["allow_wall_clock"]) == defaults.allow_wall_clock
+        assert tuple(section["rpc_dirs"]) == defaults.rpc_dirs
+        assert tuple(section["rpc_methods"]) == defaults.rpc_methods
+        assert (
+            tuple(section["obs_exempt_segments"])
+            == defaults.obs_exempt_segments
+        )
+
+
+class TestEntryPoints:
+    @staticmethod
+    def _env():
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return env
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--list-rules"],
+            cwd=REPO_ROOT,
+            env=self._env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "no-wall-clock" in proc.stdout
+
+    def test_tools_script_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint.py"), "--list-rules"],
+            cwd=REPO_ROOT,
+            env=self._env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "no-wall-clock" in proc.stdout

@@ -1,0 +1,101 @@
+"""The JSONL report is a regression artifact: same tree, same bytes."""
+
+import json
+import shutil
+
+from repro.analysis.engine import LintConfig, lint_paths
+from repro.analysis.report import (
+    findings_to_jsonl,
+    render_summary,
+    render_table,
+)
+
+from tests.analysis.conftest import FIXTURES
+
+
+def _fixture_files():
+    return sorted(FIXTURES.rglob("*.py"))
+
+
+class TestJsonlDeterminism:
+    def test_repeated_runs_are_byte_identical(self, config):
+        first = findings_to_jsonl(
+            lint_paths([FIXTURES], config=config).findings
+        )
+        second = findings_to_jsonl(
+            lint_paths([FIXTURES], config=config).findings
+        )
+        assert first == second
+        assert first  # the bad_* fixtures guarantee a non-empty report
+
+    def test_input_order_does_not_change_bytes(self, config):
+        forward = lint_paths(_fixture_files(), config=config)
+        backward = lint_paths(
+            list(reversed(_fixture_files())), config=config
+        )
+        assert findings_to_jsonl(forward.findings) == findings_to_jsonl(
+            backward.findings
+        )
+
+    def test_lines_are_canonical_json(self, config):
+        text = findings_to_jsonl(lint_paths([FIXTURES], config=config).findings)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            record = json.loads(line)
+            assert set(record) == {"path", "line", "col", "rule", "message"}
+            # canonical form: sorted keys, no whitespace padding.
+            assert line == json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+
+    def test_rows_are_sorted_by_location(self, config):
+        text = findings_to_jsonl(lint_paths([FIXTURES], config=config).findings)
+        rows = [json.loads(line) for line in text.splitlines()]
+        keys = [
+            (r["path"], r["line"], r["col"], r["rule"], r["message"])
+            for r in rows
+        ]
+        assert keys == sorted(keys)
+
+    def test_empty_result_is_empty_string(self):
+        assert findings_to_jsonl([]) == ""
+
+
+class TestTableReport:
+    def test_summary_counts(self, config):
+        result = lint_paths([FIXTURES / "bad_suppressed.py"], config=config)
+        summary = render_summary(result)
+        assert "checked 1 files" in summary
+        assert "6 findings" in summary
+        assert "2 suppressed" in summary
+
+    def test_verbose_table_includes_suppressed(self, config):
+        result = lint_paths([FIXTURES / "bad_suppressed.py"], config=config)
+        quiet = render_table(result, verbose=False)
+        verbose = render_table(result, verbose=True)
+        assert "no-wall-clock" in quiet
+        assert len(verbose) > len(quiet)
+
+
+class TestParseErrors:
+    def test_unparseable_file_is_a_finding_not_a_crash(self, tmp_path):
+        # The fixture ships with a non-.py suffix so neither pytest nor
+        # the repo-wide lint walk trips over it; the engine sees it only
+        # once installed as real module source.
+        target = tmp_path / "parse_error.py"
+        shutil.copy(FIXTURES / "parse_error.py.fixture", target)
+        result = lint_paths([target], config=LintConfig(root=tmp_path))
+        assert result.files_checked == 1
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        finding = result.findings[0]
+        assert finding.path == "parse_error.py"
+        assert finding.line >= 1
+        assert "does not parse" in finding.message
+
+    def test_parse_error_report_is_deterministic(self, tmp_path):
+        target = tmp_path / "parse_error.py"
+        shutil.copy(FIXTURES / "parse_error.py.fixture", target)
+        config = LintConfig(root=tmp_path)
+        first = findings_to_jsonl(lint_paths([target], config=config).findings)
+        second = findings_to_jsonl(lint_paths([target], config=config).findings)
+        assert first == second

@@ -16,6 +16,11 @@ Two checks, both exact:
    ``src/`` (``obs.counter("...")`` / ``gauge`` / ``histogram`` call
    sites). Either direction of drift fails: an undocumented metric is
    invisible to operators, a documented-but-gone metric is a lie.
+3. **Lint-rule drift** — the union of rule ids documented in
+   ``docs/lint.md`` must equal the union of ``@rule("...")``
+   registrations under ``src/repro/analysis/``. Either direction
+   fails: an undocumented rule fails CI with no reference to point at,
+   a documented-but-gone rule promises a check nobody runs.
 
 Exit status 0 on success, 1 with a per-problem report otherwise.
 """
@@ -42,6 +47,19 @@ EMIT_RE = re.compile(r"\.(?:counter|gauge|histogram)\(\s*\"([a-z_]+)\"")
 #: A documented metric: a backticked name in a table row, e.g.
 #: ``| `frontend_queries_total` | counter | ...`` (labels stripped).
 DOC_METRIC_RE = re.compile(r"^\|\s*`([a-z_]+)(?:\{[^}]*\})?`\s*\|")
+
+#: A lint-rule registration: ``@rule(<first-arg>,`` in the analysis
+#: package (matched textually, so this script needs no PYTHONPATH).
+#: The first argument is either a string literal or a module constant
+#: (``RULE_ID``, ``PARSE_ERROR``) resolved via RULE_CONST_RE below.
+RULE_REG_RE = re.compile(r"@rule\(\s*(\"[a-z][a-z0-9-]*\"|[A-Z_]+)\s*,")
+
+#: A rule-id constant: ``RULE_ID = "no-wall-clock"`` and friends.
+RULE_CONST_RE = re.compile(r"^([A-Z_]+)\s*=\s*\"([a-z][a-z0-9-]*)\"", re.M)
+
+#: A documented lint rule: the backticked id opening a table row in
+#: ``docs/lint.md``, e.g. ``| `no-wall-clock` | ... |``.
+DOC_RULE_RE = re.compile(r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|")
 
 
 def _doc_files() -> list[Path]:
@@ -106,8 +124,65 @@ def check_metric_drift() -> list[str]:
     return problems
 
 
+def registered_rules() -> set[str]:
+    sources = {
+        source: source.read_text(encoding="utf-8")
+        for source in sorted(
+            (REPO / "src" / "repro" / "analysis").rglob("*.py")
+        )
+    }
+    # Constants are resolved per file first (each rule module has its
+    # own RULE_ID), then across the package (registry constants used in
+    # other modules).
+    global_consts: dict[str, str] = {}
+    local_consts: dict[Path, dict[str, str]] = {}
+    for source, text in sources.items():
+        local = dict(RULE_CONST_RE.findall(text))
+        local_consts[source] = local
+        global_consts.update(local)
+    names: set[str] = set()
+    for source, text in sources.items():
+        for match in RULE_REG_RE.finditer(text):
+            arg = match.group(1)
+            if arg.startswith('"'):
+                names.add(arg.strip('"'))
+            else:
+                resolved = local_consts[source].get(arg) or global_consts.get(arg)
+                if resolved is not None:
+                    names.add(resolved)
+    return names
+
+
+def documented_rules() -> set[str]:
+    doc = REPO / "docs" / "lint.md"
+    names: set[str] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = DOC_RULE_RE.match(line.strip())
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def check_rule_drift() -> list[str]:
+    registered = registered_rules()
+    documented = documented_rules()
+    problems = [
+        f"docs/lint.md: registered in repro.analysis but not documented: {name}"
+        for name in sorted(registered - documented)
+    ]
+    problems.extend(
+        f"docs/lint.md: documented but not registered in repro.analysis: {name}"
+        for name in sorted(documented - registered)
+    )
+    if not registered:
+        problems.append(
+            "found no @rule registrations in src/repro/analysis (regex rot?)"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_metric_drift()
+    problems = check_links() + check_metric_drift() + check_rule_drift()
     for problem in problems:
         print(f"FAIL {problem}")
     docs = len(_doc_files())
@@ -116,7 +191,8 @@ def main() -> int:
         return 1
     print(
         f"docs check: OK — {docs} markdown files, "
-        f"{len(documented_metrics())} metrics in sync"
+        f"{len(documented_metrics())} metrics and "
+        f"{len(documented_rules())} lint rules in sync"
     )
     return 0
 
