@@ -21,6 +21,7 @@ import pytest
 
 from repro.cluster import ClusterConfig, SimulatedCluster
 from repro.metrics.reporting import Table
+from repro.perf.workloads import burst_indices
 
 SHARD_COUNTS = (1, 2, 4, 8)
 BURST_QUERIES = 1500
@@ -59,8 +60,7 @@ def _burst_run(num_shards, queries=BURST_QUERIES, seed=17):
         seed=seed,
     )
     population = cluster.seed_population(POPULATION, revoked_fraction=0.3)
-    rng = np.random.default_rng(seed)
-    indices = rng.integers(0, population.size, size=queries)
+    indices = burst_indices(seed, population.size, queries)
     sim = cluster.simulator
     finished = {}
     answers, latencies = {}, {}
@@ -131,8 +131,7 @@ def test_e17_replica_failure_mid_run(report):
         rpc_timeout=0.1,
     )
     population = cluster.seed_population(600, revoked_fraction=0.35)
-    rng = np.random.default_rng(23)
-    indices = rng.integers(0, population.size, size=500)
+    indices = burst_indices(23, population.size, 500)
     victim = "shard-2"
     answers, latencies = _drive(
         cluster, population, indices, spacing=0.001, kill=(0.2, victim)

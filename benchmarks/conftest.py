@@ -8,6 +8,19 @@ pytest-benchmark), *report* (tables printed to the terminal), and
 
 import pytest
 
+from repro.perf.workloads import burst_indices
+
+
+@pytest.fixture(scope="session")
+def burst_workload():
+    """The shared seeded workload builder (``repro.perf.workloads``).
+
+    Benches and the perf suite must draw their query indices from the
+    same builder so "the E17 workload" means one thing everywhere; a
+    bench that rolls its own ``default_rng`` drifts silently.
+    """
+    return burst_indices
+
 
 @pytest.fixture(scope="session")
 def report(request):

@@ -52,9 +52,8 @@ def _demo_adoption() -> None:
 
 
 def _demo_cluster(args: argparse.Namespace) -> None:
-    import numpy as np
-
     from repro.cluster import ClusterConfig, SimulatedCluster
+    from repro.perf.workloads import burst_indices
 
     for name in ("shards", "replication", "queries"):
         if getattr(args, name) < 1:
@@ -72,8 +71,7 @@ def _demo_cluster(args: argparse.Namespace) -> None:
         max(args.queries, 200), revoked_fraction=0.3
     )
     sim = cluster.simulator
-    rng = np.random.default_rng(1)
-    indices = rng.integers(0, population.size, size=args.queries)
+    indices = burst_indices(1, population.size, args.queries)
     answers: dict = {}
     latencies: dict = {}
 
@@ -412,11 +410,22 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.cli import add_lint_arguments
 
     add_lint_arguments(lint_parser)
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help="hot-path microbenchmarks: measure, report, gate (BENCH_hotpaths.json)",
+    )
+    from repro.perf.cli import add_perf_arguments
+
+    add_perf_arguments(perf_parser)
     args = parser.parse_args(argv)
     if args.demo == "lint":
         from repro.analysis.cli import run_lint
 
         return run_lint(args)
+    if args.demo == "perf":
+        from repro.perf.cli import run_perf
+
+        return run_perf(args)
     if args.demo == "cluster":
         _demo_cluster(args)
     elif args.demo == "chaos":

@@ -21,7 +21,12 @@ import numpy as np
 
 from repro.core.identifiers import PhotoIdentifier
 from repro.media.image import Photo
-from repro.media.perceptual import DEFAULT_MATCH_THRESHOLD, RobustHash, robust_hash
+from repro.media.perceptual import (
+    DEFAULT_MATCH_THRESHOLD,
+    RobustHash,
+    hamming_many,
+    robust_hash,
+)
 
 __all__ = ["RobustHashDatabase", "HashMatch"]
 
@@ -76,10 +81,9 @@ class RobustHashDatabase:
     def _distances(self, signature: RobustHash) -> np.ndarray:
         if len(self._identifiers) == 0:
             return np.zeros(0)
-        query = np.frombuffer(signature.bits, dtype=np.uint8)[None, :]
-        xored = np.bitwise_xor(self._matrix, query)
-        popcounts = np.unpackbits(xored, axis=1).sum(axis=1)
-        return popcounts / (8.0 * _SIGNATURE_BYTES)
+        # Popcount-table batch path; RobustHash.distance is the oracle
+        # (tests/perf/test_vectorized_vs_scalar.py keeps them equal).
+        return hamming_many(signature, self._matrix)
 
     def nearest(self, photo: Photo) -> Optional[HashMatch]:
         """Closest entry regardless of threshold, or None when empty."""

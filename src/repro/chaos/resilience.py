@@ -73,6 +73,10 @@ class RevocationBloom:
     def might_be_revoked(self, compact_identifier: bytes) -> bool:
         return compact_identifier in self._filter
 
+    def might_be_revoked_many(self, compact_identifiers) -> np.ndarray:
+        """Batch verdicts (entry ``i`` == the scalar probe for key ``i``)."""
+        return self._filter.query_many(compact_identifiers)
+
     def add(self, compact_identifier: bytes) -> None:
         self._filter.add(compact_identifier)
         self.added += 1

@@ -94,9 +94,9 @@ class ClusterConfig:
     propagation is incomplete.
 
     The resilience knobs all default to the legacy PR-1 behavior:
-    no deadline, no fresh retries (failover within an attempt is still
-    bounded by ``max_failover_depth``), breakers and shedding disabled,
-    strict (non-degraded) answers, no hinted handoff.
+    no deadline, no fresh retries, failover free to walk every untried
+    replica (bound it with ``max_failover_depth``), breakers and
+    shedding disabled, strict (non-degraded) answers, no hinted handoff.
     """
 
     replication_factor: int = 3
@@ -109,7 +109,11 @@ class ClusterConfig:
     # -- resilience: deadlines / retries ------------------------------------
     request_deadline: Optional[float] = None  # per-status budget (seconds)
     max_retries: int = 0  # fresh read attempts after the first
-    max_failover_depth: int = 2  # replica-set hops within one attempt
+    # Replica-set hops within one attempt; None (the default) walks every
+    # untried replica, which is what makes the quorum-overlap property
+    # hold verbatim: a read tolerating n-r failures must be willing to
+    # try all n replicas when the quorum is small.
+    max_failover_depth: Optional[int] = None
     backoff_base: float = 0.005
     backoff_multiplier: float = 2.0
     backoff_cap: float = 0.1
@@ -170,7 +174,7 @@ class ClusterConfig:
             raise ValueError("request_deadline must be positive when set")
         if cfg.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
-        if cfg.max_failover_depth < 0:
+        if cfg.max_failover_depth is not None and cfg.max_failover_depth < 0:
             raise ValueError("max_failover_depth must be non-negative")
         cfg.backoff_policy()  # validates base/multiplier/cap/jitter
         if cfg.breaker_threshold is not None and cfg.breaker_threshold < 1:
@@ -190,7 +194,7 @@ class ClusterConfig:
         return cfg
 
 
-@dataclass
+@dataclass(slots=True)
 class ClusterAnswer:
     """The frontend's answer to one status query."""
 
@@ -209,7 +213,7 @@ class ClusterAnswer:
         return self.error is None
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReadContext:
     """Book-keeping for one status query across retries and failovers."""
 
@@ -433,8 +437,14 @@ class ClusterFrontend:
         identifier: PhotoIdentifier,
         callback: Callable[[ClusterAnswer], None],
         use_filter: bool = True,
+        _filter_verdict: Optional[bool] = None,
     ) -> None:
-        """Queue one status lookup; ``callback`` fires exactly once."""
+        """Queue one status lookup; ``callback`` fires exactly once.
+
+        ``_filter_verdict`` lets :meth:`status_many_async` hand in a
+        precomputed Bloom verdict from its vectorized pass so the
+        scalar filter probe is skipped; external callers leave it None.
+        """
         self.stats.queries += 1
         key = identifier.to_string()
         op_id = self._begin("status", identifier.serial)
@@ -473,11 +483,15 @@ class ClusterFrontend:
             )
             callback(answer)
 
-        if (
-            use_filter
-            and self.filterset is not None
-            and not self.filterset.might_be_revoked(identifier.to_compact())
-        ):
+        if use_filter and self.filterset is not None:
+            might_be = (
+                _filter_verdict
+                if _filter_verdict is not None
+                else self.filterset.might_be_revoked(identifier.to_compact())
+            )
+        else:
+            might_be = True
+        if not might_be:
             self.stats.filter_short_circuits += 1
             if self.obs is not None and ctx.span is not None:
                 self.obs.counter("frontend_filter_short_circuits_total").inc()
@@ -511,6 +525,60 @@ class ClusterFrontend:
 
                 self._scheduler(self.config.request_deadline, _backstop)
         self._start_read(identifier, ctx, _observed)
+
+    def status_many_async(
+        self,
+        identifiers: List[PhotoIdentifier],
+        callback: Callable[[int, ClusterAnswer], None],
+        use_filter: bool = True,
+    ) -> None:
+        """Queue a burst of status lookups with one vectorized filter pass.
+
+        ``callback(index, answer)`` fires exactly once per identifier
+        (indices into ``identifiers``; completion order is arbitrary).
+        Equivalent to calling :meth:`status_async` per identifier — the
+        batch path only hoists the Bloom pre-check into a single
+        :meth:`~repro.proxy.filterset.ProxyFilterSet.might_be_revoked_many`
+        call, so the per-query cost on the (dominant) short-circuit path
+        drops to a precomputed boolean.  Per-shard RPC batching then
+        coalesces the survivors exactly as before.
+        """
+        identifiers = list(identifiers)
+        verdicts = None
+        if use_filter and self.filterset is not None:
+            many = getattr(self.filterset, "might_be_revoked_many", None)
+            if many is not None:
+                verdicts = many(
+                    [identifier.to_compact() for identifier in identifiers]
+                )
+        for index, identifier in enumerate(identifiers):
+            self.status_async(
+                identifier,
+                (lambda i: lambda answer: callback(i, answer))(index),
+                use_filter=use_filter,
+                _filter_verdict=(
+                    None if verdicts is None else bool(verdicts[index])
+                ),
+            )
+
+    def status_many(
+        self, identifiers: List[PhotoIdentifier], use_filter: bool = True
+    ) -> List[ClusterAnswer]:
+        """Synchronous batch status (in-process transports only)."""
+        identifiers = list(identifiers)
+        answers: List[Optional[ClusterAnswer]] = [None] * len(identifiers)
+
+        def _collect(index: int, answer: ClusterAnswer) -> None:
+            answers[index] = answer
+
+        self.status_many_async(identifiers, _collect, use_filter=use_filter)
+        self.flush()
+        if any(answer is None for answer in answers):
+            raise ClusterError(
+                "status_many did not complete synchronously; use "
+                "status_many_async with the netsim transport"
+            )
+        return answers  # type: ignore[return-value]
 
     def _start_read(
         self,
@@ -560,7 +628,8 @@ class ClusterFrontend:
             if rspan is not None:
                 rspan.end(ok=outcome.ok)
             if not outcome.ok and fallback:
-                if ctx.hops < self.config.max_failover_depth:
+                depth = self.config.max_failover_depth
+                if depth is None or ctx.hops < depth:
                     # Failover: retry on the untried survivors, spaced
                     # by the backoff schedule (hop number = attempt).
                     ctx.hops += 1

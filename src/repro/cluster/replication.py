@@ -60,7 +60,7 @@ def majority(n: int) -> int:
     return n // 2 + 1
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardReply:
     """One shard's answer to one replicated call."""
 
@@ -154,7 +154,7 @@ class LocalShardTransport:
             callback(ShardReply(shard_id, error=str(exc)))
 
 
-@dataclass
+@dataclass(slots=True)
 class QuorumResult:
     """Outcome of a quorum write."""
 
@@ -259,7 +259,7 @@ class QuorumExecutor:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class StatusOutcome:
     """Merged result of one quorum status read."""
 
@@ -368,7 +368,7 @@ class StatusCollector:
                 self._on_stale(shard_id, outcome)
 
 
-@dataclass
+@dataclass(slots=True)
 class Hint:
     """One missed replica write, queued for redelivery."""
 

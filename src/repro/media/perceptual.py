@@ -24,12 +24,20 @@ inspection in appeals.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.media.image import Photo
 
-__all__ = ["RobustHash", "robust_hash", "hash_distance", "DEFAULT_MATCH_THRESHOLD"]
+__all__ = [
+    "RobustHash",
+    "robust_hash",
+    "hash_distance",
+    "pack_signatures",
+    "hamming_many",
+    "DEFAULT_MATCH_THRESHOLD",
+]
 
 #: Normalized Hamming distance at or below which two photos are treated
 #: as "same image" by appeals and aggregator hash databases.  Calibrated
@@ -38,6 +46,12 @@ __all__ = ["RobustHash", "robust_hash", "hash_distance", "DEFAULT_MATCH_THRESHOL
 DEFAULT_MATCH_THRESHOLD = 0.25
 
 _GRID = 16  # gradient grid; signature is 2 * 16 * 16 = 512 bits
+_SIGNATURE_BITS = 2 * _GRID * _GRID
+_SIGNATURE_BYTES = _SIGNATURE_BITS // 8
+
+#: Bits set per byte value — one table lookup replaces unpackbits on
+#: the batch path, which matters when an aggregator scans ~10^6 rows.
+_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
 
 
 def _area_resize(channel: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
@@ -82,10 +96,19 @@ class RobustHash:
             raise ValueError("robust hash must be 512 bits")
 
     def distance(self, other: "RobustHash") -> float:
-        """Normalized Hamming distance in [0, 1]."""
+        """Normalized Hamming distance in [0, 1].
+
+        This unpackbits form is the reference oracle for the batch path
+        (:func:`hamming_many`); the differential suite keeps the two in
+        lockstep.
+        """
         a = np.unpackbits(np.frombuffer(self.bits, dtype=np.uint8))
         b = np.unpackbits(np.frombuffer(other.bits, dtype=np.uint8))
         return float(np.mean(a != b))
+
+    def distance_many(self, others: Sequence["RobustHash"]) -> np.ndarray:
+        """Distances to many signatures in one vectorized pass."""
+        return hamming_many(self, pack_signatures(others))
 
     def matches(
         self, other: "RobustHash", threshold: float = DEFAULT_MATCH_THRESHOLD
@@ -120,3 +143,34 @@ def robust_hash(photo: Photo) -> RobustHash:
 def hash_distance(a: Photo, b: Photo) -> float:
     """Normalized Hamming distance between two photos' signatures."""
     return robust_hash(a).distance(robust_hash(b))
+
+
+def pack_signatures(hashes: Sequence[RobustHash]) -> np.ndarray:
+    """Stack signatures into a ``(n, 64)`` uint8 matrix for batch matching.
+
+    The matrix form is what aggregator hash databases hold; build it
+    once, then run :func:`hamming_many` per query.
+    """
+    if not hashes:
+        return np.zeros((0, _SIGNATURE_BYTES), dtype=np.uint8)
+    blob = b"".join(h.bits for h in hashes)
+    return np.frombuffer(blob, dtype=np.uint8).reshape(len(hashes), _SIGNATURE_BYTES)
+
+
+def hamming_many(query: RobustHash, packed: np.ndarray) -> np.ndarray:
+    """Normalized Hamming distances from ``query`` to every packed row.
+
+    Entry ``i`` equals ``query.distance(row_i)`` exactly (the scalar
+    method is the oracle), computed as one XOR plus a popcount table
+    lookup instead of per-pair unpackbits.
+    """
+    if packed.ndim != 2 or packed.shape[1] != _SIGNATURE_BYTES:
+        raise ValueError(
+            f"packed signature matrix must be (n, {_SIGNATURE_BYTES}), "
+            f"got {packed.shape}"
+        )
+    if packed.shape[0] == 0:
+        return np.zeros(0)
+    q = np.frombuffer(query.bits, dtype=np.uint8)
+    xored = np.bitwise_xor(packed, q[None, :])
+    return _POPCOUNT[xored].sum(axis=1, dtype=np.int64) / float(_SIGNATURE_BITS)

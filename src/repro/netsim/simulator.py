@@ -35,6 +35,8 @@ class Clock(Protocol):
 class ManualClock:
     """A clock tests advance by hand."""
 
+    __slots__ = ("_time",)
+
     def __init__(self, start: float = 0.0):
         self._time = float(start)
 
@@ -57,6 +59,8 @@ class Simulator:
         sim.run()            # until queue is empty
         sim.run(until=10.0)  # or until a deadline
     """
+
+    __slots__ = ("_time", "_queue", "_sequence", "_events_processed")
 
     def __init__(self):
         self._time = 0.0
@@ -133,6 +137,8 @@ class Simulator:
 class SimClock:
     """A :class:`Clock` view of a simulator."""
 
+    __slots__ = ("_simulator",)
+
     def __init__(self, simulator: Simulator):
         self._simulator = simulator
 
@@ -149,6 +155,8 @@ class SkewedClock:
     not depend on any node's local reading (the cluster's LWW is on an
     epoch counter, not wall time — this clock exists to prove that).
     """
+
+    __slots__ = ("_base", "offset")
 
     def __init__(self, base: Callable[[], float], offset: float = 0.0):
         self._base = base

@@ -24,7 +24,7 @@ class RpcError(Exception):
     """An RPC-level failure (unknown method, handler exception, timeout)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcResult:
     """Outcome delivered to the caller's callback."""
 

@@ -1,0 +1,131 @@
+"""``python -m repro perf``: run the hot-path suite, write or gate.
+
+Two modes:
+
+* default — measure the suite, print the table, write the canonical
+  report to ``--output`` (``BENCH_hotpaths.json`` at the repo root;
+  commit the file to record the trajectory);
+* ``--check`` — measure, then compare against the committed baseline
+  with the tolerance band (ratios and checksums only — absolute
+  numbers never gate); exit 1 on any failure.  This is the CI job.
+
+``--slowdown-ns`` busy-waits inside every fast-path call; the
+regression tests use it to prove the gate actually trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analysis.engine import repo_root
+
+__all__ = ["add_perf_arguments", "run_perf"]
+
+_DEFAULT_REPORT = "BENCH_hotpaths.json"
+
+
+def add_perf_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of writing; "
+        "exit 1 on regression (the CI gate)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help=f"report path (default {_DEFAULT_REPORT} at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline to --check against (default: the --output path)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2022,
+        help="workload seed; identical seeds rebuild identical workloads "
+        "(default 2022)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=2,
+        help="untimed calls per side before measuring (default 2)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed calls per side (default 5)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="fraction of the committed speedup still accepted "
+        "(default 0.25; floors in the suite always apply)",
+    )
+    parser.add_argument(
+        "--slowdown-ns", type=int, default=0, metavar="NS",
+        help="busy-wait injected into every fast-path call "
+        "(regression-gate self-test hook)",
+    )
+
+
+def _render_table(cases: dict) -> str:
+    lines = [
+        f"{'case':<26} {'kind':<7} {'ops':>6} {'ops/sec':>12} "
+        f"{'p50 ns/op':>10} {'speedup':>8} {'floor':>6}"
+    ]
+    for name in sorted(cases):
+        entry = cases[name]
+        fast = entry["timing"]["fast"]
+        speedup = entry["timing"].get("speedup")
+        lines.append(
+            f"{name:<26} {entry['kind']:<7} {entry['ops']:>6} "
+            f"{fast['ops_per_sec']:>12,.0f} {fast['p50_ns_per_op']:>10,.0f} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'—':>8}")
+            + f" {entry['min_speedup']:>5.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def run_perf(args: argparse.Namespace) -> int:
+    from repro.perf.harness import run_suite
+    from repro.perf.report import (
+        build_report,
+        canonical_json,
+        compare_to_baseline,
+    )
+    from repro.perf.suite import default_suite
+
+    root = repo_root()
+    output = Path(args.output) if args.output else root / _DEFAULT_REPORT
+    cases = run_suite(
+        default_suite(),
+        seed=args.seed,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        slowdown_ns=args.slowdown_ns,
+    )
+    report = build_report(
+        cases, seed=args.seed, warmup=args.warmup, repeats=args.repeats
+    )
+    print(_render_table(cases))
+    if args.check:
+        baseline_path = Path(args.baseline) if args.baseline else output
+        if not baseline_path.exists():
+            print(f"perf: no baseline at {baseline_path}; run "
+                  "`python -m repro perf` and commit the report first")
+            return 1
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = compare_to_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            print(f"\nperf: {len(failures)} gate failure(s) "
+                  f"vs {baseline_path.name}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"\nperf: all {len(cases)} case(s) within the tolerance band "
+              f"of {baseline_path.name}")
+        return 0
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(report))
+    print(f"\nperf: report written to {output}")
+    return 0

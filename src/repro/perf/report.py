@@ -1,0 +1,213 @@
+"""Perf report format: canonical JSON, validation, baseline comparison.
+
+``BENCH_hotpaths.json`` is a regression artifact like the lint baseline
+or a span export: canonical bytes (sorted keys, fixed indent, trailing
+newline) so diffs are meaningful, and a schema the determinism tests
+validate by hand — no external JSON-schema dependency.
+
+The comparison policy (docs/perf.md spells it out for operators):
+
+* **absolute numbers are informational.**  ops/sec and latency depend
+  on the host; committing them records a trajectory, not a contract.
+* **ratios gate.**  A paired case's speedup (fast vs oracle, same
+  machine, same run) transfers across hosts, so ``--check`` requires
+  ``current_speedup >= max(min_speedup, baseline_speedup * tolerance)``
+  — the floor catches "vectorization silently gone", the scaled band
+  catches creeping erosion.
+* **checksums lock identity.**  Same seed must mean the same workload
+  and the same results everywhere; a checksum mismatch is a
+  correctness failure, not a perf regression.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import platform
+import sys
+from typing import Any, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "canonical_json",
+    "compare_to_baseline",
+    "strip_timing",
+    "validate_report",
+]
+
+REPORT_SCHEMA = "repro-perf/1"
+
+#: keys every per-side timing dict must carry.
+_TIMING_KEYS = frozenset(
+    {
+        "ops_per_sec",
+        "p50_ns_per_op",
+        "p99_ns_per_op",
+        "median_call_ms",
+        "alloc_peak_bytes",
+    }
+)
+
+
+def build_report(
+    cases: Dict[str, Dict[str, Any]],
+    seed: int,
+    warmup: int,
+    repeats: int,
+) -> Dict[str, Any]:
+    """Assemble the full report document around measured case entries."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "config": {"seed": seed, "warmup": warmup, "repeats": repeats},
+        "host": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "cases": cases,
+    }
+
+
+def canonical_json(report: Dict[str, Any]) -> str:
+    """The one true byte encoding of a report."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def strip_timing(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic projection of a report.
+
+    Drops the ``host`` block and every case's ``timing`` subtree —
+    everything left (schema, config, case ids, kinds, ops, checksums,
+    floors) must be byte-identical across same-seed runs on any
+    machine; the determinism tests assert exactly that.
+    """
+    stripped = copy.deepcopy(report)
+    stripped.pop("host", None)
+    for entry in stripped.get("cases", {}).values():
+        if isinstance(entry, dict):
+            entry.pop("timing", None)
+    return stripped
+
+
+def validate_report(report: Any) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {REPORT_SCHEMA!r}"
+        )
+    config = report.get("config")
+    if not isinstance(config, dict):
+        problems.append("missing config object")
+    else:
+        for key in ("seed", "warmup", "repeats"):
+            if not isinstance(config.get(key), int):
+                problems.append(f"config.{key} missing or not an integer")
+    cases = report.get("cases")
+    if not isinstance(cases, dict) or not cases:
+        problems.append("cases must be a non-empty object")
+        return problems
+    for name in sorted(cases):
+        entry = cases[name]
+        where = f"cases.{name}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        kind = entry.get("kind")
+        if kind not in ("paired", "single"):
+            problems.append(f"{where}.kind is {kind!r}")
+        if not isinstance(entry.get("ops"), int) or entry.get("ops", 0) < 1:
+            problems.append(f"{where}.ops missing or not a positive integer")
+        if not isinstance(entry.get("checksum"), str):
+            problems.append(f"{where}.checksum missing")
+        if not isinstance(entry.get("min_speedup"), (int, float)):
+            problems.append(f"{where}.min_speedup missing")
+        timing = entry.get("timing")
+        if not isinstance(timing, dict):
+            problems.append(f"{where}.timing missing")
+            continue
+        sides = ["fast"] + (["baseline"] if kind == "paired" else [])
+        for side in sides:
+            side_timing = timing.get(side)
+            if not isinstance(side_timing, dict):
+                problems.append(f"{where}.timing.{side} missing")
+                continue
+            missing = _TIMING_KEYS - set(side_timing)
+            if missing:
+                problems.append(
+                    f"{where}.timing.{side} lacks {sorted(missing)}"
+                )
+        if kind == "paired" and not isinstance(
+            timing.get("speedup"), (int, float)
+        ):
+            problems.append(f"{where}.timing.speedup missing")
+    return problems
+
+
+def compare_to_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """The CI gate: machine-independent checks of ``current`` vs committed.
+
+    ``tolerance`` scales the committed speedup into the acceptance
+    band: with 0.25, a case committed at 20x still passes anywhere
+    above ``max(min_speedup, 5x)``.  Returns human-readable failures
+    (empty = pass).
+    """
+    if not 0 < tolerance <= 1:
+        raise ValueError("tolerance must be in (0, 1]")
+    failures: List[str] = []
+    for report, label in ((current, "current"), (baseline, "baseline")):
+        for problem in validate_report(report):
+            failures.append(f"invalid {label} report: {problem}")
+    if failures:
+        return failures
+    current_cases = current["cases"]
+    baseline_cases = baseline["cases"]
+    for name in sorted(set(baseline_cases) - set(current_cases)):
+        failures.append(f"{name}: present in baseline but not measured")
+    for name in sorted(set(current_cases) - set(baseline_cases)):
+        failures.append(
+            f"{name}: measured but absent from the baseline "
+            "(re-baseline to admit new cases)"
+        )
+    for name in sorted(set(current_cases) & set(baseline_cases)):
+        cur, base = current_cases[name], baseline_cases[name]
+        if cur["kind"] != base["kind"]:
+            failures.append(
+                f"{name}: kind changed {base['kind']} -> {cur['kind']}"
+            )
+            continue
+        if cur["ops"] != base["ops"]:
+            failures.append(
+                f"{name}: workload size changed {base['ops']} -> {cur['ops']}"
+            )
+        if cur["checksum"] != base["checksum"]:
+            failures.append(
+                f"{name}: result checksum changed "
+                f"{base['checksum'][:16]} -> {cur['checksum'][:16]} "
+                "(correctness drift, not a perf regression)"
+            )
+        if cur["kind"] != "paired":
+            continue
+        gate = max(
+            float(base["min_speedup"]),
+            float(base["timing"]["speedup"]) * tolerance,
+        )
+        speedup = float(cur["timing"]["speedup"])
+        if speedup < gate:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below gate {gate:.2f}x "
+                f"(committed {float(base['timing']['speedup']):.2f}x, "
+                f"floor {float(base['min_speedup']):.2f}x, "
+                f"tolerance {tolerance:.2f})"
+            )
+    return failures

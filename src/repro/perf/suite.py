@@ -1,0 +1,298 @@
+"""The hot-path case registry: what ``python -m repro perf`` measures.
+
+Every paired case pits a vectorized fast path against the scalar
+reference oracle it must equal (the differential tests in
+``tests/perf/test_vectorized_vs_scalar.py`` hold the same pairs equal
+under hypothesis-generated workloads; here the harness additionally
+locks each run's results by checksum before reporting a speedup).
+
+``min_speedup`` floors are deliberately far below the measured
+speedups — they are the "vectorization still exists on the slowest
+supported machine" line, not the trajectory; the committed baseline's
+speedup scaled by the tolerance supplies the tighter band.  See
+docs/perf.md for the case table and the re-baselining procedure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.perf.harness import BenchCase
+from repro.perf.workloads import (
+    burst_indices,
+    member_keys,
+    probe_keys,
+    signature_blobs,
+)
+
+__all__ = ["default_suite"]
+
+
+def _digest(parts: List[bytes]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.hexdigest()
+
+
+def _bool_digest(values: Any) -> str:
+    return _digest([np.asarray(values, dtype=bool).tobytes()])
+
+
+# -- membership filters -----------------------------------------------------
+
+
+def _bloom_setup(seed: int) -> Dict[str, Any]:
+    from repro.filters.bloom import BloomFilter
+
+    members = member_keys(seed, 8192)
+    bloom = BloomFilter.for_capacity(len(members), 0.01)
+    bloom.add_many(members)
+    return {"filter": bloom, "probes": probe_keys(members, seed + 1, 4096)}
+
+
+def _xor_setup(seed: int) -> Dict[str, Any]:
+    from repro.filters.xor_filter import XorFilter
+
+    members = member_keys(seed, 4096)
+    return {
+        "filter": XorFilter.build(members, seed=1),
+        "probes": probe_keys(members, seed + 1, 4096),
+    }
+
+
+def _fuse_setup(seed: int) -> Dict[str, Any]:
+    from repro.filters.binary_fuse import BinaryFuseFilter
+
+    members = member_keys(seed, 4096)
+    return {
+        "filter": BinaryFuseFilter.build(members, seed=1),
+        "probes": probe_keys(members, seed + 1, 4096),
+    }
+
+
+def _membership_fast(state: Dict[str, Any]) -> np.ndarray:
+    return state["filter"].query_many(state["probes"])
+
+
+def _membership_oracle(state: Dict[str, Any]) -> List[bool]:
+    flt = state["filter"]
+    return [key in flt for key in state["probes"]]
+
+
+def _membership_ops(state: Dict[str, Any]) -> int:
+    return len(state["probes"])
+
+
+def _membership_checksum(state: Dict[str, Any], result: Any) -> str:
+    return _bool_digest(result)
+
+
+# -- perceptual-hash distance ------------------------------------------------
+
+
+def _hamming_setup(seed: int) -> Dict[str, Any]:
+    from repro.media.perceptual import RobustHash, pack_signatures
+
+    hashes = [RobustHash(bits=blob) for blob in signature_blobs(seed, 2048)]
+    return {
+        "query": RobustHash(bits=signature_blobs(seed + 1, 1)[0]),
+        "hashes": hashes,
+        "packed": pack_signatures(hashes),
+    }
+
+
+def _hamming_fast(state: Dict[str, Any]) -> np.ndarray:
+    from repro.media.perceptual import hamming_many
+
+    return hamming_many(state["query"], state["packed"])
+
+
+def _hamming_oracle(state: Dict[str, Any]) -> List[float]:
+    query = state["query"]
+    return [query.distance(other) for other in state["hashes"]]
+
+
+def _hamming_checksum(state: Dict[str, Any], result: Any) -> str:
+    # Distances are multiples of 1/512; scale to exact bit counts so
+    # the digest never hinges on float formatting.
+    counts = np.rint(np.asarray(result, dtype=np.float64) * 512).astype(np.int64)
+    return _digest([counts.tobytes()])
+
+
+# -- consistent-hash ring placement ------------------------------------------
+
+
+_RING_COUNT = 3
+
+
+def _ring_setup(seed: int) -> Dict[str, Any]:
+    from repro.cluster.ring import HashRing
+
+    ring = HashRing([f"shard-{i}" for i in range(8)])
+    ring.replicas(b"warm", _RING_COUNT)  # build the lookup tables
+    return {"ring": ring, "keys": member_keys(seed, 2048)}
+
+
+def _ring_fast(state: Dict[str, Any]) -> List[List[str]]:
+    return state["ring"].replicas_many(state["keys"], _RING_COUNT)
+
+
+def _ring_oracle(state: Dict[str, Any]) -> List[List[str]]:
+    ring = state["ring"]
+    return [ring._replicas_walk(key, _RING_COUNT) for key in state["keys"]]
+
+
+def _ring_checksum(state: Dict[str, Any], result: Any) -> str:
+    return _digest(
+        ["|".join(row).encode("utf-8") + b"\n" for row in result]
+    )
+
+
+# -- batch signature verification --------------------------------------------
+
+
+def _signature_setup(seed: int) -> Dict[str, Any]:
+    from repro.crypto.signatures import KeyPair
+
+    keypair = KeyPair.generate(bits=512, rng=np.random.default_rng(seed))
+    messages = [b"perf-msg-%d" % i for i in range(64)]
+    items = [(message, keypair.sign(message)) for message in messages]
+    return {"public": keypair.public, "items": items}
+
+
+def _signature_fast(state: Dict[str, Any]) -> List[bool]:
+    return state["public"].verify_batch(state["items"])
+
+
+def _signature_oracle(state: Dict[str, Any]) -> List[bool]:
+    public = state["public"]
+    return [public.verify(message, sig) for message, sig in state["items"]]
+
+
+def _signature_ops(state: Dict[str, Any]) -> int:
+    return len(state["items"])
+
+
+# -- E17-shaped quorum round ---------------------------------------------------
+
+
+def _quorum_setup(seed: int) -> Dict[str, Any]:
+    from repro.cluster.frontend import ClusterConfig
+    from repro.cluster.simnet import SimulatedCluster
+
+    cluster = SimulatedCluster(
+        4, config=ClusterConfig(replication_factor=1), seed=seed
+    )
+    population = cluster.seed_population(256, revoked_fraction=0.3)
+    indices = burst_indices(seed, population.size, 192)
+    return {
+        "cluster": cluster,
+        "identifiers": [population.identifiers[int(i)] for i in indices],
+    }
+
+
+def _quorum_round(state: Dict[str, Any]) -> List[bool]:
+    cluster = state["cluster"]
+    sim = cluster.simulator
+    identifiers = state["identifiers"]
+    verdicts: List[Any] = [None] * len(identifiers)
+
+    def _record(index: int, answer: Any) -> None:
+        verdicts[index] = answer.revoked
+
+    sim.schedule(
+        0.0,
+        cluster.frontend.status_many_async,
+        identifiers,
+        _record,
+    )
+    sim.run()
+    if any(verdict is None for verdict in verdicts):
+        raise RuntimeError("quorum round left unanswered queries")
+    return verdicts
+
+
+def _quorum_ops(state: Dict[str, Any]) -> int:
+    return len(state["identifiers"])
+
+
+def _quorum_checksum(state: Dict[str, Any], result: Any) -> str:
+    return _bool_digest(result)
+
+
+def default_suite() -> List[BenchCase]:
+    """The committed hot-path cases, in report order."""
+    return [
+        BenchCase(
+            name="bloom_batch_membership",
+            description="BloomFilter.query_many vs per-key __contains__",
+            setup=_bloom_setup,
+            fast=_membership_fast,
+            baseline=_membership_oracle,
+            ops=_membership_ops,
+            checksum=_membership_checksum,
+            min_speedup=5.0,
+        ),
+        BenchCase(
+            name="xor_batch_membership",
+            description="XorFilter.query_many vs per-key __contains__",
+            setup=_xor_setup,
+            fast=_membership_fast,
+            baseline=_membership_oracle,
+            ops=_membership_ops,
+            checksum=_membership_checksum,
+            min_speedup=1.5,
+        ),
+        BenchCase(
+            name="fuse_batch_membership",
+            description="BinaryFuseFilter.query_many vs per-key __contains__",
+            setup=_fuse_setup,
+            fast=_membership_fast,
+            baseline=_membership_oracle,
+            ops=_membership_ops,
+            checksum=_membership_checksum,
+            min_speedup=1.5,
+        ),
+        BenchCase(
+            name="hamming_distance",
+            description="hamming_many popcount table vs RobustHash.distance",
+            setup=_hamming_setup,
+            fast=_hamming_fast,
+            baseline=_hamming_oracle,
+            ops=lambda state: len(state["hashes"]),
+            checksum=_hamming_checksum,
+            min_speedup=5.0,
+        ),
+        BenchCase(
+            name="ring_lookup",
+            description="HashRing.replicas_many table vs clockwise walk",
+            setup=_ring_setup,
+            fast=_ring_fast,
+            baseline=_ring_oracle,
+            ops=lambda state: len(state["keys"]),
+            checksum=_ring_checksum,
+            min_speedup=1.5,
+        ),
+        BenchCase(
+            name="signature_verify_batch",
+            description="RSA product-screen batch verify vs per-item verify",
+            setup=_signature_setup,
+            fast=_signature_fast,
+            baseline=_signature_oracle,
+            ops=_signature_ops,
+            checksum=lambda state, result: _bool_digest(result),
+            min_speedup=1.5,
+        ),
+        BenchCase(
+            name="quorum_round",
+            description="E17-shaped netsim status burst through the frontend",
+            setup=_quorum_setup,
+            fast=_quorum_round,
+            ops=_quorum_ops,
+            checksum=_quorum_checksum,
+        ),
+    ]

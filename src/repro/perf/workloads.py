@@ -1,0 +1,64 @@
+"""Seeded workload builders shared by the perf harness and the benches.
+
+Every builder is a pure function of its seed, so the harness, the
+pytest benchmarks and the CLI demos can all say "the E17 burst" or
+"4096 probe keys" and mean the same bytes.  ``burst_indices`` in
+particular is the query-index stream the E17 scale-out bench and the
+``quorum_round`` perf case both drive — one definition, identical RNG
+draws, comparable results.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "burst_indices",
+    "member_keys",
+    "probe_keys",
+    "signature_blobs",
+]
+
+
+def burst_indices(seed: int, population_size: int, queries: int) -> np.ndarray:
+    """The population indices a status-check burst queries, in order."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, population_size, size=queries)
+
+
+def member_keys(seed: int, count: int, nbytes: int = 12) -> List[bytes]:
+    """``count`` distinct pseudo-random keys (compact-identifier shaped)."""
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, 256, size=(count, nbytes), dtype=np.uint8)
+    # Prefix with the row index so keys are distinct by construction.
+    return [
+        index.to_bytes(4, "big") + row.tobytes()
+        for index, row in enumerate(raw)
+    ]
+
+
+def probe_keys(
+    members: List[bytes], seed: int, count: int, hit_fraction: float = 0.5
+) -> List[bytes]:
+    """A probe stream mixing present keys with guaranteed-absent ones.
+
+    Hits are drawn (with repetition) from ``members``; misses carry a
+    ``b"__miss__"`` prefix no member key has, so the expected verdicts
+    are exact, not probabilistic.
+    """
+    rng = np.random.default_rng(seed)
+    hits = rng.random(size=count) < hit_fraction
+    choices = rng.integers(0, len(members), size=count)
+    return [
+        members[int(choice)] if hit else b"__miss__" + int(i).to_bytes(8, "big")
+        for i, (hit, choice) in enumerate(zip(hits, choices))
+    ]
+
+
+def signature_blobs(seed: int, count: int, nbytes: int = 64) -> List[bytes]:
+    """``count`` random packed perceptual-signature payloads."""
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, 256, size=(count, nbytes), dtype=np.uint8)
+    return [row.tobytes() for row in raw]

@@ -1,0 +1,176 @@
+"""Differential tests: every vectorized fast path equals its scalar oracle.
+
+The perf suite (``repro.perf.suite``) reports speedups only after
+locking fast/oracle results together by checksum; these tests hold the
+same pairs equal under hypothesis-generated workloads, including the
+edge shapes a benchmark never exercises — empty batches, duplicate
+keys, all-hit and all-miss probes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import HashRing
+from repro.filters.binary_fuse import BinaryFuseFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.xor_filter import XorFilter
+from repro.media.perceptual import RobustHash, hamming_many, pack_signatures
+
+keys_strategy = st.lists(
+    st.binary(min_size=0, max_size=24), min_size=1, max_size=64, unique=True
+)
+probes_strategy = st.lists(st.binary(min_size=0, max_size=24), max_size=64)
+
+
+def _build_bloom(members):
+    bloom = BloomFilter.for_capacity(max(len(members), 1), 0.01)
+    bloom.add_many(members)
+    return bloom
+
+
+FILTER_BUILDERS = {
+    "bloom": _build_bloom,
+    "xor": lambda members: XorFilter.build(members, seed=1),
+    "fuse": lambda members: BinaryFuseFilter.build(members, seed=1),
+}
+
+
+class TestBatchMembership:
+    @pytest.mark.parametrize("flavor", sorted(FILTER_BUILDERS))
+    @settings(max_examples=40, deadline=None)
+    @given(members=keys_strategy, probes=probes_strategy)
+    def test_query_many_matches_contains(self, flavor, members, probes):
+        flt = FILTER_BUILDERS[flavor](members)
+        batch = flt.query_many(probes)
+        assert isinstance(batch, np.ndarray)
+        assert batch.dtype == np.bool_
+        assert list(batch) == [key in flt for key in probes]
+
+    @pytest.mark.parametrize("flavor", sorted(FILTER_BUILDERS))
+    def test_empty_batch(self, flavor):
+        flt = FILTER_BUILDERS[flavor]([b"only-member"])
+        batch = flt.query_many([])
+        assert len(batch) == 0
+
+    @pytest.mark.parametrize("flavor", sorted(FILTER_BUILDERS))
+    def test_duplicate_keys_answer_identically(self, flavor):
+        members = [b"alpha", b"beta", b"gamma"]
+        flt = FILTER_BUILDERS[flavor](members)
+        probes = [b"alpha", b"missing", b"alpha", b"missing", b"alpha"]
+        batch = list(flt.query_many(probes))
+        assert batch[0] == batch[2] == batch[4]
+        assert batch[1] == batch[3]
+        assert batch == [key in flt for key in probes]
+
+    @pytest.mark.parametrize("flavor", sorted(FILTER_BUILDERS))
+    def test_all_members_hit(self, flavor):
+        members = [f"member-{i}".encode() for i in range(300)]
+        flt = FILTER_BUILDERS[flavor](members)
+        assert flt.query_many(members).all()
+
+    @pytest.mark.parametrize("flavor", sorted(FILTER_BUILDERS))
+    def test_all_miss_matches_scalar(self, flavor):
+        members = [f"member-{i}".encode() for i in range(300)]
+        flt = FILTER_BUILDERS[flavor](members)
+        misses = [f"absent-{i}".encode() for i in range(300)]
+        assert list(flt.query_many(misses)) == [key in flt for key in misses]
+
+
+class TestHammingDistance:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        blobs=st.lists(
+            st.binary(min_size=64, max_size=64), min_size=1, max_size=32
+        ),
+        query=st.binary(min_size=64, max_size=64),
+    )
+    def test_hamming_many_matches_distance(self, blobs, query):
+        query_hash = RobustHash(bits=query)
+        hashes = [RobustHash(bits=blob) for blob in blobs]
+        fast = hamming_many(query_hash, pack_signatures(hashes))
+        slow = [query_hash.distance(other) for other in hashes]
+        assert fast.shape == (len(hashes),)
+        # Distances are exact multiples of 1/512: equality, not approx.
+        assert list(fast) == slow
+
+    def test_identical_and_inverted_signatures(self):
+        ones = RobustHash(bits=b"\xff" * 64)
+        zeros = RobustHash(bits=b"\x00" * 64)
+        packed = pack_signatures([ones, zeros])
+        assert list(hamming_many(ones, packed)) == [0.0, 1.0]
+        assert list(hamming_many(zeros, packed)) == [1.0, 0.0]
+
+
+class TestRingLookup:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_shards=st.integers(min_value=1, max_value=9),
+        count=st.integers(min_value=1, max_value=4),
+        keys=st.lists(st.binary(min_size=0, max_size=16), max_size=32),
+    )
+    def test_table_and_batch_match_walk(self, num_shards, count, keys):
+        count = min(count, num_shards)  # placement needs count <= shards
+        ring = HashRing([f"shard-{i}" for i in range(num_shards)])
+        walked = [ring._replicas_walk(key, count) for key in keys]
+        assert [ring.replicas(key, count) for key in keys] == walked
+        assert ring.replicas_many(keys, count) == walked
+
+    def test_overcommitted_count_rejected_even_for_empty_batch(self):
+        from repro.cluster.ring import RingError
+
+        ring = HashRing(["shard-0"])
+        with pytest.raises(RingError):
+            ring.replicas_many([], 2)
+
+    def test_tables_rebuilt_after_membership_change(self):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        keys = [f"key-{i}".encode() for i in range(64)]
+        ring.replicas_many(keys, 2)  # build + cache the tables
+        ring.add("shard-3")
+        ring.remove("shard-0")
+        assert ring.replicas_many(keys, 2) == [
+            ring._replicas_walk(key, 2) for key in keys
+        ]
+
+    def test_empty_key_batch(self):
+        ring = HashRing(["shard-0"])
+        assert ring.replicas_many([], 1) == []
+
+
+class TestBatchSignatureVerify:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        from repro.crypto.signatures import KeyPair
+
+        return KeyPair.generate(bits=512, rng=np.random.default_rng(7))
+
+    def test_all_valid_batch(self, keypair):
+        items = [
+            (message, keypair.sign(message))
+            for message in (b"a", b"b", b"c", b"d", b"e")
+        ]
+        assert keypair.public.verify_batch(items) == [True] * len(items)
+
+    def test_corruption_isolated_to_corrupted_indices(self, keypair):
+        from dataclasses import replace
+
+        messages = [f"msg-{i}".encode() for i in range(16)]
+        items = [(message, keypair.sign(message)) for message in messages]
+        items[3] = (messages[3], replace(items[3][1], value=items[3][1].value ^ 1))
+        items[7] = (messages[7], replace(items[7][1], value=0))
+        items[11] = (messages[12], items[11][1])  # signature of wrong message
+        modulus = keypair.public.to_dict()["n"]
+        items[15] = (
+            messages[15],
+            replace(items[15][1], value=items[15][1].value + modulus),
+        )
+        batch = keypair.public.verify_batch(items)
+        scalar = [
+            keypair.public.verify(message, sig) for message, sig in items
+        ]
+        assert batch == scalar
+        assert [i for i, ok in enumerate(batch) if not ok] == [3, 7, 11, 15]
+
+    def test_empty_batch(self, keypair):
+        assert keypair.public.verify_batch([]) == []

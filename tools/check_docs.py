@@ -21,12 +21,18 @@ Two checks, both exact:
    registrations under ``src/repro/analysis/``. Either direction
    fails: an undocumented rule fails CI with no reference to point at,
    a documented-but-gone rule promises a check nobody runs.
+4. **Perf-case drift** — the case ids tabled in ``docs/perf.md`` must
+   equal the case names in the committed ``BENCH_hotpaths.json``.
+   Either direction fails: an undocumented case gates CI with no
+   reference, a documented-but-gone case promises a measurement
+   nobody takes.
 
 Exit status 0 on success, 1 with a per-problem report otherwise.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -60,6 +66,10 @@ RULE_CONST_RE = re.compile(r"^([A-Z_]+)\s*=\s*\"([a-z][a-z0-9-]*)\"", re.M)
 #: A documented lint rule: the backticked id opening a table row in
 #: ``docs/lint.md``, e.g. ``| `no-wall-clock` | ... |``.
 DOC_RULE_RE = re.compile(r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|")
+
+#: A documented perf case: the backticked id opening a table row in
+#: ``docs/perf.md``, e.g. ``| `bloom_batch_membership` | ... |``.
+DOC_CASE_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`\s*\|")
 
 
 def _doc_files() -> list[Path]:
@@ -181,8 +191,50 @@ def check_rule_drift() -> list[str]:
     return problems
 
 
+def benched_cases() -> set[str]:
+    report = REPO / "BENCH_hotpaths.json"
+    if not report.exists():
+        return set()
+    data = json.loads(report.read_text(encoding="utf-8"))
+    return set(data.get("cases", {}))
+
+
+def documented_cases() -> set[str]:
+    doc = REPO / "docs" / "perf.md"
+    names: set[str] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = DOC_CASE_RE.match(line.strip())
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def check_perf_case_drift() -> list[str]:
+    benched = benched_cases()
+    documented = documented_cases()
+    problems = [
+        f"docs/perf.md: in BENCH_hotpaths.json but not documented: {name}"
+        for name in sorted(benched - documented)
+    ]
+    problems.extend(
+        f"docs/perf.md: documented but absent from BENCH_hotpaths.json: {name}"
+        for name in sorted(documented - benched)
+    )
+    if not benched:
+        problems.append(
+            "BENCH_hotpaths.json missing or empty "
+            "(run `python -m repro perf` and commit the report)"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_metric_drift() + check_rule_drift()
+    problems = (
+        check_links()
+        + check_metric_drift()
+        + check_rule_drift()
+        + check_perf_case_drift()
+    )
     for problem in problems:
         print(f"FAIL {problem}")
     docs = len(_doc_files())
@@ -191,8 +243,9 @@ def main() -> int:
         return 1
     print(
         f"docs check: OK — {docs} markdown files, "
-        f"{len(documented_metrics())} metrics and "
-        f"{len(documented_rules())} lint rules in sync"
+        f"{len(documented_metrics())} metrics, "
+        f"{len(documented_rules())} lint rules and "
+        f"{len(documented_cases())} perf cases in sync"
     )
     return 0
 
