@@ -75,18 +75,26 @@ def _demo_cluster(args: argparse.Namespace) -> None:
     answers: dict = {}
     latencies: dict = {}
 
-    def ask(slot: int, identifier) -> None:
-        started = sim.now
-        cluster.frontend.status_async(
-            identifier,
-            lambda answer: (
-                answers.__setitem__(slot, answer),
-                latencies.__setitem__(slot, sim.now - started),
-            ),
-        )
+    # Queries arrive in groups of ~50 and flow through the batch status
+    # path: one vectorized Bloom pass per group, per-shard RPC batching
+    # underneath — the production read path, not a per-key loop.
+    group = 50
 
-    for slot, index in enumerate(indices):
-        sim.schedule(slot * 0.001, ask, slot, population.identifiers[index])
+    def ask_group(base_slot: int, identifiers) -> None:
+        started = sim.now
+
+        def record(offset: int, answer) -> None:
+            answers[base_slot + offset] = answer
+            latencies[base_slot + offset] = sim.now - started
+
+        cluster.frontend.status_many_async(identifiers, record)
+
+    for base_slot in range(0, len(indices), group):
+        batch = [
+            population.identifiers[int(index)]
+            for index in indices[base_slot : base_slot + group]
+        ]
+        sim.schedule(base_slot * 0.001, ask_group, base_slot, batch)
     victim = None
     if args.kill_shard:
         victim = f"shard-{args.shards - 1}"
@@ -113,8 +121,86 @@ def _demo_cluster(args: argparse.Namespace) -> None:
     print(f"  frontend: {cluster.frontend.stats}")
 
 
+def _demo_recover(args: argparse.Namespace) -> None:
+    from repro.chaos import ChaosKnobs, run_chaos, run_durability_selftest
+
+    if args.selftest:
+        result = run_durability_selftest(seed=args.seed)
+        print("durability self-test (blind recovery + replay divergence):")
+        print(
+            f"  clean run: {result.clean.faults.get('storage', 0)} storage "
+            f"fault(s), {len(result.clean.recoveries)} recoveries, "
+            f"violations: {result.clean.check.by_invariant() or 'none'}"
+        )
+        print(
+            "  blind run corruption_missed: "
+            f"{result.blind.check.count('corruption_missed')}"
+        )
+        print(
+            "  diverged run recovery_mismatch: "
+            f"{result.diverged.check.count('recovery_mismatch')}"
+        )
+        print(f"  sabotage detected: {result.detected}")
+        if not result.detected:
+            raise SystemExit(
+                "durability self-test FAILED: checker missed the sabotage"
+            )
+        return
+    if not 0.0 <= args.intensity:
+        raise SystemExit(
+            "python -m repro recover: --intensity cannot be negative"
+        )
+    knobs = ChaosKnobs(
+        storage_fault_probability=args.storage,
+        wipe_probability=args.wipes,
+        crash_rate=1.2,
+    )
+    report = run_chaos(
+        num_shards=args.shards,
+        seed=args.seed,
+        intensity=args.intensity,
+        knobs=knobs,
+    )
+    print(
+        f"recover: {report.num_shards} shard(s), seed {report.seed}, "
+        f"intensity {report.intensity:.2f}"
+    )
+    print(
+        f"  faults: {report.faults.get('crash', 0)} crash(es), "
+        f"{report.faults.get('wipe', 0)} wiped, "
+        f"{report.faults.get('storage', 0)} storage fault(s) "
+        f"({', '.join(kind for _, kind, _ in report.storage_faults) or 'none'})"
+    )
+    for recovery in report.recoveries:
+        verdict = (
+            "clean"
+            if not recovery.evidence
+            else "+".join(sorted(set(recovery.evidence)))
+        )
+        print(
+            f"  recovery {recovery.shard_id} @ t={recovery.at:.3f}: "
+            f"{recovery.records_recovered} records, "
+            f"{recovery.events_replayed} events replayed, {verdict}"
+        )
+    print(
+        f"  workload: {report.status_ops} status checks "
+        f"({report.availability:.1%} answered), "
+        f"{report.revokes_acked}/{report.revokes_attempted} "
+        f"revocations acknowledged"
+    )
+    if report.check.ok:
+        print("  durability: OK — recovered state equals replayed log, "
+              "every injected corruption detected")
+    else:
+        print(f"  durability: {report.check.by_invariant()}")
+        for violation in report.check.violations:
+            print(f"    [{violation.invariant}] serial={violation.serial}: "
+                  f"{violation.detail}")
+        raise SystemExit(1)
+
+
 def _demo_chaos(args: argparse.Namespace) -> None:
-    from repro.chaos import run_chaos, run_selftest
+    from repro.chaos import ChaosKnobs, run_chaos, run_selftest
 
     if args.selftest:
         result = run_selftest(seed=args.seed)
@@ -127,11 +213,21 @@ def _demo_chaos(args: argparse.Namespace) -> None:
         return
     if not 0.0 <= args.intensity:
         raise SystemExit("python -m repro chaos: --intensity cannot be negative")
+    if not 0.0 <= args.storage <= 1.0:
+        raise SystemExit(
+            "python -m repro chaos: --storage must be in [0, 1]"
+        )
+    knobs = (
+        ChaosKnobs(storage_fault_probability=args.storage)
+        if args.storage > 0.0
+        else None
+    )
     report = run_chaos(
         num_shards=args.shards,
         seed=args.seed,
         intensity=args.intensity,
         queries=args.queries,
+        knobs=knobs,
     )
     print(
         f"chaos: {report.num_shards} shard(s), seed {report.seed}, "
@@ -141,7 +237,8 @@ def _demo_chaos(args: argparse.Namespace) -> None:
         f"  faults: {report.faults.get('partition', 0)} partition(s), "
         f"{report.faults.get('crash', 0)} crash(es) "
         f"({report.faults.get('wipe', 0)} wiped), "
-        f"{report.faults.get('skew', 0)} clock skew(s)"
+        f"{report.faults.get('skew', 0)} clock skew(s), "
+        f"{report.faults.get('storage', 0)} storage fault(s)"
     )
     print(
         f"  workload: {report.status_ops} status checks "
@@ -342,6 +439,41 @@ def main(argv: list[str] | None = None) -> int:
         "--selftest", action="store_true",
         help="seed a deliberate replication bug and prove the checker sees it",
     )
+    chaos_parser.add_argument(
+        "--storage", type=float, default=0.0,
+        help="per-crash probability of restarting against a damaged disk "
+        "(torn WAL frame, corrupted segment, or corrupted snapshot; "
+        "default 0)",
+    )
+    recover_parser = subparsers.add_parser(
+        "recover",
+        help="storage-fault chaos: crash-recovery with damaged disks, "
+        "gated on the durability invariants",
+    )
+    recover_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; identical seeds replay byte-identically (default 0)",
+    )
+    recover_parser.add_argument(
+        "--shards", type=int, default=4, help="number of shards (default 4)"
+    )
+    recover_parser.add_argument(
+        "--intensity", type=float, default=0.7,
+        help="fault intensity in [0, 1] (default 0.7)",
+    )
+    recover_parser.add_argument(
+        "--storage", type=float, default=1.0,
+        help="per-crash probability of a damaged disk (default 1.0)",
+    )
+    recover_parser.add_argument(
+        "--wipes", type=float, default=0.3,
+        help="per-crash probability of losing the disk outright (default 0.3)",
+    )
+    recover_parser.add_argument(
+        "--selftest", action="store_true",
+        help="sabotage the recovery path twice and prove the durability "
+        "invariants trip",
+    )
     resilience_parser = subparsers.add_parser(
         "resilience",
         help="chaos run under a resilience policy (deadlines, breakers, "
@@ -430,6 +562,8 @@ def main(argv: list[str] | None = None) -> int:
         _demo_cluster(args)
     elif args.demo == "chaos":
         _demo_chaos(args)
+    elif args.demo == "recover":
+        _demo_recover(args)
     elif args.demo == "resilience":
         _demo_resilience(args)
     elif args.demo == "obs":

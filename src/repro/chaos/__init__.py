@@ -28,6 +28,12 @@ from repro.chaos.resilience import (
     run_resilient_chaos,
 )
 from repro.chaos.selftest import SelftestResult, install_lww_bug, run_selftest
+from repro.chaos.durability import (
+    DurabilitySelftestResult,
+    install_blind_recovery,
+    install_replay_divergence,
+    run_durability_selftest,
+)
 
 __all__ = [
     "CheckReport",
@@ -54,4 +60,8 @@ __all__ = [
     "SelftestResult",
     "install_lww_bug",
     "run_selftest",
+    "DurabilitySelftestResult",
+    "install_blind_recovery",
+    "install_replay_divergence",
+    "run_durability_selftest",
 ]

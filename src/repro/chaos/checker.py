@@ -28,6 +28,14 @@ the revocation service lives by:
   newest acknowledged one — a healed partition must not roll back an
   acknowledged revocation.
 
+* **Durable recovery** (``recovery_mismatch`` / ``corruption_missed``,
+  via :meth:`ConsistencyChecker.check_recovery`): every crash-restart
+  that recovered from a durable store must have installed exactly the
+  state an independent snapshot+tail replay of its log produces, and
+  every storage fault the chaos harness actually injected must surface
+  in that recovery's detection evidence — corruption may *cost* data
+  (restored by peer backfill) but may never be silently accepted.
+
 Replicas that do not hold a record at all (wiped by a crash-restart and
 not yet re-replicated) are an *availability* gap, handled by quorum
 sizing, and are deliberately not counted as divergence.
@@ -61,6 +69,7 @@ class CheckReport:
     writes_checked: int = 0
     serials_checked: int = 0
     spans_checked: int = 0
+    recoveries_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -395,3 +404,95 @@ class ConsistencyChecker:
                         ),
                     )
                 )
+
+    # -- invariant 4: durable recovery ------------------------------------------------
+
+    #: Detection evidence each injected storage-fault kind must surface.
+    #: Log damage can legitimately manifest as any log-layer verdict
+    #: (a flipped byte in a length header reads as a torn or truncated
+    #: frame), but snapshot damage must be caught at the snapshot layer.
+    EXPECTED_EVIDENCE: Dict[str, frozenset] = {
+        "torn": frozenset(
+            {"torn_record", "corrupted_segment", "truncated_segment",
+             "chain_broken"}
+        ),
+        "corrupt": frozenset(
+            {"torn_record", "corrupted_segment", "truncated_segment",
+             "chain_broken"}
+        ),
+        "snapshot": frozenset({"snapshot_corrupt"}),
+    }
+
+    def check_recovery(
+        self,
+        recoveries: Sequence,
+        injected: Sequence[tuple] = (),
+        report: Optional[CheckReport] = None,
+    ) -> CheckReport:
+        """Verify the crash-recovery invariants over one run.
+
+        ``recoveries`` are the cluster's
+        :class:`~repro.cluster.simnet.ShardRecovery` captures;
+        ``injected`` the controller's ``(shard_id, kind, at)`` list of
+        storage faults that actually landed.  Two rules:
+
+        * ``recovery_mismatch`` — the state a restarted shard installed
+          differs from an independent replay of its recovered log;
+        * ``corruption_missed`` — an injected fault produced no
+          matching detection evidence in the recovery that followed it
+          (silent acceptance of corrupted storage).
+        """
+        if report is None:
+            report = CheckReport()
+        for recovery in recoveries:
+            report.recoveries_checked += 1
+            if recovery.installed_digest != recovery.replayed_digest:
+                report.violations.append(
+                    Violation(
+                        invariant="recovery_mismatch",
+                        serial=-1,
+                        detail=(
+                            f"{recovery.shard_id} restarted at "
+                            f"t={recovery.at:.6f} with state digest "
+                            f"{recovery.installed_digest[:12]} but replaying "
+                            f"its recovered log yields "
+                            f"{recovery.replayed_digest[:12]}"
+                        ),
+                    )
+                )
+        for shard_id, kind, at in injected:
+            expected = self.EXPECTED_EVIDENCE[kind]
+            recovery = next(
+                (
+                    r
+                    for r in recoveries
+                    if r.shard_id == shard_id and r.at >= at
+                ),
+                None,
+            )
+            if recovery is None:
+                report.violations.append(
+                    Violation(
+                        invariant="corruption_missed",
+                        serial=-1,
+                        detail=(
+                            f"{kind} fault injected into {shard_id} at "
+                            f"t={at:.6f} but no recovery followed it"
+                        ),
+                    )
+                )
+                continue
+            if not expected.intersection(recovery.evidence):
+                report.violations.append(
+                    Violation(
+                        invariant="corruption_missed",
+                        serial=-1,
+                        detail=(
+                            f"{kind} fault injected into {shard_id} at "
+                            f"t={at:.6f} left no detection evidence in the "
+                            f"recovery at t={recovery.at:.6f} "
+                            f"(evidence={list(recovery.evidence)})"
+                        ),
+                    )
+                )
+        return report

@@ -1,0 +1,123 @@
+"""Durability self-test: sabotage recovery, demand a red report.
+
+The storage-fault chaos gate rests on two checker invariants —
+``corruption_missed`` (every injected disk fault must surface detection
+evidence) and ``recovery_mismatch`` (the state a shard adopts must equal
+an independent replay of its snapshot + verified tail).  A green run
+proves nothing if those invariants are vacuous, so this module runs the
+same storage-heavy chaos plan three times:
+
+* **clean** — stock recovery; must inject faults, recover, and come
+  back violation-free;
+* **blind** — every shard's ``recover`` is wrapped to *discard its
+  evidence*, modelling a recovery path that silently accepts damaged
+  logs; the checker must trip ``corruption_missed``;
+* **diverged** — every recovery silently bumps one record's epoch
+  after restore, modelling replay drift; the checker must trip
+  ``recovery_mismatch``.
+
+The self-test passes only if the clean run is green *and* both
+sabotaged runs go red — the checker discriminates, it is not merely
+quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.plan import ChaosKnobs
+from repro.chaos.runner import ChaosReport, run_chaos
+
+__all__ = [
+    "DurabilitySelftestResult",
+    "install_blind_recovery",
+    "install_replay_divergence",
+    "run_durability_selftest",
+]
+
+#: Storage-heavy knobs: a fault on every non-wipe crash, crash-dense
+#: schedule, no wipes — every restart exercises the recovery scan.
+SELFTEST_KNOBS = ChaosKnobs(
+    storage_fault_probability=1.0,
+    wipe_probability=0.0,
+    crash_rate=1.2,
+)
+
+
+def install_blind_recovery(cluster) -> None:
+    """Sabotage: recoveries swallow their corruption evidence.
+
+    The recovery still truncates and replays correctly, but reports a
+    clean bill of health — exactly the failure mode of a restart path
+    that "handles" a bad checksum by ignoring it.  With no evidence on
+    record, every injected fault must show up as ``corruption_missed``.
+    """
+    for shard in cluster.shards.values():
+        original = shard.recover
+
+        def recover(original=original):
+            report = original()
+            report.evidence = ()
+            return report
+
+        shard.recover = recover
+
+
+def install_replay_divergence(cluster) -> None:
+    """Sabotage: recovered in-memory state drifts from the replayed log.
+
+    After each restore the shard silently bumps one record's epoch, so
+    the installed state digest no longer equals the independent
+    snapshot+tail replay — the ``recovery_mismatch`` invariant's one
+    job is to notice.
+    """
+    for shard in cluster.shards.values():
+        original = shard.recover
+
+        def recover(shard=shard, original=original):
+            report = original()
+            for record in shard.ledger.store.records():
+                record.revocation_epoch += 1
+                break
+            return report
+
+        shard.recover = recover
+
+
+@dataclass
+class DurabilitySelftestResult:
+    """Clean / blind / diverged verdict triple."""
+
+    clean: ChaosReport
+    blind: ChaosReport
+    diverged: ChaosReport
+
+    @property
+    def detected(self) -> bool:
+        """True iff the durability invariants discriminate."""
+        return (
+            self.clean.check.ok
+            and self.clean.faults.get("storage", 0) > 0
+            and len(self.clean.recoveries) > 0
+            and self.blind.check.count("corruption_missed") > 0
+            and self.diverged.check.count("recovery_mismatch") > 0
+        )
+
+
+def run_durability_selftest(seed: int = 0) -> DurabilitySelftestResult:
+    """One seed, three runs; see the module docstring."""
+    return DurabilitySelftestResult(
+        clean=run_chaos(seed=seed, intensity=0.7, knobs=SELFTEST_KNOBS),
+        blind=run_chaos(
+            seed=seed,
+            intensity=0.7,
+            knobs=SELFTEST_KNOBS,
+            sabotage=install_blind_recovery,
+        ),
+        diverged=run_chaos(
+            seed=seed,
+            intensity=0.7,
+            knobs=SELFTEST_KNOBS,
+            sabotage=install_replay_divergence,
+        ),
+    )

@@ -19,7 +19,7 @@ starts from a fully connected cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +39,9 @@ class ChaosEvent:
     targets: Tuple[str, ...]
     wipe: bool = False  # crash only: lose the replica's disk on restart
     offset: float = 0.0  # skew only: seconds of clock drift
+    # Crash only: damage the surviving disk before the restart recovers
+    # from it — '' (none) | 'torn' | 'corrupt' | 'snapshot'.
+    storage_fault: str = ""
 
     @property
     def ends_at(self) -> float:
@@ -65,6 +68,14 @@ class ChaosKnobs:
     # quorum annihilates data no leaderless protocol could keep, which
     # would be a statement about the fault injector, not the cluster.
     max_wipes: int = 1
+    # Probability that a non-wipe crash restarts against a *damaged*
+    # disk (torn final record, corrupted segment, or corrupted
+    # snapshot, equally likely).  Unscaled by intensity, like
+    # ``wipe_probability``.  Torn/corrupt faults truncate acknowledged
+    # log suffix on recovery, so they share the ``max_wipes`` budget;
+    # draws past the budget degrade to snapshot corruption.  Default 0
+    # keeps legacy plans byte-stable.
+    storage_fault_probability: float = 0.0
     skew_rate: float = 0.3
     max_clock_skew: float = 30.0
     link_faults: LinkFaultProfile = field(
@@ -151,6 +162,32 @@ class ChaosPlan:
                     "skew", float(at), horizon - at, (victim,), offset=offset
                 )
             )
+        # Storage faults ride on crash events: always draw both coins
+        # per crash, in event-creation order, *after* every legacy draw
+        # (stream stability — old seeds reproduce old schedules
+        # exactly, with or without storage faults enabled).  Torn and
+        # corrupted segments shed acknowledged log suffix on recovery,
+        # so they draw from the same tolerance budget as wipes —
+        # otherwise correlated corruption could annihilate a full write
+        # quorum, which no recovery protocol could survive.  Snapshot
+        # corruption is detection-only (the log itself survives) and is
+        # never budgeted; over-budget destructive draws degrade to it.
+        fault_kinds = ("torn", "corrupt", "snapshot")
+        lossy = wipes
+        for index, event in enumerate(events):
+            if event.kind != "crash":
+                continue
+            hit = bool(rng.uniform() < knobs.storage_fault_probability)
+            kind_index = int(rng.integers(0, len(fault_kinds)))
+            if not hit or event.wipe:
+                continue
+            kind = fault_kinds[kind_index]
+            if kind in ("torn", "corrupt"):
+                if lossy >= knobs.max_wipes:
+                    kind = "snapshot"
+                else:
+                    lossy += 1
+            events[index] = replace(event, storage_fault=kind)
         events.sort(key=lambda e: (e.at, e.kind, e.targets))
         return cls(
             events=events,
@@ -160,11 +197,15 @@ class ChaosPlan:
         )
 
     def counts(self) -> Dict[str, int]:
-        tally: Dict[str, int] = {"partition": 0, "crash": 0, "wipe": 0, "skew": 0}
+        tally: Dict[str, int] = {
+            "partition": 0, "crash": 0, "wipe": 0, "skew": 0, "storage": 0
+        }
         for event in self.events:
             tally[event.kind] += 1
             if event.kind == "crash" and event.wipe:
                 tally["wipe"] += 1
+            if event.kind == "crash" and event.storage_fault:
+                tally["storage"] += 1
         return tally
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -188,10 +229,14 @@ class ChaosController:
         self._severed: Dict[str, int] = {}
         self._down: Dict[str, int] = {}
         self._pending_wipe: Dict[str, bool] = {}
+        self._pending_fault: Dict[str, str] = {}
         self.records_lost = 0
         self.faults_applied: Dict[str, int] = {
-            "partition": 0, "crash": 0, "wipe": 0, "skew": 0
+            "partition": 0, "crash": 0, "wipe": 0, "skew": 0, "storage": 0
         }
+        # Storage faults that actually landed, as (shard_id, kind, at)
+        # — the checker demands detection evidence for exactly these.
+        self.storage_faults: List[Tuple[str, str, float]] = []
 
     def install(self) -> None:
         sim = self.cluster.simulator
@@ -238,14 +283,27 @@ class ChaosController:
         self._pending_wipe[shard_id] = (
             self._pending_wipe.get(shard_id, False) or event.wipe
         )
+        if event.storage_fault:
+            self._pending_fault[shard_id] = event.storage_fault
+
+    def _restart(self, shard_id: str) -> None:
+        """Restart one shard, applying any pending storage damage first."""
+        wipe = self._pending_wipe.pop(shard_id, False)
+        fault = self._pending_fault.pop(shard_id, "")
+        if fault and not wipe:
+            if self.cluster.inject_storage_fault(shard_id, fault):
+                self.faults_applied["storage"] += 1
+                self.storage_faults.append(
+                    (shard_id, fault, self.cluster.simulator.now)
+                )
+        self.records_lost += self.cluster.restart_shard(shard_id, wipe=wipe)
 
     def _end_crash(self, event: ChaosEvent) -> None:
         (shard_id,) = event.targets
         remaining = self._down.get(shard_id, 0) - 1
         self._down[shard_id] = max(remaining, 0)
         if remaining <= 0:
-            wipe = self._pending_wipe.pop(shard_id, False)
-            self.records_lost += self.cluster.restart_shard(shard_id, wipe=wipe)
+            self._restart(shard_id)
 
     def _start_skew(self, event: ChaosEvent) -> None:
         (shard_id,) = event.targets
@@ -264,10 +322,7 @@ class ChaosController:
         self.cluster.reconnect_shards(list(self.cluster.shards))
         for shard_id in self.cluster.shards:
             if self._down.get(shard_id, 0) > 0:
-                wipe = self._pending_wipe.pop(shard_id, False)
-                self.records_lost += self.cluster.restart_shard(
-                    shard_id, wipe=wipe
-                )
+                self._restart(shard_id)
             self.cluster.skew_clock(shard_id, 0.0)
         self._severed.clear()
         self._down.clear()

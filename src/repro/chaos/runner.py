@@ -27,8 +27,9 @@ from typing import Callable, Dict, List, Optional
 from repro.chaos.checker import CheckReport, ConsistencyChecker, state_digest
 from repro.chaos.history import HistoryRecorder
 from repro.chaos.plan import ChaosController, ChaosKnobs, ChaosPlan
+from repro.cluster.antientropy import AntiEntropySweeper
 from repro.cluster.frontend import ClusterConfig
-from repro.cluster.simnet import SimulatedCluster
+from repro.cluster.simnet import ShardRecovery, SimulatedCluster
 from repro.core.identifiers import PhotoIdentifier
 
 __all__ = ["ChaosReport", "run_chaos"]
@@ -51,6 +52,10 @@ class ChaosReport:
     read_repairs: int = 0
     suspicions: int = 0
     digest: str = ""
+    # Durable-recovery observations: every crash-restart's recovery
+    # capture plus the storage faults the controller actually landed.
+    recoveries: List[ShardRecovery] = field(default_factory=list)
+    storage_faults: List[tuple] = field(default_factory=list)
     # The full recorded history (not part of the CSV row; kept for
     # replay comparisons and debugging).
     history: Optional[HistoryRecorder] = None
@@ -86,6 +91,10 @@ class ChaosReport:
             "partitions": self.faults.get("partition", 0),
             "crashes": self.faults.get("crash", 0),
             "wipes": self.faults.get("wipe", 0),
+            "storage_faults": self.faults.get("storage", 0),
+            "recoveries": len(self.recoveries),
+            "recovery_mismatches": by_invariant.get("recovery_mismatch", 0),
+            "corruptions_missed": by_invariant.get("corruption_missed", 0),
             "records_lost": self.records_lost,
             "read_repairs": self.read_repairs,
             "digest": self.digest[:16],
@@ -175,6 +184,21 @@ def run_chaos(
             cluster.frontend.status_async(identifier, lambda answer: None)
 
     sim.schedule_at(horizon + 0.2, _final_pass)
+    # When storage faults are in play, a recovery may have truncated a
+    # replica's log back past acknowledged writes; read repair only
+    # touches records the final pass reads through that replica, so an
+    # anti-entropy sweep backfills whatever the truncation cost.
+    if plan.counts().get("storage", 0) > 0:
+        sweeper = AntiEntropySweeper(
+            cluster.cluster_id,
+            cluster.ring,
+            cluster.transport,
+            config.replication_factor,
+            on_result=cluster.frontend._record_result,
+        )
+        sim.schedule_at(
+            horizon + 0.5, sweeper.sweep_async, lambda sweep_report: None
+        )
     sim.run(until=horizon + drain)
 
     # -- measurement ---------------------------------------------------------------
@@ -191,8 +215,12 @@ def run_chaos(
         return cluster.ring.replicas(identifier.to_compact(), replication)
 
     states = cluster.replica_states()
-    check = ConsistencyChecker(placement=placement).check(
+    checker = ConsistencyChecker(placement=placement)
+    check = checker.check(
         recorder, replica_states=states, live_shards=sorted(cluster.shards)
+    )
+    checker.check_recovery(
+        cluster.recoveries, controller.storage_faults, report=check
     )
     return ChaosReport(
         seed=seed,
@@ -208,5 +236,7 @@ def run_chaos(
         read_repairs=cluster.frontend.stats.read_repairs,
         suspicions=cluster.detector.suspicions_raised,
         digest=state_digest(states),
+        recoveries=list(cluster.recoveries),
+        storage_faults=list(controller.storage_faults),
         history=recorder,
     )

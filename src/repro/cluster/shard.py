@@ -48,8 +48,10 @@ from repro.core.errors import ClaimError, RevocationError
 from repro.core.identifiers import PhotoIdentifier
 from repro.crypto.signatures import KeyPair, PublicKey
 from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.durable import DurableStore
 from repro.ledger.ledger import Ledger, LedgerConfig
 from repro.ledger.records import RevocationState
+from repro.ledger.recovery import RecoveryReport, recover_store
 
 __all__ = ["ClusterShard", "ClusterDirectory", "content_serial"]
 
@@ -73,6 +75,8 @@ class ClusterShard:
         keypair: Optional[KeyPair] = None,
         clock: Optional[Callable[[], float]] = None,
         config: Optional[LedgerConfig] = None,
+        durable: Optional[DurableStore] = None,
+        snapshot_interval: int = 64,
     ):
         self.shard_id = shard_id
         self.cluster_id = cluster_id
@@ -87,6 +91,63 @@ class ClusterShard:
         # wrapped ledger's counters).
         self.states_applied = 0
         self.stale_applies_ignored = 0
+        # Durability: when a simulated disk is attached, every sealed
+        # ledger event is journaled to it, with a chain-anchored
+        # snapshot every ``snapshot_interval`` events to bound replay.
+        self.durable = durable
+        self.snapshot_interval = max(1, int(snapshot_interval))
+        self._events_since_snapshot = 0
+        if durable is not None:
+            self.ledger.store.attach_journal(self._journal_event)
+
+    # -- durability -----------------------------------------------------------------
+
+    def _journal_event(self, event) -> None:
+        """WAL append for one sealed event, snapshotting periodically."""
+        self.durable.append_event(event)
+        self._events_since_snapshot += 1
+        if self._events_since_snapshot >= self.snapshot_interval:
+            self.write_snapshot()
+
+    def write_snapshot(self) -> None:
+        """Persist a chain-anchored snapshot of the current view."""
+        store = self.ledger.store
+        self.durable.write_snapshot(
+            store.records_map(),
+            store.next_serial,
+            store.events.head_seq,
+            store.events.head_hash,
+        )
+        self._events_since_snapshot = 0
+
+    def recover(self) -> RecoveryReport:
+        """Restart path: rebuild state from the local durable store.
+
+        Loads the newest valid snapshot, verifies the WAL chain,
+        replays the proven tail, installs the result, and truncates the
+        disk to the verified prefix so the resumed chain and the log on
+        disk agree.  The report's ``evidence`` names every torn,
+        corrupted, or truncated structure detected; whatever was lost
+        past the truncation point must come back via peer backfill.
+        """
+        if self.durable is None:
+            raise RuntimeError(
+                f"shard {self.shard_id!r} has no durable store to recover"
+            )
+        report = recover_store(self.durable)
+        store = self.ledger.store
+        store.restore(
+            report.records,
+            report.next_serial,
+            report.head_seq,
+            report.head_hash,
+        )
+        if report.truncation is not None:
+            self.durable.truncate_after(
+                report.truncation[0], report.truncation[1], report.head_seq
+            )
+        self._events_since_snapshot = 0
+        return report
 
     # -- identity -----------------------------------------------------------------
 
@@ -165,11 +226,15 @@ class ClusterShard:
         if epoch <= record.revocation_epoch:
             self.stale_applies_ignored += 1
             return {"applied": False, "epoch": record.revocation_epoch}
-        record.state = RevocationState(payload["state"])
-        record.revocation_epoch = epoch
-        self.ledger.store.log_operation(
-            "apply_state", serial, self.ledger.now()
+        apply_time = self.ledger.now()
+        self.ledger.store.apply_flip(
+            serial,
+            RevocationState(payload["state"]),
+            epoch,
+            "apply_state",
+            apply_time,
         )
+        self.ledger.store.log_operation("apply_state", serial, apply_time)
         self.states_applied += 1
         return {"applied": True, "epoch": epoch}
 
@@ -216,15 +281,23 @@ class ClusterShard:
         serial = incoming.identifier.serial
         existing = self.ledger.store.get(serial)
         if existing is None:
-            self.ledger.store.put(replace(incoming))
+            self.ledger.store.put(
+                replace(incoming), time=self.ledger.now(), kind="install"
+            )
             self.states_applied += 1
             return {"installed": True, "epoch": incoming.revocation_epoch}
         if incoming.revocation_epoch <= existing.revocation_epoch:
             self.stale_applies_ignored += 1
             return {"installed": False, "epoch": existing.revocation_epoch}
-        existing.state = incoming.state
-        existing.revocation_epoch = incoming.revocation_epoch
-        self.ledger.store.log_operation("install_record", serial, self.ledger.now())
+        install_time = self.ledger.now()
+        self.ledger.store.apply_flip(
+            serial,
+            incoming.state,
+            incoming.revocation_epoch,
+            "install",
+            install_time,
+        )
+        self.ledger.store.log_operation("install_record", serial, install_time)
         self.states_applied += 1
         return {"installed": True, "epoch": incoming.revocation_epoch}
 

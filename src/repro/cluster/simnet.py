@@ -29,13 +29,17 @@ from repro.core.identifiers import PhotoIdentifier
 from repro.crypto.hashing import sha256_hex
 from repro.crypto.signatures import KeyPair
 from repro.crypto.timestamp import TimestampAuthority
+from repro.ledger.durable import DurableStore
+from repro.ledger.events import replay
 from repro.ledger.records import ClaimRecord, RevocationState, claim_digest
+from repro.ledger.recovery import records_digest
 from repro.netsim.latency import LatencyModel, lan_latency
 from repro.netsim.link import Network
 from repro.netsim.node import Node
 from repro.netsim.rand import RngRegistry
 from repro.netsim.simulator import Simulator, SkewedClock
 from repro.netsim.transport import RpcEndpoint
+from repro.cluster.antientropy import AntiEntropySweeper
 from repro.cluster.frontend import ClusterConfig, ClusterFrontend
 from repro.cluster.health import FailureDetector
 from repro.cluster.replication import ShardReply
@@ -43,7 +47,33 @@ from repro.cluster.ring import HashRing
 from repro.cluster.shard import ClusterDirectory, ClusterShard, content_serial
 from repro.obs import Observability
 
-__all__ = ["SimulatedCluster", "NetsimShardTransport", "ShardCostModel"]
+__all__ = [
+    "SimulatedCluster",
+    "NetsimShardTransport",
+    "ShardCostModel",
+    "ShardRecovery",
+]
+
+
+@dataclass(frozen=True)
+class ShardRecovery:
+    """One shard restart's recovery outcome, captured at restart time.
+
+    The cluster keeps evolving after a recovery (read repair,
+    anti-entropy), so the consistency checker needs the state *as
+    recovered*, not as it ended up: ``installed_digest`` is what the
+    shard adopted, ``replayed_digest`` an independent snapshot+tail
+    replay of the same report — the "recovered state equals replayed
+    log" invariant in digest form.
+    """
+
+    shard_id: str
+    at: float
+    evidence: tuple
+    installed_digest: str
+    replayed_digest: str
+    records_recovered: int
+    events_replayed: int
 
 
 @dataclass
@@ -181,6 +211,8 @@ class SimulatedCluster:
         probation: float = 5.0,
         filterset=None,
         instrument: bool = False,
+        durable: bool = True,
+        snapshot_interval: int = 64,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -199,6 +231,11 @@ class SimulatedCluster:
         self.cost_model = cost_model
         self.shards: Dict[str, ClusterShard] = {}
         self.endpoints: Dict[str, RpcEndpoint] = {}
+        # Simulated disks (``durable=True``): every shard journals its
+        # event chain to one, and restarts recover from it instead of
+        # rejoining with whatever happened to be in memory.
+        self.disks: Dict[str, DurableStore] = {}
+        self.recoveries: List[ShardRecovery] = []
         # Per-shard clocks: same simulated time base, individually
         # skewable by the chaos harness (clock-drift faults).
         self.shard_clocks: Dict[str, SkewedClock] = {}
@@ -212,6 +249,7 @@ class SimulatedCluster:
         for shard_id in shard_ids:
             shard_clock = SkewedClock(clock)
             self.shard_clocks[shard_id] = shard_clock
+            disk = DurableStore() if durable else None
             shard = ClusterShard(
                 shard_id,
                 cluster_id,
@@ -220,7 +258,11 @@ class SimulatedCluster:
                     bits=key_bits, rng=self.rngs.stream(f"key:{shard_id}")
                 ),
                 clock=shard_clock.now,
+                durable=disk,
+                snapshot_interval=snapshot_interval,
             )
+            if disk is not None:
+                self.disks[shard_id] = disk
             self.shards[shard_id] = shard
             node = self.network.add_node(Node(shard_id, self.simulator))
             self.network.connect(frontend_name, shard_id, latency)
@@ -296,13 +338,101 @@ class SimulatedCluster:
     def restart_shard(self, shard_id: str, wipe: bool = False) -> int:
         """Bring a crashed shard back, with its state kept or lost.
 
-        ``wipe=True`` models a crash that took the disk: the replica
-        rejoins empty and can only serve what re-replication and read
-        repair restore.  Returns the number of records lost.
+        ``wipe=True`` models a crash that took the disk: memory *and*
+        the durable store are lost, and the replica rejoins empty to be
+        refilled by re-replication and read repair.  Otherwise, a shard
+        with a durable store runs the real restart path — snapshot
+        load, chain verification, tail replay, disk truncation — and
+        the recovery outcome (including an independently replayed
+        digest) is captured in :attr:`recoveries` for the consistency
+        checker.  Returns the number of records lost from memory.
         """
-        lost = self.shards[shard_id].ledger.store.wipe() if wipe else 0
+        shard = self.shards[shard_id]
+        if wipe:
+            lost = shard.ledger.store.wipe()
+            disk = self.disks.get(shard_id)
+            if disk is not None:
+                disk.wipe()
+            self.revive_shard(shard_id)
+            return lost
+        disk = self.disks.get(shard_id)
+        if disk is not None:
+            report = shard.recover()
+            replayed = replay(
+                report.tail_events, base=report.snapshot_records
+            )
+            if report.suffix_lost:
+                self._schedule_backfill(shard_id)
+            self.recoveries.append(
+                ShardRecovery(
+                    shard_id=shard_id,
+                    at=self.simulator.now,
+                    evidence=report.evidence,
+                    installed_digest=records_digest(
+                        shard.ledger.store.records_map()
+                    ),
+                    replayed_digest=records_digest(replayed),
+                    records_recovered=len(report.records),
+                    events_replayed=len(report.tail_events),
+                )
+            )
+            if self.obs is not None:
+                self.obs.counter(
+                    "shard_recoveries_total", shard=shard_id
+                ).inc()
+                self.obs.counter(
+                    "recovery_records_restored_total", shard=shard_id
+                ).inc(len(report.records))
+                if report.evidence:
+                    self.obs.counter(
+                        "recovery_corruptions_total", shard=shard_id
+                    ).inc(len(report.evidence))
         self.revive_shard(shard_id)
-        return lost
+        return 0
+
+    def _schedule_backfill(self, shard_id: str) -> None:
+        """Hinted-handoff stand-in after a recovery shed log suffix.
+
+        A truncated replica holds *convincingly stale* state (old
+        epochs, not missing records), so quorum reads through it can
+        observe pre-acknowledgement state until something reconciles
+        it.  Scheduling an anti-entropy sweep right behind the restart
+        pulls the lost writes back from peers promptly instead of
+        waiting for the next externally scheduled sweep.
+        """
+        sweeper = AntiEntropySweeper(
+            self.cluster_id,
+            self.ring,
+            self.transport,
+            self.frontend.config.replication_factor,
+            on_result=self.frontend._record_result,
+            obs=self.obs,
+        )
+        self.simulator.schedule_at(
+            self.simulator.now + 0.05,
+            sweeper.sweep_async,
+            lambda report: None,
+        )
+
+    def inject_storage_fault(self, shard_id: str, kind: str) -> bool:
+        """Damage a shard's durable store; True iff the fault landed.
+
+        Kinds: ``torn`` (final WAL frame cut short), ``corrupt`` (one
+        byte flipped in the newest segment), ``snapshot`` (newest
+        snapshot damaged).  A fault can miss — an empty disk has
+        nothing to tear — and the checker only demands detection for
+        faults that actually landed.
+        """
+        disk = self.disks.get(shard_id)
+        if disk is None:
+            return False
+        if kind == "torn":
+            return disk.tear_final_record()
+        if kind == "corrupt":
+            return disk.corrupt_random_byte(self.rngs.stream("storage"))
+        if kind == "snapshot":
+            return disk.corrupt_latest_snapshot()
+        raise ValueError(f"unknown storage fault kind {kind!r}")
 
     def isolate_shards(self, shard_ids) -> None:
         """Sever the frontend links of ``shard_ids`` (a partition)."""

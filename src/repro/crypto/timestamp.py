@@ -51,6 +51,26 @@ class TimestampToken:
         """Return True iff this token was signed by ``authority_key``."""
         return authority_key.verify_struct(self.payload(), self.signature)
 
+    def to_dict(self) -> dict:
+        """JSON-able form (digest hex-encoded) for event-log payloads."""
+        return {
+            "digest": self.digest.hex(),
+            "time": self.time,
+            "serial": self.serial,
+            "authority": self.authority_fingerprint,
+            "signature": self.signature.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TimestampToken":
+        return TimestampToken(
+            digest=bytes.fromhex(data["digest"]),
+            time=data["time"],
+            serial=data["serial"],
+            authority_fingerprint=data["authority"],
+            signature=Signature.from_dict(data["signature"]),
+        )
+
     def precedes(self, other: "TimestampToken") -> bool:
         """Total order on tokens: earlier time wins, serial breaks ties.
 

@@ -16,6 +16,9 @@ A ledger supports the four IRS operations on its side of the wire:
 
 from repro.ledger.records import ClaimRecord, RevocationState
 from repro.ledger.storage import LedgerStore
+from repro.ledger.events import EventLog, LedgerEvent, EventLogError
+from repro.ledger.durable import DurableStore
+from repro.ledger.recovery import RecoveryReport, recover_store
 from repro.ledger.ledger import Ledger, LedgerConfig
 from repro.ledger.registry import LedgerRegistry
 from repro.ledger.proofs import StatusProof
@@ -28,6 +31,12 @@ __all__ = [
     "ClaimRecord",
     "RevocationState",
     "LedgerStore",
+    "EventLog",
+    "LedgerEvent",
+    "EventLogError",
+    "DurableStore",
+    "RecoveryReport",
+    "recover_store",
     "Ledger",
     "LedgerConfig",
     "LedgerRegistry",

@@ -1,0 +1,278 @@
+"""The append-only, hash-chained ledger event log.
+
+Every state transition a ledger performs — claiming a record, flipping
+its revocation flag, adopting a peer's newer state — is recorded as a
+typed :class:`LedgerEvent` with a sequence number and a blake2b chain
+hash over the event's canonical encoding.  Current ledger state is a
+*materialized view* of this log: :func:`replay` rebuilds the records
+map from any prefix, and the chain hash makes every prefix
+self-authenticating — an auditor holding the head hash can verify the
+entire history, and a recovery path can prove exactly which suffix of
+a damaged log is still trustworthy.
+
+Two event payload shapes exist:
+
+* **full-record** events (``claim``, ``install``) carry the complete
+  :meth:`~repro.ledger.records.ClaimRecord.to_payload` under a
+  ``"record"`` key — replay upserts the record;
+* **flip** events (``revoke``, ``unrevoke``, ``permanent_revoke``,
+  ``apply_state``, ``install``-updates) carry ``{"state", "epoch"}`` —
+  replay mutates the existing record.
+
+Payloads are JSON-able by construction (bytes are hex-encoded at the
+record layer), so the same structure feeds the canonical encoder for
+chain hashes and ``json.dumps`` for durable frames and snapshots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.hashing import canonical_encode
+from repro.ledger.records import ClaimRecord, RevocationState
+
+__all__ = [
+    "GENESIS_HASH",
+    "EventLog",
+    "EventLogError",
+    "LedgerEvent",
+    "chain_hash",
+    "event_to_dict",
+    "event_from_dict",
+    "replay",
+    "verify_events",
+]
+
+#: The anchor every chain starts from (no predecessor to hash).
+GENESIS_HASH = hashlib.blake2b(
+    b"repro-ledger-eventlog-genesis", digest_size=32
+).digest()
+
+#: Event kinds that carry a full record payload (replay upserts).
+FULL_RECORD_KINDS = frozenset({"claim", "install"})
+
+#: Event kinds that carry a ``{"state", "epoch"}`` flip payload.
+FLIP_KINDS = frozenset(
+    {"revoke", "unrevoke", "permanent_revoke", "apply_state", "install"}
+)
+
+
+class EventLogError(Exception):
+    """Raised on chain breaks, malformed events, or unreplayable logs."""
+
+
+@dataclass(frozen=True)
+class LedgerEvent:
+    """One link in the hash chain.
+
+    Attributes
+    ----------
+    seq:
+        1-based position in the log; contiguous by construction.
+    kind:
+        Event type (see module docstring for the payload contract).
+    serial:
+        The claim record the event concerns.
+    time:
+        Ledger-local time of the mutation (injected clock; informative,
+        but hashed so history cannot be silently re-dated).
+    payload:
+        JSON-able event body (full record or flip).
+    prev_hash:
+        Chain hash of the predecessor (:data:`GENESIS_HASH` for seq 1).
+    chain_hash:
+        blake2b over ``prev_hash + canonical_encode(body)``.
+    """
+
+    seq: int
+    kind: str
+    serial: int
+    time: float
+    payload: dict
+    prev_hash: bytes
+    chain_hash: bytes
+
+    def body(self) -> dict:
+        """The hashed portion: everything but the chain fields."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "serial": self.serial,
+            "time": self.time,
+            "payload": self.payload,
+        }
+
+
+def chain_hash(prev_hash: bytes, body: dict) -> bytes:
+    """blake2b link: predecessor hash + canonical body bytes."""
+    return hashlib.blake2b(
+        prev_hash + canonical_encode(body), digest_size=32
+    ).digest()
+
+
+def event_to_dict(event: LedgerEvent) -> dict:
+    """JSON-able form for durable frames (hashes hex-encoded)."""
+    body = event.body()
+    body["prev_hash"] = event.prev_hash.hex()
+    body["chain_hash"] = event.chain_hash.hex()
+    return body
+
+
+def event_from_dict(data: dict) -> LedgerEvent:
+    return LedgerEvent(
+        seq=data["seq"],
+        kind=data["kind"],
+        serial=data["serial"],
+        time=data["time"],
+        payload=data["payload"],
+        prev_hash=bytes.fromhex(data["prev_hash"]),
+        chain_hash=bytes.fromhex(data["chain_hash"]),
+    )
+
+
+class EventLog:
+    """An append-only chain of :class:`LedgerEvent` values.
+
+    The log may be *resumed* from an anchor — a recovery installs the
+    verified head ``(seq, hash)`` and continues appending without
+    holding the whole history in memory (the durable store keeps it).
+    """
+
+    def __init__(
+        self, anchor_seq: int = 0, anchor_hash: bytes = GENESIS_HASH
+    ):
+        self._anchor_seq = int(anchor_seq)
+        self._anchor_hash = anchor_hash
+        self._events: List[LedgerEvent] = []
+        self._head_seq = self._anchor_seq
+        self._head_hash = anchor_hash
+
+    # -- appending ---------------------------------------------------------------
+
+    def append(
+        self, kind: str, serial: int, time: float, payload: dict
+    ) -> LedgerEvent:
+        """Seal one event onto the chain and return it.
+
+        Inputs are normalized to plain JSON types before hashing:
+        numpy scalars (e.g. ``np.float64`` simulation times) are float
+        subclasses whose ``repr`` differs from the plain float's, so
+        hashing them raw would seal a chain hash that no longer
+        re-derives after a JSON round-trip through the durable store.
+        """
+        seq = self._head_seq + 1
+        serial = int(serial)
+        time = float(time)
+        payload = json.loads(json.dumps(payload))
+        body = {
+            "seq": seq,
+            "kind": kind,
+            "serial": serial,
+            "time": time,
+            "payload": payload,
+        }
+        event = LedgerEvent(
+            seq=seq,
+            kind=kind,
+            serial=serial,
+            time=time,
+            payload=payload,
+            prev_hash=self._head_hash,
+            chain_hash=chain_hash(self._head_hash, body),
+        )
+        self._events.append(event)
+        self._head_seq = seq
+        self._head_hash = event.chain_hash
+        return event
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def head_seq(self) -> int:
+        return self._head_seq
+
+    @property
+    def head_hash(self) -> bytes:
+        return self._head_hash
+
+    @property
+    def anchor_seq(self) -> int:
+        return self._anchor_seq
+
+    @property
+    def events(self) -> List[LedgerEvent]:
+        """Events appended since the anchor (the in-memory window)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- verification -------------------------------------------------------------
+
+    def verify_chain(self) -> bytes:
+        """Re-derive every hash in the window; returns the head hash.
+
+        Raises :class:`EventLogError` at the first broken link — a
+        gapped sequence number, a mismatched predecessor hash, or a
+        chain hash that does not re-derive from the event body.
+        """
+        return verify_events(
+            self._events, self._anchor_seq, self._anchor_hash
+        )
+
+
+def verify_events(
+    events: Iterable[LedgerEvent], anchor_seq: int, anchor_hash: bytes
+) -> bytes:
+    """Verify a contiguous event run against its anchor; head hash out."""
+    head_seq, head_hash = anchor_seq, anchor_hash
+    for event in events:
+        if event.seq != head_seq + 1:
+            raise EventLogError(
+                f"sequence gap: expected {head_seq + 1}, got {event.seq}"
+            )
+        if event.prev_hash != head_hash:
+            raise EventLogError(
+                f"chain break at seq {event.seq}: predecessor hash mismatch"
+            )
+        derived = chain_hash(head_hash, event.body())
+        if derived != event.chain_hash:
+            raise EventLogError(
+                f"chain break at seq {event.seq}: hash does not re-derive"
+            )
+        head_seq, head_hash = event.seq, event.chain_hash
+    return head_hash
+
+
+def replay(
+    events: Iterable[LedgerEvent],
+    base: Optional[Dict[int, ClaimRecord]] = None,
+) -> Dict[int, ClaimRecord]:
+    """Materialize the records map from ``base`` plus ``events``.
+
+    ``base`` (a snapshot's state) is never mutated; records are copied
+    on first touch so replay is a pure function of its inputs.
+    """
+    records: Dict[int, ClaimRecord] = {}
+    if base:
+        for serial, record in base.items():
+            records[serial] = ClaimRecord.from_payload(record.to_payload())
+    for event in events:
+        payload = event.payload
+        if "record" in payload:
+            records[event.serial] = ClaimRecord.from_payload(
+                payload["record"]
+            )
+            continue
+        record = records.get(event.serial)
+        if record is None:
+            raise EventLogError(
+                f"{event.kind} event at seq {event.seq} flips unknown "
+                f"serial {event.serial}"
+            )
+        record.state = RevocationState(payload["state"])
+        record.revocation_epoch = payload["epoch"]
+    return records

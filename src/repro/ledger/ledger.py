@@ -194,8 +194,9 @@ class Ledger:
             state=state,
             custodial=custodial,
         )
-        self.store.put(record)
-        self.store.log_operation("claim", serial, self.now())
+        claim_time = self.now()
+        self.store.put(record, time=claim_time)
+        self.store.log_operation("claim", serial, claim_time)
         if initially_revoked:
             self.store.log_operation("revoke", serial, self.now())
         self.claims_served += 1
@@ -281,9 +282,15 @@ class Ledger:
         if record.state is RevocationState.PERMANENTLY_REVOKED:
             raise RevocationError("photo is permanently revoked")
         if record.state is RevocationState.NOT_REVOKED:
-            record.state = RevocationState.REVOKED
-            record.revocation_epoch += 1
-            self.store.log_operation("revoke", identifier.serial, self.now())
+            flip_time = self.now()
+            self.store.apply_flip(
+                identifier.serial,
+                RevocationState.REVOKED,
+                record.revocation_epoch + 1,
+                "revoke",
+                flip_time,
+            )
+            self.store.log_operation("revoke", identifier.serial, flip_time)
         self.revocations_served += 1
         return record
 
@@ -303,18 +310,32 @@ class Ledger:
                 "photo was permanently revoked by the appeals process"
             )
         if record.state is RevocationState.REVOKED:
-            record.state = RevocationState.NOT_REVOKED
-            record.revocation_epoch += 1
-            self.store.log_operation("unrevoke", identifier.serial, self.now())
+            flip_time = self.now()
+            self.store.apply_flip(
+                identifier.serial,
+                RevocationState.NOT_REVOKED,
+                record.revocation_epoch + 1,
+                "unrevoke",
+                flip_time,
+            )
+            self.store.log_operation("unrevoke", identifier.serial, flip_time)
         self.revocations_served += 1
         return record
 
     def permanently_revoke(self, identifier: PhotoIdentifier) -> ClaimRecord:
         """Appeals-process outcome: irreversible revocation of a copy."""
         record = self._require_record(identifier)
-        record.state = RevocationState.PERMANENTLY_REVOKED
-        record.revocation_epoch += 1
-        self.store.log_operation("permanent_revoke", identifier.serial, self.now())
+        flip_time = self.now()
+        self.store.apply_flip(
+            identifier.serial,
+            RevocationState.PERMANENTLY_REVOKED,
+            record.revocation_epoch + 1,
+            "permanent_revoke",
+            flip_time,
+        )
+        self.store.log_operation(
+            "permanent_revoke", identifier.serial, flip_time
+        )
         return record
 
     # -- status -----------------------------------------------------------------------

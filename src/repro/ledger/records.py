@@ -81,6 +81,37 @@ class ClaimRecord:
     def is_revoked(self) -> bool:
         return self.state.is_revoked
 
+    def to_payload(self) -> dict:
+        """JSON-able form for event-log payloads and snapshots.
+
+        Every field round-trips through :meth:`from_payload`; bytes are
+        hex-encoded so the same structure feeds both the canonical
+        encoder (chain hashes) and ``json.dumps`` (snapshots).
+        """
+        return {
+            "identifier": self.identifier.to_string(),
+            "content_hash": self.content_hash,
+            "content_signature": self.content_signature.to_dict(),
+            "public_key": self.public_key.to_dict(),
+            "timestamp": self.timestamp.to_dict(),
+            "state": self.state.value,
+            "custodial": self.custodial,
+            "epoch": self.revocation_epoch,
+        }
+
+    @staticmethod
+    def from_payload(data: dict) -> "ClaimRecord":
+        return ClaimRecord(
+            identifier=PhotoIdentifier.from_string(data["identifier"]),
+            content_hash=data["content_hash"],
+            content_signature=Signature.from_dict(data["content_signature"]),
+            public_key=PublicKey.from_dict(data["public_key"]),
+            timestamp=TimestampToken.from_dict(data["timestamp"]),
+            state=RevocationState(data["state"]),
+            custodial=data["custodial"],
+            revocation_epoch=data["epoch"],
+        )
+
     def to_leaf_bytes(self) -> bytes:
         """Canonical bytes for the Merkle transparency log."""
         return hash_struct(

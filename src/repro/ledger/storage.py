@@ -1,20 +1,29 @@
-"""Ledger persistence: record store plus append-only operation log.
+"""Ledger persistence: event-sourced record store plus operation log.
 
-The store is in-memory (the reproduction has no durability requirement)
-but structured the way a durable implementation would be: a primary
-records map, a monotonically increasing serial allocator, and an
-append-only operation log mirrored into a Merkle tree so auditors can
-verify that history is never rewritten (section 5, malicious ledgers).
+The records map is a *materialized view* of an append-only,
+hash-chained event log (:mod:`repro.ledger.events`): every mutation —
+storing a record, flipping its revocation state — seals a typed event
+onto the chain before the view changes, and replaying the log from
+genesis reproduces the map exactly.  A journal callback lets a durable
+layer (:mod:`repro.ledger.durable`) persist each event as it is
+sealed; :meth:`restore` is the inverse, installing crash-recovered
+state and resuming the chain from the verified head.
+
+The legacy operation log (mirrored into a Merkle tree so auditors can
+verify history is never rewritten — section 5, malicious ledgers) is
+kept alongside: it records *operations* at ledger granularity, while
+the event log records *state transitions* at replica granularity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.crypto.hashing import hash_struct
 from repro.crypto.merkle import MerkleLog
-from repro.ledger.records import ClaimRecord
+from repro.ledger.events import EventLog, LedgerEvent
+from repro.ledger.records import ClaimRecord, RevocationState
 
 __all__ = ["LedgerStore", "LoggedOperation"]
 
@@ -32,13 +41,15 @@ class LoggedOperation:
 
 
 class LedgerStore:
-    """Records, serial allocation, operation log, Merkle mirror."""
+    """Records, serial allocation, event chain, operation log."""
 
     def __init__(self):
         self._records: Dict[int, ClaimRecord] = {}
         self._next_serial = 1
         self._operations: list[LoggedOperation] = []
         self._merkle = MerkleLog()
+        self._events = EventLog()
+        self._journal: Optional[Callable[[LedgerEvent], None]] = None
 
     # -- serials ---------------------------------------------------------------
 
@@ -47,13 +58,69 @@ class LedgerStore:
         self._next_serial += 1
         return serial
 
+    @property
+    def next_serial(self) -> int:
+        """The allocator's next value (snapshotted for recovery)."""
+        return self._next_serial
+
+    # -- event chain -------------------------------------------------------------
+
+    @property
+    def events(self) -> EventLog:
+        """The hash-chained event log this store materializes."""
+        return self._events
+
+    def attach_journal(
+        self, journal: Optional[Callable[[LedgerEvent], None]]
+    ) -> None:
+        """Install a callback invoked with every sealed event.
+
+        The durable layer uses this to write each event to disk before
+        the in-memory view advances past it.
+        """
+        self._journal = journal
+
+    def _seal(
+        self, kind: str, serial: int, time: float, payload: dict
+    ) -> LedgerEvent:
+        """Append to the chain and journal the sealed event.
+
+        Called *after* the materialized view has been mutated, so a
+        journal that snapshots sees state consistent with the event's
+        sequence number.
+        """
+        event = self._events.append(kind, serial, time, payload)
+        if self._journal is not None:
+            self._journal(event)
+        return event
+
     # -- records ---------------------------------------------------------------
 
-    def put(self, record: ClaimRecord) -> None:
+    def put(
+        self, record: ClaimRecord, time: float = 0.0, kind: str = "claim"
+    ) -> None:
+        """Store a new record, sealing a full-record event."""
         serial = record.identifier.serial
         if serial in self._records:
             raise KeyError(f"serial {serial} already present")
         self._records[serial] = record
+        self._seal(kind, serial, time, {"record": record.to_payload()})
+
+    def apply_flip(
+        self,
+        serial: int,
+        state: RevocationState,
+        epoch: int,
+        kind: str,
+        time: float,
+    ) -> None:
+        """Flip an existing record's revocation state, sealing an event."""
+        record = self._records.get(serial)
+        if record is None:
+            raise KeyError(f"serial {serial} not present")
+        record.state = state
+        record.revocation_epoch = epoch
+        self._seal(kind, serial, time, {"state": state.value, "epoch": epoch})
 
     def get(self, serial: int) -> Optional[ClaimRecord]:
         return self._records.get(serial)
@@ -69,19 +136,45 @@ class LedgerStore:
         for serial in sorted(self._records):
             yield self._records[serial]
 
+    def records_map(self) -> Dict[int, ClaimRecord]:
+        """Shallow copy of the materialized view (serial -> record)."""
+        return dict(self._records)
+
     def wipe(self) -> int:
         """Lose everything — a crash that takes the disk with it.
 
-        Records, operation log and Merkle mirror all reset (they are
-        one node's local state; peers keep theirs).  The serial
-        allocator is preserved so a restarted single-node ledger cannot
-        re-mint identifiers.  Returns the number of records lost.
+        Records, operation log, Merkle mirror and event chain all reset
+        (they are one node's local state; peers keep theirs).  The
+        serial allocator is preserved so a restarted single-node ledger
+        cannot re-mint identifiers.  Returns the number of records lost.
         """
         lost = len(self._records)
         self._records.clear()
         self._operations.clear()
         self._merkle = MerkleLog()
+        self._events = EventLog()
         return lost
+
+    def restore(
+        self,
+        records: Dict[int, ClaimRecord],
+        next_serial: int,
+        head_seq: int,
+        head_hash: bytes,
+    ) -> None:
+        """Install crash-recovered state and resume the event chain.
+
+        The records are adopted as-is (no events are sealed — they were
+        already sealed before the crash); the chain resumes from the
+        verified head so post-recovery mutations extend the proven
+        history.  The operation log restarts empty: it is an audit log
+        of what *this process* performed, not recovered state.
+        """
+        self._records = dict(records)
+        self._next_serial = max(self._next_serial, next_serial)
+        self._operations.clear()
+        self._merkle = MerkleLog()
+        self._events = EventLog(anchor_seq=head_seq, anchor_hash=head_hash)
 
     def revoked_records(self) -> Iterator[ClaimRecord]:
         for record in self.records():
@@ -115,4 +208,5 @@ class LedgerStore:
             "not_revoked": total - revoked,
             "custodial": custodial,
             "operations": len(self._operations),
+            "events": self._events.head_seq,
         }

@@ -224,6 +224,135 @@ def _quorum_checksum(state: Dict[str, Any], result: Any) -> str:
     return _bool_digest(result)
 
 
+# -- event-sourced ledger: append, verify, recover ----------------------------
+
+
+_EVENT_COUNT = 2048
+
+
+def _event_payloads(seed: int, count: int) -> List[Dict[str, Any]]:
+    rng = np.random.default_rng(seed)
+    states = ("revoked", "valid")
+    return [
+        {"state": states[int(rng.integers(0, 2))], "epoch": index + 1}
+        for index in range(count)
+    ]
+
+
+def _event_append_setup(seed: int) -> Dict[str, Any]:
+    return {"payloads": _event_payloads(seed, _EVENT_COUNT)}
+
+
+def _event_append_run(state: Dict[str, Any]) -> str:
+    from repro.ledger.events import EventLog
+
+    log = EventLog()
+    for index, payload in enumerate(state["payloads"]):
+        log.append("apply_state", index + 1, float(index), payload)
+    return log.head_hash.hex()
+
+
+def _chain_verify_setup(seed: int) -> Dict[str, Any]:
+    from repro.ledger.events import EventLog
+
+    log = EventLog()
+    for index, payload in enumerate(_event_payloads(seed, _EVENT_COUNT)):
+        log.append("apply_state", index + 1, float(index), payload)
+    return {"events": log.events}
+
+
+def _chain_verify_run(state: Dict[str, Any]) -> str:
+    from repro.ledger.events import GENESIS_HASH, verify_events
+
+    return verify_events(state["events"], 0, GENESIS_HASH).hex()
+
+
+def _recovery_setup(seed: int) -> Dict[str, Any]:
+    """A durable store with a long flip history and fresh snapshots.
+
+    200 real claims then 3000 state flips, snapshotting every 1024
+    events — the shape where snapshot-anchored recovery pays: the
+    snapshot path replays only the post-anchor tail while the genesis
+    path re-verifies and replays the whole log.
+    """
+    from repro.crypto.hashing import sha256_hex
+    from repro.crypto.signatures import KeyPair
+    from repro.crypto.timestamp import TimestampAuthority
+    from repro.ledger.durable import DurableStore
+    from repro.ledger.ledger import Ledger
+    from repro.ledger.records import RevocationState
+
+    rng = np.random.default_rng(seed)
+    owner = KeyPair.generate(bits=512, rng=rng)
+    tsa = TimestampAuthority(
+        keypair=KeyPair.generate(bits=512, rng=rng)
+    )
+    ledger = Ledger("perf", tsa, keypair=owner)
+    store = ledger.store
+    disk = DurableStore()
+    appended = [0]
+
+    def journal(event) -> None:
+        disk.append_event(event)
+        appended[0] += 1
+        if appended[0] % 1024 == 0:
+            disk.write_snapshot(
+                store.records_map(),
+                store.next_serial,
+                store.events.head_seq,
+                store.events.head_hash,
+            )
+
+    store.attach_journal(journal)
+    serials = []
+    for index in range(200):
+        content_hash = sha256_hex(b"perf:recover:%d" % index)
+        record = ledger.claim(
+            content_hash,
+            owner.sign(content_hash.encode("utf-8")),
+            owner.public,
+        )
+        serials.append(record.identifier.serial)
+    for index in range(3000):
+        serial = serials[index % len(serials)]
+        record = store.get(serial)
+        flipped = (
+            RevocationState.NOT_REVOKED
+            if record.state is RevocationState.REVOKED
+            else RevocationState.REVOKED
+        )
+        store.apply_flip(
+            serial,
+            flipped,
+            record.revocation_epoch + 1,
+            "apply_state",
+            float(index),
+        )
+    return {"disk": disk, "events": store.events.head_seq}
+
+
+def _recovery_fast(state: Dict[str, Any]) -> Any:
+    from repro.ledger.recovery import recover_store
+
+    return recover_store(state["disk"])
+
+
+def _recovery_baseline(state: Dict[str, Any]) -> Any:
+    from repro.ledger.recovery import recover_store
+
+    return recover_store(state["disk"], use_snapshots=False)
+
+
+def _recovery_checksum(state: Dict[str, Any], result: Any) -> str:
+    from repro.ledger.recovery import records_digest
+
+    if result.evidence:
+        raise RuntimeError(
+            f"recovery found evidence on a clean disk: {result.evidence}"
+        )
+    return f"{result.head_seq}:{records_digest(result.records)}"
+
+
 def default_suite() -> List[BenchCase]:
     """The committed hot-path cases, in report order."""
     return [
@@ -294,5 +423,31 @@ def default_suite() -> List[BenchCase]:
             fast=_quorum_round,
             ops=_quorum_ops,
             checksum=_quorum_checksum,
+        ),
+        BenchCase(
+            name="event_append",
+            description="hash-chained EventLog.append throughput",
+            setup=_event_append_setup,
+            fast=_event_append_run,
+            ops=lambda state: len(state["payloads"]),
+            checksum=lambda state, result: result,
+        ),
+        BenchCase(
+            name="chain_verify",
+            description="full chain re-derivation over the event window",
+            setup=_chain_verify_setup,
+            fast=_chain_verify_run,
+            ops=lambda state: len(state["events"]),
+            checksum=lambda state, result: result,
+        ),
+        BenchCase(
+            name="snapshot_replay",
+            description="snapshot-anchored recovery vs full-log replay",
+            setup=_recovery_setup,
+            fast=_recovery_fast,
+            baseline=_recovery_baseline,
+            ops=lambda state: state["events"],
+            checksum=_recovery_checksum,
+            min_speedup=1.5,
         ),
     ]
