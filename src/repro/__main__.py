@@ -549,6 +549,18 @@ def main(argv: list[str] | None = None) -> int:
     from repro.perf.cli import add_perf_arguments
 
     add_perf_arguments(perf_parser)
+    from repro.service.cli import add_loadgen_arguments, add_serve_arguments
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="asyncio HTTP/JSON API in front of a live cluster (docs/api.md)",
+    )
+    add_serve_arguments(serve_parser)
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="seeded open-loop load against the service; gates on invariants",
+    )
+    add_loadgen_arguments(loadgen_parser)
     args = parser.parse_args(argv)
     if args.demo == "lint":
         from repro.analysis.cli import run_lint
@@ -558,6 +570,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.cli import run_perf
 
         return run_perf(args)
+    if args.demo == "serve":
+        from repro.service.cli import run_serve
+
+        return run_serve(args)
+    if args.demo == "loadgen":
+        from repro.service.cli import run_loadgen_cli
+
+        return run_loadgen_cli(args)
     if args.demo == "cluster":
         _demo_cluster(args)
     elif args.demo == "chaos":

@@ -207,6 +207,7 @@ class ClusterAnswer:
     answered_by: Optional[str] = None
     error: Optional[str] = None
     degraded: bool = False  # answered from the filter, not a shard quorum
+    cause: Optional[str] = None  # 'deadline' | 'shed' | 'quorum' on non-authoritative answers
 
     @property
     def ok(self) -> bool:
@@ -438,12 +439,19 @@ class ClusterFrontend:
         callback: Callable[[ClusterAnswer], None],
         use_filter: bool = True,
         _filter_verdict: Optional[bool] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Queue one status lookup; ``callback`` fires exactly once.
 
         ``_filter_verdict`` lets :meth:`status_many_async` hand in a
         precomputed Bloom verdict from its vectorized pass so the
         scalar filter probe is skipped; external callers leave it None.
+
+        ``deadline`` overrides ``config.request_deadline`` for this one
+        query — how callers with their own budget (the HTTP service's
+        deadline header) thread it into the backstop and the per-RPC
+        timeouts.  A deadline that has already expired is answered
+        degraded immediately, without consuming a read.
         """
         self.stats.queries += 1
         key = identifier.to_string()
@@ -504,26 +512,42 @@ class ClusterFrontend:
             if self.obs is not None and ctx.span is not None:
                 self.obs.counter("frontend_load_shed_total").inc()
                 ctx.span.event("load_shed")
-            _observed(self._degraded_answer(identifier, "load shed"))
+            _observed(
+                self._degraded_answer(identifier, "load shed", cause="shed")
+            )
             return
-        if self.config.request_deadline is not None:
+        budget: Optional[float] = None
+        if deadline is not None:
+            ctx.deadline = deadline
+            budget = deadline.remaining(self._clock())
+        elif self.config.request_deadline is not None:
             ctx.deadline = Deadline.after(
                 self._clock(), self.config.request_deadline
             )
+            budget = self.config.request_deadline
+        if ctx.deadline is not None and budget is not None:
+            def _deadline_answer() -> None:
+                self.stats.deadline_answers += 1
+                if self.obs is not None and ctx.span is not None:
+                    self.obs.counter(
+                        "frontend_deadline_answers_total"
+                    ).inc()
+                    ctx.span.event("deadline_exceeded")
+                _observed(
+                    self._degraded_answer(
+                        identifier, "deadline exceeded", cause="deadline"
+                    )
+                )
+
+            if budget <= 0.0:
+                _deadline_answer()  # arrived already out of budget
+                return
             if self._scheduler is not None:
                 def _backstop() -> None:
                     if not ctx.answered:
-                        self.stats.deadline_answers += 1
-                        if self.obs is not None and ctx.span is not None:
-                            self.obs.counter(
-                                "frontend_deadline_answers_total"
-                            ).inc()
-                            ctx.span.event("deadline_exceeded")
-                        _observed(
-                            self._degraded_answer(identifier, "deadline exceeded")
-                        )
+                        _deadline_answer()
 
-                self._scheduler(self.config.request_deadline, _backstop)
+                self._scheduler(budget, _backstop)
         self._start_read(identifier, ctx, _observed)
 
     def status_many_async(
@@ -531,6 +555,7 @@ class ClusterFrontend:
         identifiers: List[PhotoIdentifier],
         callback: Callable[[int, ClusterAnswer], None],
         use_filter: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Queue a burst of status lookups with one vectorized filter pass.
 
@@ -559,6 +584,7 @@ class ClusterFrontend:
                 _filter_verdict=(
                     None if verdicts is None else bool(verdicts[index])
                 ),
+                deadline=deadline,
             )
 
     def status_many(
@@ -627,6 +653,18 @@ class ClusterFrontend:
         def _on_done(outcome: StatusOutcome) -> None:
             if rspan is not None:
                 rspan.end(ok=outcome.ok)
+            if (
+                not outcome.ok
+                and outcome.error is not None
+                and "unknown serial" in outcome.error
+            ):
+                # The replicas answered: no such record.  That is an
+                # application verdict, not unavailability — failover,
+                # retry and the degraded filter fallback would all mask
+                # it (the filter would answer "not revoked" for an id
+                # that was never claimed at all).
+                callback(self._answer_from(key, outcome))
+                return
             if not outcome.ok and fallback:
                 depth = self.config.max_failover_depth
                 if depth is None or ctx.hops < depth:
@@ -687,10 +725,13 @@ class ClusterFrontend:
                 return
         if ctx.span is not None:
             ctx.span.event("degraded", reason=reason or "quorum unreachable")
-        callback(self._degraded_answer(identifier, reason))
+        callback(self._degraded_answer(identifier, reason, cause="quorum"))
 
     def _degraded_answer(
-        self, identifier: PhotoIdentifier, reason: Optional[str]
+        self,
+        identifier: PhotoIdentifier,
+        reason: Optional[str],
+        cause: str = "quorum",
     ) -> ClusterAnswer:
         """The answer of last resort when no shard quorum is reachable.
 
@@ -718,12 +759,14 @@ class ClusterFrontend:
                 revoked=revoked,
                 source="degraded",
                 degraded=True,
+                cause=cause,
             )
         return ClusterAnswer(
             identifier=key,
             revoked=True,  # fail-safe verdict; callers see .error
             source="shard",
             error=reason or "read quorum unreachable",
+            cause=cause,
         )
 
     def _answer_from(self, key: str, outcome: StatusOutcome) -> ClusterAnswer:
@@ -733,6 +776,7 @@ class ClusterFrontend:
                 revoked=True,  # fail-safe verdict; callers see .error
                 source="shard",
                 error=outcome.error,
+                cause="quorum",
             )
         return ClusterAnswer(
             identifier=key,

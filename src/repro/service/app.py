@@ -1,0 +1,541 @@
+"""The HTTP application: routing, handlers, answer→envelope mapping.
+
+One :class:`ServiceApp` owns a :class:`LiveCluster` and translates the
+wire contract documented in ``docs/api.md`` onto the frontend's async
+callback API.  Design points worth naming:
+
+* **Deadlines are the client's.**  An ``X-Deadline-Ms`` header becomes
+  a :class:`~repro.resilience.policy.Deadline` threaded into
+  ``status_async`` (reads) or an ``asyncio.wait_for`` bound (writes),
+  so the paper's §4.4 budgets are enforced end to end, not advisory.
+* **Degraded ≠ failed.**  A Bloom-backed answer is served as ``203``
+  with the advisory ``error.kind="degraded"`` envelope (fail-closed,
+  still an answer); shed is ``429``, deadline ``504``, quorum-dark
+  with degraded reads disabled ``503`` — all distinguishable from the
+  ``ClusterAnswer.cause`` field.
+* **Every handler is instrumented** through ``repro.obs``: a
+  ``service.request`` span per request plus the ``service_*`` counters
+  and latency histogram tabled in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.frontend import ClusterAnswer
+from repro.core.identifiers import IdentifierError, PhotoIdentifier
+from repro.crypto.signatures import KeyPair
+from repro.crypto.hashing import sha256_hex
+from repro.resilience.policy import Deadline
+from repro.service.cluster import LiveCluster, LiveClusterConfig
+from repro.service.errors import ERROR_STATUS, ApiError, error_envelope
+from repro.service.protocol import (
+    HttpRequest,
+    read_request,
+    render_response,
+)
+from repro.service.routes import Route, match_route
+
+__all__ = ["ServiceApp", "ServiceServer"]
+
+DEADLINE_HEADER = "x-deadline-ms"
+MAX_BATCH_IDS = 1024
+MAX_DELTA_PAGE = 1000
+
+
+class ServiceApp:
+    """Handlers + dispatch over one live cluster."""
+
+    def __init__(
+        self,
+        cluster: Optional[LiveCluster] = None,
+        config: Optional[LiveClusterConfig] = None,
+        obs=None,
+    ):
+        self.obs = obs
+        self.cluster = cluster or LiveCluster(config=config, obs=obs)
+        self.frontend = self.cluster.frontend
+        self._loop = asyncio.get_running_loop()
+        # One service-owner keypair signs all custodial claims and
+        # revocations (per-claim RSA keygen would blow the §4.4 budget
+        # by itself); seeded, so runs reproduce.
+        self.owner_keypair = KeyPair.generate(
+            bits=self.cluster.config.key_bits,
+            rng=self.cluster.rngs.stream("service-owner"),
+        )
+        # serial -> signing keypair for /revocations (service claims
+        # plus any seeded population registered via adopt_population).
+        self._owners: Dict[int, KeyPair] = {}
+        # Service-local acked-revocation feed served by /deltas.
+        self._deltas: List[Dict[str, Any]] = []
+        self._bloom_cache: Optional[Tuple[str, bytes, Dict[str, str]]] = None
+        self._inflight = 0
+
+    # -- population helpers -----------------------------------------------------------
+
+    def adopt_population(self, population) -> None:
+        """Register seeded identifiers so /revocations can sign for them."""
+        for identifier in population.identifiers:
+            self._owners[identifier.serial] = population.owner
+
+    # -- deadline plumbing -------------------------------------------------------------
+
+    def _deadline_from(self, request: HttpRequest) -> Optional[Deadline]:
+        raw = request.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            ms = float(raw)
+        except ValueError as exc:
+            raise ApiError(
+                "malformed", f"bad {DEADLINE_HEADER} header: {raw!r}"
+            ) from exc
+        if ms <= 0.0:
+            raise ApiError(
+                "malformed", f"{DEADLINE_HEADER} must be positive, got {raw!r}"
+            )
+        return Deadline.after(self.cluster.clock(), ms / 1000.0)
+
+    async def _bounded(self, awaitable, deadline: Optional[Deadline]):
+        """Await under the request budget; expiry is a 504 envelope."""
+        if deadline is None:
+            return await awaitable
+        remaining = deadline.remaining(self.cluster.clock())
+        if remaining <= 0.0:
+            raise ApiError("deadline", "request budget exhausted")
+        try:
+            return await asyncio.wait_for(awaitable, timeout=remaining)
+        except asyncio.TimeoutError as exc:
+            raise ApiError(
+                "deadline", "request budget exhausted before quorum"
+            ) from exc
+
+    # -- identifier parsing ------------------------------------------------------------
+
+    def _parse_identifier(self, raw: Any) -> PhotoIdentifier:
+        if not isinstance(raw, str):
+            raise ApiError("malformed", "identifier must be a string")
+        try:
+            identifier = PhotoIdentifier.from_string(raw)
+        except IdentifierError as exc:
+            raise ApiError("malformed", f"bad identifier {raw!r}: {exc}") from exc
+        if identifier.ledger_id != self.cluster.cluster_id:
+            raise ApiError(
+                "not_found",
+                f"identifier names ledger {identifier.ledger_id!r}, "
+                f"this cluster serves {self.cluster.cluster_id!r}",
+            )
+        return identifier
+
+    # -- ClusterAnswer -> wire ---------------------------------------------------------
+
+    def _status_body(self, answer: ClusterAnswer) -> Tuple[int, Dict[str, Any]]:
+        """Map one frontend answer onto (HTTP status, JSON body)."""
+        body: Dict[str, Any] = {
+            "id": answer.identifier,
+            "revoked": answer.revoked,
+            "source": answer.source,
+            "state": answer.state,
+            "epoch": answer.epoch,
+            "answered_by": answer.answered_by,
+            "degraded": answer.degraded,
+            "error": None,
+        }
+        if answer.ok and not answer.degraded:
+            return 200, body
+        if answer.degraded:
+            # Filter-backed fail-closed answer: an answer, not a failure.
+            kind = "degraded"
+            detail = {
+                "deadline": "budget exhausted; answered from the filter",
+                "shed": "admission refused; answered from the filter",
+            }.get(answer.cause or "", "quorum unreachable; answered from the filter")
+        elif answer.error is not None and "unknown serial" in answer.error:
+            kind, detail = "not_found", answer.error
+        elif answer.cause == "shed":
+            kind, detail = "shed", answer.error or "load shed"
+        elif answer.cause == "deadline":
+            kind, detail = "deadline", answer.error or "deadline exceeded"
+        else:
+            kind, detail = "unavailable", answer.error or "quorum unreachable"
+        body.update(error_envelope(kind, detail))
+        return ERROR_STATUS[kind], body
+
+    # -- handlers ----------------------------------------------------------------------
+
+    async def handle_claims(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ApiError("malformed", "body must be a JSON object")
+        content_hash = payload.get("content_hash")
+        if not isinstance(content_hash, str) or not content_hash:
+            content = payload.get("content")
+            if not isinstance(content, str) or not content:
+                raise ApiError(
+                    "malformed", "body needs 'content_hash' or 'content'"
+                )
+            content_hash = sha256_hex(content.encode("utf-8"))
+        deadline = self._deadline_from(request)
+        signature = self.owner_keypair.sign(content_hash.encode("utf-8"))
+        fut: asyncio.Future = self._loop.create_future()
+
+        def _done(identifier: PhotoIdentifier, error: Optional[str]) -> None:
+            if not fut.done():
+                fut.set_result((identifier, error))
+
+        identifier = self.frontend.claim_async(
+            content_hash,
+            signature,
+            self.owner_keypair.public,
+            _done,
+            initially_revoked=bool(payload.get("initially_revoked", False)),
+            custodial=bool(payload.get("custodial", True)),
+        )
+        _, error = await self._bounded(fut, deadline)
+        if error is not None:
+            if "already claimed" in error:
+                raise ApiError("malformed", error)
+            raise ApiError("unavailable", error)
+        self._owners[identifier.serial] = self.owner_keypair
+        return 201, {
+            "id": identifier.to_string(),
+            "content_hash": content_hash,
+            "custodial": bool(payload.get("custodial", True)),
+            "error": None,
+        }, {}
+
+    async def handle_labels(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ApiError("malformed", "body must be a JSON object")
+        identifier = self._parse_identifier(payload.get("id"))
+        deadline = self._deadline_from(request)
+        # Verify the id is actually claimed before handing out label
+        # channels — an authoritative read, so deadline rules apply.
+        answer = await self._bounded(
+            self._status(identifier, deadline, use_filter=False), deadline
+        )
+        status, body = self._status_body(answer)
+        if status not in (200, 203):
+            return status, body, {}
+        return 200, {
+            "id": identifier.to_string(),
+            "metadata": identifier.to_string(),
+            "watermark_hex": identifier.to_compact().hex(),
+            "revoked": answer.revoked,
+            "error": None,
+        }, {}
+
+    async def handle_revocations(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ApiError("malformed", "body must be a JSON object")
+        identifier = self._parse_identifier(payload.get("id"))
+        action = payload.get("action", "revoke")
+        if action not in ("revoke", "unrevoke"):
+            raise ApiError(
+                "malformed", f"action must be revoke|unrevoke, got {action!r}"
+            )
+        keypair = self._owners.get(identifier.serial)
+        if keypair is None:
+            raise ApiError(
+                "not_found",
+                f"{identifier.to_string()} has no registered owner key here",
+            )
+        deadline = self._deadline_from(request)
+        fut: asyncio.Future = self._loop.create_future()
+
+        def _done(outcome, error: Optional[str]) -> None:
+            if not fut.done():
+                fut.set_result((outcome, error))
+
+        self.frontend.revoke_async(identifier, keypair, _done, action=action)
+        outcome, error = await self._bounded(fut, deadline)
+        if error is not None:
+            if "unknown serial" in error:
+                raise ApiError("not_found", error)
+            raise ApiError("unavailable", error)
+        entry = {
+            "seq": len(self._deltas) + 1,
+            "id": identifier.to_string(),
+            "action": action,
+            "epoch": outcome.get("epoch", -1) if outcome else -1,
+        }
+        self._deltas.append(entry)
+        return 200, {
+            "id": identifier.to_string(),
+            "action": action,
+            "epoch": entry["epoch"],
+            "error": None,
+        }, {}
+
+    def _status(
+        self,
+        identifier: PhotoIdentifier,
+        deadline: Optional[Deadline],
+        use_filter: bool = True,
+    ) -> asyncio.Future:
+        fut: asyncio.Future = self._loop.create_future()
+
+        def _done(answer: ClusterAnswer) -> None:
+            if not fut.done():
+                fut.set_result(answer)
+
+        self.frontend.status_async(
+            identifier, _done, use_filter=use_filter, deadline=deadline
+        )
+        return fut
+
+    async def handle_status_one(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        identifier = self._parse_identifier(params["id"])
+        deadline = self._deadline_from(request)
+        answer = await self._status(identifier, deadline)
+        status, body = self._status_body(answer)
+        return status, body, {}
+
+    async def handle_status_batch(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        payload = request.json()
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("ids"), list
+        ):
+            raise ApiError("malformed", "body must be {'ids': [...]}")
+        raw_ids = payload["ids"]
+        if not raw_ids:
+            raise ApiError("malformed", "'ids' must not be empty")
+        if len(raw_ids) > MAX_BATCH_IDS:
+            raise ApiError(
+                "too_large", f"at most {MAX_BATCH_IDS} ids per batch"
+            )
+        identifiers = [self._parse_identifier(raw) for raw in raw_ids]
+        deadline = self._deadline_from(request)
+        answers: List[Optional[ClusterAnswer]] = [None] * len(identifiers)
+        remaining = len(identifiers)
+        fut: asyncio.Future = self._loop.create_future()
+
+        def _done(index: int, answer: ClusterAnswer) -> None:
+            nonlocal remaining
+            if answers[index] is None:
+                answers[index] = answer
+                remaining -= 1
+                if remaining == 0 and not fut.done():
+                    fut.set_result(None)
+
+        self.frontend.status_many_async(identifiers, _done, deadline=deadline)
+        await self._bounded(fut, deadline)
+        results = []
+        for answer in answers:
+            assert answer is not None
+            _, body = self._status_body(answer)
+            results.append(body)
+        return 200, {"results": results, "error": None}, {}
+
+    async def handle_bloom(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        etag = self.cluster.chain_head()
+        quoted = f'"{etag}"'
+        if request.headers.get("if-none-match") == quoted:
+            return 304, b"", {"etag": quoted}
+        if self._bloom_cache is None or self._bloom_cache[0] != etag:
+            data, extra = self.cluster.export_bloom()
+            self._bloom_cache = (etag, data, extra)
+        _, data, extra = self._bloom_cache
+        headers = {
+            "etag": quoted,
+            "content-type": "application/octet-stream",
+            **extra,
+        }
+        return 200, data, headers
+
+    async def handle_deltas(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        raw = request.query.get("since", "0")
+        try:
+            since = int(raw)
+        except ValueError as exc:
+            raise ApiError(
+                "malformed", f"'since' must be an integer, got {raw!r}"
+            ) from exc
+        if since < 0:
+            raise ApiError("malformed", "'since' must be >= 0")
+        entries = [e for e in self._deltas if e["seq"] > since]
+        truncated = len(entries) > MAX_DELTA_PAGE
+        entries = entries[:MAX_DELTA_PAGE]
+        return 200, {
+            "since": since,
+            "head": len(self._deltas),
+            "entries": entries,
+            "truncated": truncated,
+            "error": None,
+        }, {}
+
+    async def handle_metrics(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        if self.obs is None:
+            return 200, b"# no observability attached\n", {
+                "content-type": "text/plain; version=0.0.4"
+            }
+        text = self.obs.export_prometheus()
+        return 200, text.encode("utf-8"), {
+            "content-type": "text/plain; version=0.0.4"
+        }
+
+    async def handle_healthz(
+        self, request: HttpRequest, params: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        breakers = self.frontend.breakers
+        open_targets = sorted(breakers.open_targets()) if breakers else []
+        return 200, {
+            "ok": not open_targets,
+            "shards": len(self.cluster.shards),
+            "shards_down": sorted(self.cluster.transport.down),
+            "breakers_open": open_targets,
+            "chain_head": self.cluster.chain_head(),
+            "deltas": len(self._deltas),
+            "error": None,
+        }, {}
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    async def dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Route + run one request, rendering envelopes for failures."""
+        started = self.cluster.clock()
+        route: Optional[Route] = None
+        span = None
+        self._inflight += 1
+        if self.obs is not None:
+            self.obs.gauge("service_inflight").set(self._inflight)
+        try:
+            route, params = match_route(request.method, request.path)
+            if self.obs is not None:
+                self.obs.counter(
+                    "service_requests_total", route=route.pattern
+                ).inc()
+                span = self.obs.start(
+                    "service.request", route=route.pattern, method=request.method
+                )
+            handler = getattr(self, route.handler)
+            status, body, headers = await handler(request, params)
+        except ApiError as exc:
+            status, body, headers = exc.status, error_envelope(
+                exc.kind, exc.detail
+            ), {}
+            if self.obs is not None:
+                self.obs.counter("service_errors_total", kind=exc.kind).inc()
+        except Exception as exc:  # surface handler bugs as 500 envelopes
+            status, body, headers = 500, error_envelope(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ), {}
+            if self.obs is not None:
+                self.obs.counter("service_errors_total", kind="internal").inc()
+        finally:
+            self._inflight -= 1
+            if self.obs is not None:
+                self.obs.gauge("service_inflight").set(self._inflight)
+        if isinstance(body, (dict, list)):
+            raw = json.dumps(body).encode("utf-8")
+        else:
+            raw = body
+        if self.obs is not None:
+            self.obs.counter("service_responses_total", code=str(status)).inc()
+            self.obs.histogram("service_request_latency_seconds").observe(
+                self.cluster.clock() - started
+            )
+            if span is not None:
+                span.end(status=status)
+        return status, raw, headers
+
+
+class ServiceServer:
+    """asyncio server wrapper: sockets in, :class:`ServiceApp` out."""
+
+    def __init__(self, app: ServiceApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if self.app.obs is not None:
+            self.app.obs.counter("service_connections_total").inc()
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ApiError as exc:
+                    body = json.dumps(
+                        error_envelope(exc.kind, exc.detail)
+                    ).encode("utf-8")
+                    writer.write(
+                        render_response(exc.status, body, keep_alive=False)
+                    )
+                    await writer.drain()
+                    if self.app.obs is not None:
+                        self.app.obs.counter(
+                            "service_errors_total", kind=exc.kind
+                        ).inc()
+                    break
+                if request is None:
+                    break
+                status, raw, headers = await self.app.dispatch(request)
+                content_type = headers.pop(
+                    "content-type", "application/json"
+                )
+                writer.write(
+                    render_response(
+                        status,
+                        raw,
+                        content_type=content_type,
+                        extra_headers=headers,
+                        keep_alive=request.keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # repro-lint: allow[no-silent-except] peer hangup mid-request is normal teardown
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Benign teardown races: the peer is gone or the loop is
+                # shutting down, and closing was the goal anyway.  This
+                # is the coroutine's last statement, so swallowing the
+                # cancellation cannot strand any further work.
+                pass  # repro-lint: allow[no-silent-except] close-time teardown race
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

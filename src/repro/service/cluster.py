@@ -1,0 +1,366 @@
+"""A real (non-simulated) cluster for the HTTP service to front.
+
+``LiveCluster`` stands up in-process :class:`ClusterShard` replicas and
+a :class:`ClusterFrontend` whose injected clock and scheduler are the
+asyncio event loop's own ``loop.time`` / ``loop.call_later`` — the
+third execution style next to the repo's in-process and simulated
+ones, and the reason none of the frontend's resilience machinery
+(deadline backstop, breakers, shedding, degraded Bloom reads) needed
+changing to serve real sockets.
+
+:class:`AsyncioShardTransport` is the event-loop twin of the netsim
+RPC layer: every ``invoke`` is delivered on a later loop tick (never
+synchronously — callers rely on callback-after-return), guarded by a
+real timeout timer, with per-shard ``down`` / ``delay`` fault hooks so
+the error-envelope tests can produce breaker-open and deadline
+conditions on demand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+from repro.cluster.health import FailureDetector
+from repro.cluster.replication import ShardReply
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import ClusterShard, content_serial
+from repro.core.identifiers import PhotoIdentifier
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.signatures import KeyPair
+from repro.crypto.timestamp import TimestampAuthority
+from repro.filters.bloom import BloomFilter
+from repro.ledger.records import ClaimRecord, RevocationState, claim_digest
+from repro.netsim.rand import RngRegistry
+
+__all__ = [
+    "AsyncioShardTransport",
+    "LiveCluster",
+    "LiveClusterConfig",
+    "LivePopulation",
+    "LearningBloom",
+]
+
+
+class LearningBloom:
+    """Frontend filterset for degraded reads (learning, fail-closed).
+
+    Same contract as the chaos harness's ``RevocationBloom`` without
+    dragging the chaos runner into the service's import graph: the
+    frontend inserts every revocation it acks via ``add``, so degraded
+    answers never fail open on an acknowledged revocation.
+    """
+
+    def __init__(self, capacity: int = 8192, target_fpr: float = 0.01):
+        self._filter = BloomFilter.for_capacity(capacity, target_fpr)
+        self.added = 0
+
+    def might_be_revoked(self, compact_identifier: bytes) -> bool:
+        return compact_identifier in self._filter
+
+    def might_be_revoked_many(self, compact_identifiers) -> np.ndarray:
+        return self._filter.query_many(compact_identifiers)
+
+    def add(self, compact_identifier: bytes) -> None:
+        self._filter.add(compact_identifier)
+        self.added += 1
+
+
+class AsyncioShardTransport:
+    """ShardTransport over the event loop: async delivery + real timeouts."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        handlers: Dict[str, Dict[str, Callable]],
+        default_timeout: float = 0.1,
+    ):
+        self._loop = loop
+        self._handlers = handlers
+        self._default_timeout = default_timeout
+        self.down: Set[str] = set()  # crashed: requests vanish, timers fire
+        self.delays: Dict[str, float] = {}  # injected per-shard service delay
+        self.calls = 0
+
+    def shard_ids(self) -> List[str]:
+        return sorted(self._handlers)
+
+    def invoke(
+        self,
+        shard_id: str,
+        method: str,
+        payload,
+        callback: Callable[[ShardReply], None],
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.calls += 1
+        handlers = self._handlers.get(shard_id)
+        if handlers is None or method not in (handlers or {}):
+            self._loop.call_soon(
+                callback,
+                ShardReply(shard_id, error=f"unknown shard or method {method}"),
+            )
+            return
+        budget = self._default_timeout if timeout is None else timeout
+        budget = max(min(budget, self._default_timeout * 10), 1e-4)
+        done = False
+
+        def _on_timeout() -> None:
+            nonlocal done
+            if done:
+                return
+            done = True
+            callback(ShardReply(shard_id, error=f"rpc timeout after {budget:.3f}s"))
+
+        timer = self._loop.call_later(budget, _on_timeout)
+
+        def _deliver() -> None:
+            nonlocal done
+            if done:
+                return
+            if shard_id in self.down:
+                return  # request lost in flight; the timeout timer answers
+            try:
+                value = handlers[method](payload)
+            except Exception as exc:  # shard errors are replies, not raises
+                done = True
+                timer.cancel()
+                callback(ShardReply(shard_id, error=str(exc)))
+                return
+            done = True
+            timer.cancel()
+            callback(ShardReply(shard_id, value=value))
+
+        delay = self.delays.get(shard_id, 0.0)
+        if delay > 0.0:
+            self._loop.call_later(delay, _deliver)
+        else:
+            self._loop.call_soon(_deliver)
+
+
+@dataclass
+class LiveClusterConfig:
+    """Knobs for the served cluster (E19's ``full`` policy, live)."""
+
+    num_shards: int = 4
+    replication_factor: int = 3
+    seed: int = 0
+    key_bits: int = 512
+    request_deadline: float = 0.25  # the paper's §4.4 revocation-check budget
+    rpc_timeout: float = 0.1
+    max_retries: int = 2
+    max_failover_depth: int = 2
+    breaker_threshold: int = 3
+    breaker_reset_timeout: float = 0.4
+    shed_rate: Optional[float] = None  # requests/second; None = no shedding
+    shed_burst: int = 32
+    degraded_reads: bool = True
+    batch_window: float = 0.002
+    filter_capacity: int = 8192
+
+    def cluster_config(self) -> ClusterConfig:
+        return ClusterConfig(
+            replication_factor=min(self.replication_factor, self.num_shards),
+            request_deadline=self.request_deadline,
+            max_retries=self.max_retries,
+            max_failover_depth=self.max_failover_depth,
+            backoff_base=0.01,
+            backoff_multiplier=2.0,
+            backoff_cap=0.08,
+            backoff_jitter=0.5,
+            breaker_threshold=self.breaker_threshold,
+            breaker_reset_timeout=self.breaker_reset_timeout,
+            shed_rate=self.shed_rate,
+            shed_burst=self.shed_burst,
+            degraded_reads=self.degraded_reads,
+            hinted_handoff=True,
+            batch_window=self.batch_window,
+        )
+
+
+@dataclass
+class LivePopulation:
+    """Synthetic claims installed directly on the replicas."""
+
+    identifiers: List[PhotoIdentifier]
+    revoked_mask: np.ndarray
+    owner: KeyPair
+
+    @property
+    def size(self) -> int:
+        return len(self.identifiers)
+
+    def revoked(self, index: int) -> bool:
+        return bool(self.revoked_mask[index])
+
+
+class LiveCluster:
+    """Shards + frontend wired to the running event loop.
+
+    Must be constructed inside a running loop (the server's); the
+    frontend's scheduler is ``loop.call_later``, so batch windows,
+    backoff, deadline backstops and hint replay all ride real time.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LiveClusterConfig] = None,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        obs=None,
+    ):
+        self.config = config or LiveClusterConfig()
+        self._loop = loop or asyncio.get_running_loop()
+        self.obs = obs
+        self.cluster_id = "irs1"
+        self.rngs = RngRegistry(self.config.seed)
+        clock = self._loop.time
+        self.tsa = TimestampAuthority(
+            keypair=KeyPair.generate(
+                bits=self.config.key_bits, rng=self.rngs.stream("tsa")
+            ),
+            clock=clock,
+        )
+        shard_ids = [f"shard-{i}" for i in range(self.config.num_shards)]
+        self.shards: Dict[str, ClusterShard] = {
+            shard_id: ClusterShard(
+                shard_id=shard_id,
+                cluster_id=self.cluster_id,
+                timestamp_authority=self.tsa,
+                keypair=KeyPair.generate(
+                    bits=self.config.key_bits,
+                    rng=self.rngs.stream(f"key:{shard_id}"),
+                ),
+                clock=clock,
+            )
+            for shard_id in shard_ids
+        }
+        self.ring = HashRing(shard_ids)
+        self.transport = AsyncioShardTransport(
+            self._loop,
+            {sid: shard.rpc_handlers() for sid, shard in self.shards.items()},
+            default_timeout=self.config.rpc_timeout,
+        )
+        self.detector = FailureDetector(clock)
+        self.filterset = LearningBloom(capacity=self.config.filter_capacity)
+        self.frontend = ClusterFrontend(
+            cluster_id=self.cluster_id,
+            ring=self.ring,
+            transport=self.transport,
+            timestamp_authority=self.tsa,
+            detector=self.detector,
+            config=self.config.cluster_config(),
+            clock=clock,
+            scheduler=self._schedule,
+            filterset=self.filterset,
+            rng=self.rngs.stream("frontend"),
+            obs=obs,
+        )
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        self._loop.call_later(max(delay, 0.0), fn)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._loop.time
+
+    # -- fault hooks (tests, loadgen chaos) ----------------------------------------
+
+    def kill_shard(self, shard_id: str) -> None:
+        self.transport.down.add(shard_id)
+
+    def revive_shard(self, shard_id: str) -> None:
+        self.transport.down.discard(shard_id)
+
+    def delay_shard(self, shard_id: str, seconds: float) -> None:
+        """Make one replica slow without killing it (deadline tests)."""
+        if seconds <= 0.0:
+            self.transport.delays.pop(shard_id, None)
+        else:
+            self.transport.delays[shard_id] = seconds
+
+    # -- population -----------------------------------------------------------------
+
+    def seed_population(
+        self, count: int, revoked_fraction: float = 0.0
+    ) -> LivePopulation:
+        """Install synthetic claims replica-direct (no per-record RSA)."""
+        if not 0.0 <= revoked_fraction <= 1.0:
+            raise ValueError("revoked_fraction must be in [0, 1]")
+        rng = self.rngs.stream("population")
+        keypair = KeyPair.generate(bits=self.config.key_bits, rng=rng)
+        shared_hash = sha256_hex(f"{self.cluster_id}:bulk-shared".encode())
+        shared_signature = keypair.sign(shared_hash.encode("utf-8"))
+        shared_timestamp = self.tsa.issue(claim_digest(shared_hash, keypair.public))
+        revoked_mask = rng.uniform(size=count) < revoked_fraction
+        identifiers: List[PhotoIdentifier] = []
+        r = self.frontend.config.replication_factor
+        for i in range(count):
+            content_hash = sha256_hex(f"{self.cluster_id}:photo:{i}".encode())
+            serial = content_serial(content_hash)
+            identifier = PhotoIdentifier(self.cluster_id, serial)
+            revoked = bool(revoked_mask[i])
+            for shard_id in self.ring.replicas(identifier.to_compact(), r):
+                self.shards[shard_id].ledger.store.put(
+                    ClaimRecord(
+                        identifier=identifier,
+                        content_hash=content_hash,
+                        content_signature=shared_signature,
+                        public_key=keypair.public,
+                        timestamp=shared_timestamp,
+                        state=(
+                            RevocationState.REVOKED
+                            if revoked
+                            else RevocationState.NOT_REVOKED
+                        ),
+                        revocation_epoch=1 if revoked else 0,
+                    )
+                )
+            if revoked:
+                self.filterset.add(identifier.to_compact())
+            identifiers.append(identifier)
+        return LivePopulation(
+            identifiers=identifiers, revoked_mask=revoked_mask, owner=keypair
+        )
+
+    # -- chain head / filter export ---------------------------------------------------
+
+    def chain_head(self) -> str:
+        """Digest of every shard's event-chain head — the /bloom ETag.
+
+        Any acknowledged mutation advances at least one shard's head,
+        so the ETag changes iff the revocation set may have changed.
+        """
+        digest = blake2b(digest_size=16)
+        for shard_id in sorted(self.shards):
+            events = self.shards[shard_id].ledger.store.events
+            digest.update(
+                f"{shard_id}:{events.head_seq}:{events.head_hash};".encode()
+            )
+        return digest.hexdigest()
+
+    def revoked_compact_keys(self) -> List[bytes]:
+        """Union of revoked identifiers across replicas (deduplicated)."""
+        seen: Dict[int, bytes] = {}
+        for shard_id in sorted(self.shards):
+            store = self.shards[shard_id].ledger.store
+            for record in store.revoked_records():
+                seen[record.identifier.serial] = record.identifier.to_compact()
+        return [seen[serial] for serial in sorted(seen)]
+
+    def export_bloom(self) -> Tuple[bytes, Dict[str, str]]:
+        """Build the /bloom payload: filter bytes + reconstruction params."""
+        keys = self.revoked_compact_keys()
+        bloom = BloomFilter.for_capacity(max(len(keys), 1024), 0.01)
+        for key in keys:
+            bloom.add(key)
+        params = {
+            "x-filter-bits": str(bloom.nbits),
+            "x-filter-hashes": str(bloom.num_hashes),
+            "x-filter-keys": str(len(keys)),
+        }
+        return bloom.to_bytes(), params

@@ -1,0 +1,180 @@
+"""End-to-end API tests over a real socket (one event loop per test)."""
+
+import asyncio
+
+from repro.service.cluster import LiveClusterConfig
+from tests.service.conftest import serve
+
+
+def test_claim_status_label_revoke_flow():
+    async def inner():
+        async with serve() as env:
+            # Claim.
+            r = await env.client.request(
+                "POST", "/claims", {"content": "photo-bytes"}
+            )
+            assert r.status == 201
+            body = r.json()
+            claimed = body["id"]
+            assert claimed.startswith("irs1:")
+            assert body["error"] is None
+
+            # Fresh claim reads back not revoked (filter short-circuit).
+            r = await env.client.request("GET", f"/status/{claimed}")
+            assert r.status == 200
+            status = r.json()
+            assert status["revoked"] is False
+            assert status["degraded"] is False
+            assert status["error"] is None
+
+            # Labels hand out the watermark channels.
+            r = await env.client.request("POST", "/labels", {"id": claimed})
+            assert r.status == 200
+            label = r.json()
+            assert label["metadata"] == claimed
+            assert bytes.fromhex(label["watermark_hex"])
+
+            # Revoke, then the authoritative read must flip.
+            r = await env.client.request(
+                "POST", "/revocations", {"id": claimed}
+            )
+            assert r.status == 200
+            assert r.json()["epoch"] >= 1
+            r = await env.client.request("GET", f"/status/{claimed}")
+            assert r.status == 200
+            after = r.json()
+            assert after["revoked"] is True
+            assert after["state"] == "revoked"
+
+            # The acknowledged revocation shows up in the delta feed.
+            r = await env.client.request("GET", "/deltas?since=0")
+            assert r.status == 200
+            deltas = r.json()
+            assert deltas["head"] == 1
+            assert deltas["entries"][0]["id"] == claimed
+            assert deltas["entries"][0]["action"] == "revoke"
+            r = await env.client.request("GET", "/deltas?since=1")
+            assert r.json()["entries"] == []
+
+            # Unrevoke is the same endpoint with action.
+            r = await env.client.request(
+                "POST", "/revocations", {"id": claimed, "action": "unrevoke"}
+            )
+            assert r.status == 200
+            r = await env.client.request("GET", f"/status/{claimed}")
+            answer = r.json()
+            assert answer["revoked"] is False
+
+    asyncio.run(inner())
+
+
+def test_batch_status_preserves_order():
+    async def inner():
+        config = LiveClusterConfig(num_shards=3, replication_factor=2)
+        async with serve(config=config, populate=8, revoked_fraction=0.5) as env:
+            population = env.population
+            ids = [i.to_string() for i in population.identifiers]
+            r = await env.client.request("POST", "/status", {"ids": ids})
+            assert r.status == 200
+            results = r.json()["results"]
+            assert [item["id"] for item in results] == ids
+            for index, item in enumerate(results):
+                assert item["revoked"] == population.revoked(index)
+
+    asyncio.run(inner())
+
+
+def test_bloom_etag_and_304_refresh():
+    async def inner():
+        async with serve(populate=16, revoked_fraction=0.5) as env:
+            r = await env.client.request("GET", "/bloom")
+            assert r.status == 200
+            etag = r.headers["etag"]
+            assert int(r.headers["x-filter-keys"]) >= 1
+            assert len(r.body) > 0
+            assert r.headers["content-type"] == "application/octet-stream"
+
+            # Unchanged chain head -> 304, no body.
+            r = await env.client.request(
+                "GET", "/bloom", headers={"If-None-Match": etag}
+            )
+            assert r.status == 304
+            assert r.body == b""
+
+            # A mutation advances the chain head and invalidates the tag.
+            target = None
+            for index, identifier in enumerate(env.population.identifiers):
+                if not env.population.revoked(index):
+                    target = identifier.to_string()
+                    break
+            assert target is not None
+            env.app._owners[env.population.identifiers[0].serial]  # registered
+            r = await env.client.request("POST", "/revocations", {"id": target})
+            assert r.status == 200
+            r = await env.client.request(
+                "GET", "/bloom", headers={"If-None-Match": etag}
+            )
+            assert r.status == 200
+            assert r.headers["etag"] != etag
+
+    asyncio.run(inner())
+
+
+def test_healthz_and_metrics():
+    async def inner():
+        async with serve(populate=4) as env:
+            r = await env.client.request("GET", "/healthz")
+            assert r.status == 200
+            health = r.json()
+            assert health["ok"] is True
+            assert health["shards"] == 4
+            assert health["shards_down"] == []
+            assert health["breakers_open"] == []
+
+            r = await env.client.request("GET", f"/status/{env.population.identifiers[0].to_string()}")
+            assert r.status == 200
+
+            r = await env.client.request("GET", "/metrics")
+            assert r.status == 200
+            text = r.body.decode("utf-8")
+            assert "service_requests_total" in text
+            assert "service_request_latency_seconds" in text
+            assert 'route="/status/{id}"' in text
+
+    asyncio.run(inner())
+
+
+def test_healthz_reports_downed_shards():
+    async def inner():
+        async with serve() as env:
+            env.cluster.kill_shard("shard-1")
+            r = await env.client.request("GET", "/healthz")
+            assert r.json()["shards_down"] == ["shard-1"]
+
+    asyncio.run(inner())
+
+
+def test_deadline_header_validation():
+    async def inner():
+        async with serve() as env:
+            for value in ("abc", "0", "-5"):
+                r = await env.client.request(
+                    "GET", "/status/irs1:irs1:42",
+                    headers={"X-Deadline-Ms": value},
+                )
+                assert r.status == 400
+                assert r.json()["error"]["kind"] == "malformed"
+
+    asyncio.run(inner())
+
+
+def test_keep_alive_reuses_one_connection():
+    async def inner():
+        async with serve(with_obs=True) as env:
+            for _ in range(5):
+                r = await env.client.request("GET", "/healthz")
+                assert r.status == 200
+            connections = env.obs.counter("service_connections_total").value
+            assert connections == 1
+
+    asyncio.run(inner())

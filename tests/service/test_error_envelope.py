@@ -1,0 +1,297 @@
+"""The error envelope contract, held equal to docs/api.md and driven live.
+
+Satellite 4 of the service PR: the error-kind table in ``docs/api.md``
+is parsed here and asserted equal to ``repro.service.errors.ERROR_STATUS``,
+then every failure mode is manufactured against a real server — deadline
+exceeded, breaker open / quorum dark, token-bucket shed, degraded Bloom
+answer, malformed body — and each response is checked against the
+*documented* status and ``error.kind``, not just the code's constants.
+"""
+
+import asyncio
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service.errors import ERROR_STATUS
+from repro.service.cluster import LiveClusterConfig
+from tests.service.conftest import serve
+
+API_MD = Path(__file__).resolve().parents[2] / "docs" / "api.md"
+DOC_KIND_RE = re.compile(r"^\|\s*`(\w+)`\s*\|\s*(\d{3})\s*\|")
+
+
+def documented_kinds():
+    kinds = {}
+    for line in API_MD.read_text(encoding="utf-8").splitlines():
+        match = DOC_KIND_RE.match(line)
+        if match:
+            kinds[match.group(1)] = int(match.group(2))
+    return kinds
+
+
+DOCS = documented_kinds()
+
+
+def test_docs_table_matches_error_status():
+    """Both directions: every kind documented, nothing extra documented."""
+    assert DOCS, f"no error-kind rows parsed from {API_MD}"
+    assert DOCS == ERROR_STATUS
+
+
+def assert_envelope(response, kind):
+    """The response carries kind with its *documented* status."""
+    assert kind in DOCS, f"{kind!r} is not documented in docs/api.md"
+    assert response.status == DOCS[kind], (
+        f"kind {kind!r}: docs say {DOCS[kind]}, served {response.status}"
+    )
+    body = response.json()
+    assert body["error"]["kind"] == kind
+    assert body["error"]["status"] == response.status
+    assert body["error"]["detail"]
+    return body
+
+
+def test_malformed_bodies():
+    async def inner():
+        async with serve() as env:
+            # Unparseable JSON.
+            r = await env.client.request("POST", "/claims", b"not json{")
+            assert_envelope(r, "malformed")
+            # Missing body.
+            r = await env.client.request("POST", "/claims")
+            assert_envelope(r, "malformed")
+            # Wrong shape.
+            r = await env.client.request("POST", "/status", {"ids": "nope"})
+            assert_envelope(r, "malformed")
+            # Bad identifier string.
+            r = await env.client.request("GET", "/status/garbage")
+            assert_envelope(r, "malformed")
+            # Unknown revocation action.
+            r = await env.client.request(
+                "POST", "/revocations",
+                {"id": "irs1:irs1:42", "action": "shred"},
+            )
+            assert_envelope(r, "malformed")
+
+    asyncio.run(inner())
+
+
+def test_not_found_unknown_serial_and_foreign_ledger():
+    async def inner():
+        async with serve() as env:
+            # A never-claimed id on /status answers 200 "not revoked" via
+            # the Bloom short-circuit — correct, not an error.
+            r = await env.client.request("GET", "/status/irs1:irs1:12345")
+            assert r.status == 200
+            assert r.json()["revoked"] is False
+            # /labels needs an *authoritative* read, so the quorum's
+            # "unknown serial" verdict surfaces as the 404 envelope.
+            r = await env.client.request(
+                "POST", "/labels", {"id": "irs1:irs1:12345"}
+            )
+            assert_envelope(r, "not_found")
+            # An identifier naming some other ledger.
+            r = await env.client.request("GET", "/status/irs1:other:42")
+            assert_envelope(r, "not_found")
+            # Revoking without a registered owner key.
+            r = await env.client.request(
+                "POST", "/revocations", {"id": "irs1:irs1:42"}
+            )
+            assert_envelope(r, "not_found")
+            # And an unrouted path.
+            r = await env.client.request("GET", "/nope")
+            assert_envelope(r, "not_found")
+
+    asyncio.run(inner())
+
+
+def test_method_not_allowed():
+    async def inner():
+        async with serve() as env:
+            r = await env.client.request("DELETE", "/claims")
+            assert_envelope(r, "method_not_allowed")
+            r = await env.client.request("PUT", "/healthz")
+            assert_envelope(r, "method_not_allowed")
+
+    asyncio.run(inner())
+
+
+def test_too_large_batch():
+    async def inner():
+        async with serve() as env:
+            ids = ["irs1:irs1:42"] * 1025
+            r = await env.client.request("POST", "/status", {"ids": ids})
+            assert_envelope(r, "too_large")
+
+    asyncio.run(inner())
+
+
+def test_shed_strict_is_429():
+    """Token-bucket refusal with degraded reads off is the 429 envelope."""
+
+    async def inner():
+        config = LiveClusterConfig(
+            shed_rate=0.0001, shed_burst=1, degraded_reads=False
+        )
+        # Revoked ids: the Bloom filter cannot short-circuit them, so the
+        # reads reach the token bucket instead of answering "not revoked".
+        async with serve(config=config, populate=4, revoked_fraction=1.0) as env:
+            target = env.population.identifiers[0].to_string()
+            statuses = []
+            for _ in range(3):
+                r = await env.client.request("GET", f"/status/{target}")
+                statuses.append(r)
+            shed = [r for r in statuses if r.status == DOCS["shed"]]
+            assert shed, [r.status for r in statuses]
+            assert_envelope(shed[0], "shed")
+
+    asyncio.run(inner())
+
+
+def test_shed_degraded_is_203_with_cause():
+    """With degraded reads on, a shed request still answers, as 203."""
+
+    async def inner():
+        config = LiveClusterConfig(shed_rate=0.0001, shed_burst=1)
+        async with serve(config=config, populate=4, revoked_fraction=1.0) as env:
+            target = env.population.identifiers[0].to_string()
+            answers = []
+            for _ in range(3):
+                r = await env.client.request("GET", f"/status/{target}")
+                answers.append(r)
+            degraded = [r for r in answers if r.status == DOCS["degraded"]]
+            assert degraded, [r.status for r in answers]
+            body = assert_envelope(degraded[0], "degraded")
+            # Fail-closed: the revoked id still reads revoked.
+            assert body["revoked"] is True
+            assert body["source"] == "degraded"
+            assert "admission refused" in body["error"]["detail"]
+
+    asyncio.run(inner())
+
+
+def test_deadline_strict_read_is_504():
+    """Slow replicas + a tight budget + degraded reads off: 504."""
+
+    async def inner():
+        config = LiveClusterConfig(degraded_reads=False)
+        # Revoked ids, so the Bloom filter cannot answer and the read
+        # must wait on the (delayed) quorum.
+        async with serve(config=config, populate=4, revoked_fraction=1.0) as env:
+            for shard_id in env.cluster.shards:
+                env.cluster.delay_shard(shard_id, 0.5)
+            target = env.population.identifiers[0].to_string()
+            r = await env.client.request(
+                "GET", f"/status/{target}",
+                headers={"X-Deadline-Ms": "30"},
+            )
+            assert_envelope(r, "deadline")
+
+    asyncio.run(inner())
+
+
+def test_deadline_degraded_read_answers_203():
+    """Same expiry with degraded reads on: a 203 Bloom-backed answer."""
+
+    async def inner():
+        async with serve(populate=4, revoked_fraction=1.0) as env:
+            for shard_id in env.cluster.shards:
+                env.cluster.delay_shard(shard_id, 0.5)
+            target = env.population.identifiers[0].to_string()
+            r = await env.client.request(
+                "GET", f"/status/{target}",
+                headers={"X-Deadline-Ms": "30"},
+            )
+            body = assert_envelope(r, "degraded")
+            assert body["revoked"] is True
+            assert "budget exhausted" in body["error"]["detail"]
+
+    asyncio.run(inner())
+
+
+def test_deadline_on_write_is_504():
+    async def inner():
+        async with serve() as env:
+            r = await env.client.request(
+                "POST", "/claims", {"content": "slow-claim"}
+            )
+            claimed = r.json()["id"]
+            assert r.status == 201
+            for shard_id in env.cluster.shards:
+                env.cluster.delay_shard(shard_id, 0.5)
+            r = await env.client.request(
+                "POST", "/revocations", {"id": claimed},
+                headers={"X-Deadline-Ms": "30"},
+            )
+            assert_envelope(r, "deadline")
+
+    asyncio.run(inner())
+
+
+def test_unavailable_when_quorum_dark_and_strict():
+    """All shards down, degraded reads off, no backstop race: 503."""
+
+    async def inner():
+        config = LiveClusterConfig(
+            degraded_reads=False,
+            max_retries=0,
+            rpc_timeout=0.02,
+            request_deadline=5.0,
+        )
+        async with serve(config=config, populate=4, revoked_fraction=1.0) as env:
+            for shard_id in env.cluster.shards:
+                env.cluster.kill_shard(shard_id)
+            target = env.population.identifiers[0].to_string()
+            r = await env.client.request("GET", f"/status/{target}")
+            assert_envelope(r, "unavailable")
+
+    asyncio.run(inner())
+
+
+def test_breaker_open_still_answers_degraded():
+    """Dark quorum trips the breakers; answers stay 203 and healthz shows it."""
+
+    async def inner():
+        config = LiveClusterConfig(
+            breaker_threshold=2, max_retries=0, rpc_timeout=0.02,
+            request_deadline=0.2,
+        )
+        async with serve(config=config, populate=4, revoked_fraction=1.0) as env:
+            for shard_id in env.cluster.shards:
+                env.cluster.kill_shard(shard_id)
+            target = env.population.identifiers[0].to_string()
+            for _ in range(6):
+                r = await env.client.request("GET", f"/status/{target}")
+                body = assert_envelope(r, "degraded")
+                assert body["revoked"] is True
+            health = (await env.client.request("GET", "/healthz")).json()
+            assert health["breakers_open"], health
+            assert health["ok"] is False
+
+    asyncio.run(inner())
+
+
+def test_internal_bug_is_500_envelope():
+    async def inner():
+        async with serve() as env:
+            def boom(request, params):
+                raise RuntimeError("injected handler bug")
+
+            async def boom_async(request, params):
+                return boom(request, params)
+
+            env.app.handle_healthz = boom_async
+            r = await env.client.request("GET", "/healthz")
+            body = assert_envelope(r, "internal")
+            assert "injected handler bug" in body["error"]["detail"]
+
+    asyncio.run(inner())
+
+
+def test_every_documented_kind_is_exercised():
+    """Paranoia: the suite above covers the whole documented table."""
+    source = Path(__file__).read_text(encoding="utf-8")
+    for kind in DOCS:
+        assert f'"{kind}"' in source, f"no live test drives kind {kind!r}"

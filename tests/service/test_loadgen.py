@@ -1,0 +1,102 @@
+"""The load generator: determinism, the invariant checker, and one burst."""
+
+import asyncio
+
+import numpy as np
+
+from repro.service.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    OpSample,
+    _check_envelope,
+    arrival_schedule,
+    run_loadgen,
+)
+from tests.service.conftest import serve
+
+
+def test_arrival_schedule_is_seed_deterministic():
+    a = arrival_schedule(200.0, 2.0, np.random.default_rng(7))
+    b = arrival_schedule(200.0, 2.0, np.random.default_rng(7))
+    c = arrival_schedule(200.0, 2.0, np.random.default_rng(8))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert a.size > 0
+    assert float(a[-1]) < 2.0
+    assert np.all(np.diff(a) >= 0.0)
+
+
+def test_arrival_schedule_degenerate_inputs():
+    assert arrival_schedule(0.0, 5.0, np.random.default_rng(0)).size == 0
+    assert arrival_schedule(100.0, 0.0, np.random.default_rng(0)).size == 0
+
+
+def test_check_envelope_accepts_documented_failures():
+    violations = []
+    kind = _check_envelope(
+        {"error": {"kind": "shed", "status": 429, "detail": "x"}},
+        429, "status", violations,
+    )
+    assert kind == "shed"
+    assert violations == []
+
+
+def test_check_envelope_flags_undocumented_kind():
+    violations = []
+    _check_envelope(
+        {"error": {"kind": "gremlins", "status": 500, "detail": "x"}},
+        500, "status", violations,
+    )
+    assert any("undocumented error kind" in v for v in violations)
+
+
+def test_check_envelope_flags_status_mismatch():
+    violations = []
+    _check_envelope(
+        {"error": {"kind": "shed", "status": 429, "detail": "x"}},
+        500, "status", violations,
+    )
+    assert any("documented as 429" in v for v in violations)
+
+
+def test_check_envelope_flags_error_without_envelope():
+    violations = []
+    _check_envelope({"error": None}, 500, "claim", violations)
+    assert any("without an error envelope" in v for v in violations)
+    violations = []
+    _check_envelope(b"bytes", 200, "claim", violations)
+    assert any("not a JSON object" in v for v in violations)
+
+
+def test_report_percentiles_and_kind_counts():
+    report = LoadReport(config=LoadgenConfig())
+    for i in range(10):
+        report.samples.append(OpSample(
+            op="status", status=200, kind=None,
+            latency=(i + 1) / 1000.0, scheduled_at=0.0,
+        ))
+    report.samples.append(OpSample(
+        op="status", status=429, kind="shed", latency=0.001, scheduled_at=0.0,
+    ))
+    assert report.percentile(report.of_op("status"), 50) > 0.0
+    assert report.kind_counts() == {"shed": 1}
+    assert 0.0 < report.answered_fraction("status") < 1.0
+    assert report.table().render()
+
+
+def test_small_burst_end_to_end_has_no_violations():
+    async def inner():
+        async with serve() as env:
+            config = LoadgenConfig(
+                host=env.host, port=env.port,
+                rate=60.0, duration=0.6, seed=3,
+                warmup_claims=6, connections=8,
+            )
+            report = await run_loadgen(config)
+            assert report.violations == []
+            assert report.samples, "the measured window produced no samples"
+            assert report.answered_fraction() == 1.0
+            # The generator claimed its warmup working set.
+            assert len(report.claimed_ids) >= config.warmup_claims
+
+    asyncio.run(inner())

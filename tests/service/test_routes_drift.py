@@ -1,0 +1,64 @@
+"""docs/api.md and the route registry must agree — and keep agreeing.
+
+``tools/check_docs.py`` parses both sides *textually* so it can run
+without PYTHONPATH in CI; this test loads that exact checker and also
+cross-checks its textual parse against the imported ``ROUTES`` object,
+so regex rot in the checker itself cannot silently disable the gate.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.service.routes import ROUTES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_route_drift_is_clean():
+    check_docs = load_check_docs()
+    assert check_docs.check_route_drift() == []
+
+
+def test_textual_parse_matches_imported_registry():
+    check_docs = load_check_docs()
+    served = check_docs.served_routes()
+    assert served == {(route.method, route.pattern) for route in ROUTES}
+
+
+def test_documented_routes_parse_is_nonempty_and_served():
+    check_docs = load_check_docs()
+    documented = check_docs.documented_routes()
+    assert len(documented) == len(ROUTES)
+    assert documented == check_docs.served_routes()
+
+
+def test_drift_is_detected_both_ways():
+    """Tampering with either side must produce a complaint."""
+    phantom = ("GET", "/made-up")
+
+    check_docs = load_check_docs()
+    true_served = check_docs.served_routes()
+    check_docs.served_routes = lambda: true_served | {phantom}
+    problems = check_docs.check_route_drift()
+    assert any("not documented" in p and "/made-up" in p for p in problems)
+
+    check_docs = load_check_docs()
+    true_documented = check_docs.documented_routes()
+    check_docs.documented_routes = lambda: true_documented | {phantom}
+    problems = check_docs.check_route_drift()
+    assert any("not in the route registry" in p and "/made-up" in p
+               for p in problems)
+
+    check_docs = load_check_docs()
+    check_docs.served_routes = lambda: set()
+    problems = check_docs.check_route_drift()
+    assert any("regex rot" in p for p in problems)

@@ -26,6 +26,12 @@ Two checks, both exact:
    Either direction fails: an undocumented case gates CI with no
    reference, a documented-but-gone case promises a measurement
    nobody takes.
+5. **Route drift** — the ``METHOD /path`` pairs in ``docs/api.md``'s
+   endpoint table must equal the ``Route("METHOD", "/path", ...)``
+   registry in ``src/repro/service/routes.py``. Either direction
+   fails: a served-but-undocumented endpoint is an API nobody can
+   call responsibly, a documented-but-unrouted one is a 404 promised
+   as a feature.
 
 Exit status 0 on success, 1 with a per-problem report otherwise.
 """
@@ -70,6 +76,14 @@ DOC_RULE_RE = re.compile(r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|")
 #: A documented perf case: the backticked id opening a table row in
 #: ``docs/perf.md``, e.g. ``| `bloom_batch_membership` | ... |``.
 DOC_CASE_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`\s*\|")
+
+#: A served route: ``Route("GET", "/bloom", ...)`` in the registry
+#: (matched textually, so this script needs no PYTHONPATH).
+ROUTE_REG_RE = re.compile(r"Route\(\s*\"([A-Z]+)\",\s*\"(/[^\"]*)\"")
+
+#: A documented endpoint: a table row opening with the backticked
+#: method then the backticked path, e.g. ``| `GET` | `/bloom` | ...``.
+DOC_ROUTE_RE = re.compile(r"^\|\s*`([A-Z]+)`\s*\|\s*`(/[^`]*)`\s*\|")
 
 
 def _doc_files() -> list[Path]:
@@ -228,12 +242,53 @@ def check_perf_case_drift() -> list[str]:
     return problems
 
 
+def served_routes() -> set[tuple[str, str]]:
+    registry = REPO / "src" / "repro" / "service" / "routes.py"
+    if not registry.exists():
+        return set()
+    return set(ROUTE_REG_RE.findall(registry.read_text(encoding="utf-8")))
+
+
+def documented_routes() -> set[tuple[str, str]]:
+    doc = REPO / "docs" / "api.md"
+    if not doc.exists():
+        return set()
+    routes: set[tuple[str, str]] = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = DOC_ROUTE_RE.match(line.strip())
+        if match:
+            routes.add((match.group(1), match.group(2)))
+    return routes
+
+
+def check_route_drift() -> list[str]:
+    served = served_routes()
+    documented = documented_routes()
+    problems = [
+        f"docs/api.md: served by repro.service but not documented: "
+        f"{method} {path}"
+        for method, path in sorted(served - documented)
+    ]
+    problems.extend(
+        f"docs/api.md: documented but not in the route registry: "
+        f"{method} {path}"
+        for method, path in sorted(documented - served)
+    )
+    if not served:
+        problems.append(
+            "found no Route(...) registrations in "
+            "src/repro/service/routes.py (regex rot?)"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_links()
         + check_metric_drift()
         + check_rule_drift()
         + check_perf_case_drift()
+        + check_route_drift()
     )
     for problem in problems:
         print(f"FAIL {problem}")
@@ -244,8 +299,9 @@ def main() -> int:
     print(
         f"docs check: OK — {docs} markdown files, "
         f"{len(documented_metrics())} metrics, "
-        f"{len(documented_rules())} lint rules and "
-        f"{len(documented_cases())} perf cases in sync"
+        f"{len(documented_rules())} lint rules, "
+        f"{len(documented_cases())} perf cases and "
+        f"{len(documented_routes())} API routes in sync"
     )
     return 0
 
