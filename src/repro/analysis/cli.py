@@ -8,6 +8,9 @@ two are kept identical by ``tests/analysis/test_cli.py``.
 Exit status: ``--strict`` exits 1 when any non-baselined,
 non-suppressed finding remains (the CI gate); without ``--strict`` the
 run is advisory and always exits 0 (the benchmarks/examples sweep).
+Exit 2 means the run itself could not proceed — unknown rule id, or a
+missing/invalid layer contract under ``--program`` — which CI must
+treat as failure, never as "no findings".
 """
 
 from __future__ import annotations
@@ -25,7 +28,9 @@ from repro.analysis.engine import (
     repo_root,
     with_overrides,
 )
-from repro.analysis.registry import all_rules
+from repro.analysis.program.contract import ContractError
+from repro.analysis.program.graph import ImportGraph, load_graph
+from repro.analysis.registry import all_program_rules, all_rules
 from repro.analysis.report import findings_to_jsonl, render_table
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
@@ -39,6 +44,13 @@ _CONFIG_TUPLES = (
     "rpc_dirs",
     "rpc_methods",
     "obs_exempt_segments",
+    "envelope_roots",
+)
+
+_CONFIG_STRINGS = (
+    "contract_path",
+    "envelope_registry",
+    "routes_module",
 )
 
 
@@ -65,6 +77,13 @@ def build_config(root: Path) -> LintConfig:
         for key in _CONFIG_TUPLES
         if isinstance(section.get(key), list)
     }
+    overrides.update(
+        {
+            key: section[key]
+            for key in _CONFIG_STRINGS
+            if isinstance(section.get(key), str)
+        }
+    )
     return with_overrides(LintConfig(root=root), **overrides)
 
 
@@ -94,6 +113,24 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--strict",
         action="store_true",
         help="exit nonzero on any non-baselined, non-suppressed finding",
+    )
+    parser.add_argument(
+        "--program",
+        action="store_true",
+        help="also run the whole-program passes (import cycles, layer "
+        "contract, async safety, error-envelope flow)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="PATH",
+        help="import-graph artifact from a previous --write-graph run; "
+        "revalidated against file hashes and rebuilt if stale",
+    )
+    parser.add_argument(
+        "--write-graph",
+        metavar="PATH",
+        help="write the import-graph artifact after the run "
+        "(requires --program)",
     )
     parser.add_argument(
         "--format",
@@ -135,41 +172,87 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _resolve(root: Path, value: str) -> Path:
+    path = Path(value)
+    return path if path.is_absolute() else root / value
+
+
+def _load_graph_artifact(root: Path, value: str) -> Optional[ImportGraph]:
+    """Best-effort cache read: a missing/rotten artifact just rebuilds."""
+    path = _resolve(root, value)
+    try:
+        return load_graph(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"lint: ignoring graph artifact {value}: {exc}", file=sys.stderr)
+        return None
+
+
 def run_lint(args: argparse.Namespace) -> int:
     root = Path(args.root).resolve() if args.root else repo_root()
     if args.list_rules:
-        for one_rule in all_rules():
+        for one_rule in (*all_rules(), *all_program_rules()):
             print(f"{one_rule.id}: {one_rule.summary}")
         return 0
     config = build_config(root)
-    paths = [
-        Path(p) if Path(p).is_absolute() else root / p
-        for p in (args.paths or configured_paths(root))
-    ]
+    paths = [_resolve(root, p) for p in (args.paths or configured_paths(root))]
     baseline_arg = (
         args.baseline if args.baseline is not None else configured_baseline(root)
     )
     baseline_path: Optional[Path] = None
     if baseline_arg:
-        baseline_path = (
-            Path(baseline_arg)
-            if Path(baseline_arg).is_absolute()
-            else root / baseline_arg
-        )
-    if args.write_baseline:
-        if baseline_path is None:
-            print("lint: --write-baseline needs a baseline path", file=sys.stderr)
-            return 2
-        result = lint_paths(paths, config=config, select=args.select)
-        write_baseline(baseline_path, result.findings)
-        print(
-            f"lint: wrote {len(result.findings)} findings to "
-            f"{baseline_path.relative_to(root) if baseline_path.is_relative_to(root) else baseline_path}"
-        )
-        return 0
-    result = lint_paths(
-        paths, config=config, select=args.select, baseline_path=baseline_path
+        baseline_path = _resolve(root, baseline_arg)
+    if args.write_graph and not args.program:
+        print("lint: --write-graph requires --program", file=sys.stderr)
+        return 2
+    graph = (
+        _load_graph_artifact(root, args.graph)
+        if args.graph and args.program
+        else None
     )
+    try:
+        if args.write_baseline:
+            if baseline_path is None:
+                print(
+                    "lint: --write-baseline needs a baseline path",
+                    file=sys.stderr,
+                )
+                return 2
+            result = lint_paths(
+                paths,
+                config=config,
+                select=args.select,
+                program=args.program,
+                graph=graph,
+            )
+            write_baseline(baseline_path, result.findings)
+            print(
+                f"lint: wrote {len(result.findings)} findings to "
+                f"{baseline_path.relative_to(root) if baseline_path.is_relative_to(root) else baseline_path}"
+            )
+            return 0
+        result = lint_paths(
+            paths,
+            config=config,
+            select=args.select,
+            baseline_path=baseline_path,
+            program=args.program,
+            graph=graph,
+        )
+    except ContractError as exc:
+        # Exit 2, not 1: the gate could not run, which is a different
+        # failure from the gate finding problems.
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.write_graph:
+        if result.graph is None:
+            print("lint: no import graph was built", file=sys.stderr)
+            return 2
+        graph_out = _resolve(root, args.write_graph)
+        graph_out.parent.mkdir(parents=True, exist_ok=True)
+        graph_out.write_text(result.graph.to_json(), encoding="utf-8")
     _emit(result, args)
     if args.strict and not result.clean:
         return 1

@@ -11,21 +11,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import Baseline, load_baseline
 from repro.analysis.findings import Finding
+from repro.analysis.program.context import build_context
+from repro.analysis.program.contract import LayerContract, load_contract
+from repro.analysis.program.graph import ImportGraph, build_graph
 from repro.analysis.registry import (
     INVALID_SUPPRESSION,
     PARSE_ERROR,
     UNSUPPRESSABLE,
     Rule,
+    all_program_rules,
     all_rules,
+    known_rule_ids,
+    split_select,
 )
 from repro.analysis.source import SourceModule, parse_module
 from repro.analysis.suppress import Suppression, parse_suppressions
 
 __all__ = ["LintConfig", "LintResult", "lint_paths", "repo_root"]
+
+#: id of the pass that needs the committed contract loaded; kept as a
+#: literal so importing the engine never imports a pass module out of
+#: the package's fixed registration order.
+_LAYER_RULE_ID = "layer-contract"
 
 
 def repo_root(start: Optional[Path] = None) -> Path:
@@ -58,6 +69,14 @@ class LintConfig:
     rpc_methods: Tuple[str, ...] = ("invoke", "call")
     #: path segments in which obs-purity is skipped (the layer itself).
     obs_exempt_segments: Tuple[str, ...] = ("obs",)
+    #: committed layer contract, relative to root (layer-contract pass).
+    contract_path: str = "tools/layers.toml"
+    #: module holding the ERROR_STATUS literal (error-envelope pass).
+    envelope_registry: str = "src/repro/service/errors.py"
+    #: rel-path roots whose error-kind literals the envelope pass audits.
+    envelope_roots: Tuple[str, ...] = ("src/repro/service",)
+    #: module whose Route(...) calls name handlers (handler-deadline pass).
+    routes_module: str = "src/repro/service/routes.py"
 
 
 @dataclass
@@ -68,6 +87,8 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
     files_checked: int = 0
+    #: import graph of the analyzed tree; set when program passes ran.
+    graph: Optional[ImportGraph] = None
 
     @property
     def clean(self) -> bool:
@@ -107,23 +128,44 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
     baseline: Optional[Baseline] = None,
     baseline_path: Optional[Path] = None,
+    program: bool = False,
+    graph: Optional[ImportGraph] = None,
+    contract: Optional[LayerContract] = None,
 ) -> LintResult:
     """Lint every ``*.py`` under ``paths``; returns a :class:`LintResult`.
 
     ``select`` restricts to a subset of rule ids (tests use this to
-    exercise one rule against one fixture).  ``baseline`` (or a
-    ``baseline_path`` to load one from) absorbs grandfathered findings
-    into :attr:`LintResult.baselined`.
+    exercise one rule against one fixture); naming a program rule in
+    ``select`` runs it whether or not ``program`` is set.  ``baseline``
+    (or a ``baseline_path`` to load one from) absorbs grandfathered
+    findings into :attr:`LintResult.baselined`.
+
+    ``program=True`` additionally runs every whole-program pass over
+    the same parsed modules.  ``graph`` is an optional cached import
+    graph (the CI artifact): it is revalidated against the file hashes
+    and silently rebuilt when stale.  ``contract`` injects a parsed
+    layer contract; by default the committed one at
+    ``config.contract_path`` is loaded when the layering pass runs,
+    and a missing or invalid contract raises
+    :class:`~repro.analysis.program.contract.ContractError` (the CLI
+    maps it to exit code 2, distinct from findings).
     """
     config = config or LintConfig()
-    rules = all_rules(select)
-    known_ids = {known.id for known in all_rules()}
+    if select is None:
+        file_select, prog_select = None, (None if program else [])
+    else:
+        file_select, prog_select = split_select(select)
+    rules = all_rules(file_select)
+    program_rules = all_program_rules(prog_select)
+    known_ids = known_rule_ids()
     if baseline is None:
         baseline = (
             load_baseline(baseline_path) if baseline_path else Baseline()
         )
     result = LintResult()
     raw: List[Finding] = []
+    modules: Dict[str, SourceModule] = {}
+    suppression_maps: Dict[str, Dict[int, Suppression]] = {}
     for path in _iter_python_files(paths):
         rel = _relpath(path, config.root)
         result.files_checked += 1
@@ -140,7 +182,9 @@ def lint_paths(
                 )
             )
             continue
+        modules[rel] = module
         suppressions, problems = parse_suppressions(module.lines)
+        suppression_maps[rel] = suppressions
         for line, suppression in sorted(suppressions.items()):
             # Validated against the *full* registry, not `select`: a
             # suppression that silently matched nothing would re-open
@@ -176,6 +220,26 @@ def lint_paths(
                 result.suppressed.append((finding, suppression))
             else:
                 raw.append(finding)
+    if program_rules:
+        if graph is None or not graph.matches(modules):
+            graph = build_graph(modules)
+        if contract is None and any(
+            one.id == _LAYER_RULE_ID for one in program_rules
+        ):
+            contract = load_contract(
+                str(config.root / config.contract_path), config.contract_path
+            )
+        context = build_context(str(config.root), modules, graph, contract)
+        for one in program_rules:
+            for finding in one.check(context, config):
+                suppression = _matching_suppression(
+                    suppression_maps.get(finding.path, {}), finding
+                )
+                if suppression is not None:
+                    result.suppressed.append((finding, suppression))
+                else:
+                    raw.append(finding)
+        result.graph = graph
     unique = sorted(set(raw), key=Finding.sort_key)
     result.findings, result.baselined = baseline.split(unique)
     result.suppressed.sort(key=lambda pair: pair[0].sort_key())

@@ -1,0 +1,312 @@
+"""Pass 2: the event loop must never be blocked or a coroutine dropped.
+
+Three rules, all needing whole-program sight:
+
+``blocking-in-async`` — a call inside an ``async def`` body that
+resolves (via the module's import table) to a known blocking API
+(``time.sleep``, ``subprocess.*``, sync socket constructors, sync
+file ``open``) stalls every connection the loop serves, not just the
+caller.  Only code whose *nearest* enclosing function is the async
+def is flagged: a sync helper nested inside is blocking only at its
+call sites, which the resolver sees separately.
+
+``unawaited-coroutine`` — a statement-expression call of something
+statically known to be a coroutine function discards the coroutine:
+the work silently never runs.  Known means: resolvable to an ``async
+def`` anywhere in the analyzed tree (cross-module, via the program
+context), a module-level ``async def`` in the same file, a
+``self.m()`` where the enclosing class defines ``async def m``, or a
+curated set of asyncio coroutine factories.  Attribute calls on
+arbitrary objects are *not* guessed at — ``writer.close()`` is sync
+on a StreamWriter and async on a pool, and a name-only match would
+cry wolf.
+
+``handler-deadline`` — an async route handler (named in the route
+registry) that awaits anything must thread the request deadline into
+that work; otherwise a slow backend call outlives the client's
+budget and the §4.4 latency contract silently breaks.  Handlers with
+no await (in-memory responses) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.program.graph import module_name_for_rel
+from repro.analysis.registry import program_rule
+from repro.analysis.source import SourceModule, dotted_name
+
+BLOCKING_RULE_ID = "blocking-in-async"
+UNAWAITED_RULE_ID = "unawaited-coroutine"
+HANDLER_RULE_ID = "handler-deadline"
+
+#: Dotted names that block the calling thread. Matched against the
+#: import-table resolution of the call target, so aliases are seen
+#: through and a local function that happens to be called ``sleep``
+#: is not.
+_BLOCKING = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Prefixes that are blocking wholesale (every public call does I/O).
+_BLOCKING_PREFIXES = ("requests.",)
+
+#: asyncio factories that return a coroutine/awaitable which is a bug
+#: to discard.
+_ASYNCIO_COROUTINES = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.open_connection",
+        "asyncio.start_server",
+        "asyncio.to_thread",
+    }
+)
+
+
+def _nearest_function(module: SourceModule, node: ast.AST) -> Optional[ast.AST]:
+    for ancestor in module.ancestors(node):
+        if isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return ancestor
+    return None
+
+
+def _blocking_target(module: SourceModule, call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        # Builtin file open: sync disk I/O on the loop thread.
+        if "open" not in module.imports.symbols:
+            return "open"
+        return None
+    resolved = module.imports.resolve(call.func)
+    if resolved is None:
+        return None
+    if resolved in _BLOCKING:
+        return resolved
+    if resolved.startswith(_BLOCKING_PREFIXES):
+        return resolved
+    return None
+
+
+@program_rule(
+    BLOCKING_RULE_ID,
+    "no blocking call (time.sleep, subprocess, sync socket/file I/O) "
+    "directly inside an async def: it stalls every request the event "
+    "loop is serving",
+)
+def check_blocking(context, config) -> Iterator[Finding]:
+    for rel in sorted(context.modules):
+        module = context.modules[rel]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            enclosing = _nearest_function(module, node)
+            if not isinstance(enclosing, ast.AsyncFunctionDef):
+                continue
+            target = _blocking_target(module, node)
+            if target is None:
+                continue
+            yield Finding(
+                path=rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=BLOCKING_RULE_ID,
+                message=(
+                    f"blocking call {target}(...) inside async def "
+                    f"{enclosing.name!r}; use the asyncio equivalent or "
+                    "offload via loop.run_in_executor"
+                ),
+            )
+
+
+def _async_defs_by_module(context) -> Dict[str, Set[str]]:
+    """Module name -> its module-level ``async def`` names."""
+    table: Dict[str, Set[str]] = {}
+    for rel in sorted(context.modules):
+        module = context.modules[rel]
+        names = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, ast.AsyncFunctionDef)
+        }
+        if names:
+            table[module_name_for_rel(rel)] = names
+    return table
+
+
+def _enclosing_class(module: SourceModule, node: ast.AST) -> Optional[ast.ClassDef]:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+    return None
+
+
+def _coroutine_target(
+    module: SourceModule,
+    call: ast.Call,
+    async_defs: Dict[str, Set[str]],
+    local_async: Set[str],
+) -> Optional[str]:
+    func = call.func
+    # `self.m()` where the enclosing class defines `async def m`.
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        cls = _enclosing_class(module, call)
+        if cls is not None and any(
+            isinstance(item, ast.AsyncFunctionDef) and item.name == func.attr
+            for item in cls.body
+        ):
+            return f"self.{func.attr}"
+        return None
+    # Bare name defined as async in this module.
+    if isinstance(func, ast.Name) and func.id in local_async:
+        return func.id
+    resolved = module.imports.resolve(func)
+    if resolved is None:
+        return None
+    if resolved in _ASYNCIO_COROUTINES:
+        return resolved
+    # Cross-module: `from repro.x import fetch` where repro.x defines
+    # `async def fetch`, or `mod.fetch()` under `import repro.x as mod`.
+    if "." in resolved:
+        mod, name = resolved.rsplit(".", 1)
+        if name in async_defs.get(mod, ()):
+            return resolved
+    return None
+
+
+@program_rule(
+    UNAWAITED_RULE_ID,
+    "a statement-expression call of a known coroutine function "
+    "discards the coroutine — the work never runs; await it or hand "
+    "it to a task",
+)
+def check_unawaited(context, config) -> Iterator[Finding]:
+    async_defs = _async_defs_by_module(context)
+    for rel in sorted(context.modules):
+        module = context.modules[rel]
+        local_async = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, ast.AsyncFunctionDef)
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            target = _coroutine_target(
+                module, node.value, async_defs, local_async
+            )
+            if target is None:
+                continue
+            yield Finding(
+                path=rel,
+                line=node.value.lineno,
+                col=node.value.col_offset,
+                rule=UNAWAITED_RULE_ID,
+                message=(
+                    f"coroutine {target}(...) called but never awaited; "
+                    "the coroutine object is discarded and the work never "
+                    "runs"
+                ),
+            )
+
+
+def _route_handler_names(context, config) -> Set[str]:
+    """Handler names declared in the route registry module, read from
+    its AST: the third positional argument of each ``Route(...)``."""
+    module = context.modules.get(config.routes_module)
+    if module is None:
+        return set()
+    handlers: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = dotted_name(node.func)
+        if parts is None or parts[-1] != "Route":
+            continue
+        if len(node.args) >= 3 and isinstance(node.args[2], ast.Constant):
+            value = node.args[2].value
+            if isinstance(value, str):
+                handlers.add(value)
+    return handlers
+
+
+def _mentions_deadline(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        texts: Tuple[Optional[str], ...] = ()
+        if isinstance(node, ast.Name):
+            texts = (node.id,)
+        elif isinstance(node, ast.Attribute):
+            texts = (node.attr,)
+        elif isinstance(node, ast.keyword):
+            texts = (node.arg,)
+        elif isinstance(node, ast.arg):
+            texts = (node.arg,)
+        if any(t and "deadline" in t.lower() for t in texts):
+            return True
+    return False
+
+
+@program_rule(
+    HANDLER_RULE_ID,
+    "an async route handler that awaits work must thread the request "
+    "deadline into it, or a slow backend outlives the client budget",
+)
+def check_handler_deadlines(context, config) -> Iterator[Finding]:
+    handlers = _route_handler_names(context, config)
+    if not handlers:
+        return
+    for rel in sorted(context.modules):
+        module = context.modules[rel]
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.AsyncFunctionDef)
+                or node.name not in handlers
+            ):
+                continue
+            has_await = any(
+                isinstance(inner, ast.Await) for inner in ast.walk(node)
+            )
+            if not has_await:
+                continue  # purely in-memory handler: nothing to bound
+            if _mentions_deadline(node):
+                continue
+            yield Finding(
+                path=rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=HANDLER_RULE_ID,
+                message=(
+                    f"async route handler {node.name!r} awaits work but "
+                    "never references a deadline; thread the request "
+                    "budget into every await"
+                ),
+            )

@@ -1,0 +1,338 @@
+"""The committed layer contract: ``tools/layers.toml``.
+
+The contract is an ordered list of layers, each owning a set of
+dotted module prefixes.  A module belongs to the layer whose prefix
+matches it most specifically (longest dotted prefix wins), so
+``repro.core.errors`` can sit in a lower layer than the rest of
+``repro.core``.  Three kinds of layer:
+
+* ``[[layer]]`` — ranked.  An import is allowed only downward or
+  sideways: the destination's rank must not exceed the source's.
+* ``[[side]]`` — unranked harnesses (chaos, perf, analysis, …).  They
+  may import anything, but only other side layers or entry modules
+  may import *them* — production code must not depend on a harness.
+* ``[[entry]]`` — top-level entrypoints (``repro``, ``repro.__main__``).
+  They may import anything; nothing outside entry may import them.
+  Because the entry prefix is the package root, it also catches any
+  future package nobody assigned a layer: the moment real code imports
+  it, the gate trips and forces a contract decision.
+
+Parsing uses :mod:`tomllib` where available (3.11+) and falls back to
+a small hand-rolled parser covering exactly the subset this file
+uses, cross-checked against tomllib by the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - version-dependent
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - py3.10
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = [
+    "ContractError",
+    "Layer",
+    "LayerContract",
+    "load_contract",
+    "parse_contract",
+]
+
+CONTRACT_VERSION = 1
+
+LAYER_KIND = "layer"
+SIDE_KIND = "side"
+ENTRY_KIND = "entry"
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_-]*$")
+_MODULE_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
+
+
+class ContractError(Exception):
+    """The contract file is missing, unparseable, or inconsistent.
+
+    Distinct from a lint finding on purpose: a broken contract means
+    the gate cannot run at all, and the CLI maps it to exit code 2.
+    """
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One named layer owning a set of module prefixes."""
+
+    name: str
+    kind: str  # LAYER_KIND | SIDE_KIND | ENTRY_KIND
+    rank: int  # position among ranked layers; -1 for side/entry
+    modules: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """The parsed, validated contract."""
+
+    path: str  # rel path of the contract file (finding anchor)
+    layers: Tuple[Layer, ...]  # declaration order; ranked first
+    _by_prefix: Dict[str, Layer] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for layer in self.layers:
+            for prefix in layer.modules:
+                self._by_prefix[prefix] = layer
+
+    def ranked(self) -> List[Layer]:
+        return [l for l in self.layers if l.kind == LAYER_KIND]
+
+    def assignment(self, module: str) -> Optional[Layer]:
+        """The layer owning ``module`` via longest-dotted-prefix match."""
+        probe = module
+        while True:
+            layer = self._by_prefix.get(probe)
+            if layer is not None:
+                return layer
+            if "." not in probe:
+                return None
+            probe = probe.rsplit(".", 1)[0]
+
+    def matched_prefixes(self, modules: Sequence[str]) -> set:
+        """Which contract prefixes actually own at least one module."""
+        hit = set()
+        for module in modules:
+            probe = module
+            while True:
+                if probe in self._by_prefix:
+                    hit.add(probe)
+                    break
+                if "." not in probe:
+                    break
+                probe = probe.rsplit(".", 1)[0]
+        return hit
+
+
+def load_contract(path: str, rel: str) -> LayerContract:
+    """Read and validate the contract at filesystem ``path``.
+
+    ``rel`` is the repo-relative name used to anchor findings.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ContractError(f"layer contract {rel}: {exc}") from exc
+    return parse_contract(text, rel)
+
+
+def parse_contract(text: str, rel: str) -> LayerContract:
+    """Parse + validate contract text (exposed for tests)."""
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ContractError(f"layer contract {rel}: {exc}") from exc
+    else:
+        data = _parse_mini_toml(text, rel)
+    return _validate(data, rel)
+
+
+def _validate(data: dict, rel: str) -> LayerContract:
+    version = data.get("version")
+    if version != CONTRACT_VERSION:
+        raise ContractError(
+            f"layer contract {rel}: version must be {CONTRACT_VERSION}, "
+            f"got {version!r}"
+        )
+    layers: List[Layer] = []
+    seen_names: set = set()
+    seen_prefixes: set = set()
+    rank = 0
+    for kind, key in (
+        (LAYER_KIND, "layer"),
+        (SIDE_KIND, "side"),
+        (ENTRY_KIND, "entry"),
+    ):
+        entries = data.get(key, [])
+        if not isinstance(entries, list):
+            raise ContractError(
+                f"layer contract {rel}: [[{key}]] must be a table array"
+            )
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ContractError(
+                    f"layer contract {rel}: [[{key}]] entries must be tables"
+                )
+            name = entry.get("name")
+            modules = entry.get("modules")
+            if not isinstance(name, str) or not _NAME_RE.match(name):
+                raise ContractError(
+                    f"layer contract {rel}: bad layer name {name!r}"
+                )
+            if name in seen_names:
+                raise ContractError(
+                    f"layer contract {rel}: duplicate layer name {name!r}"
+                )
+            seen_names.add(name)
+            if (
+                not isinstance(modules, list)
+                or not modules
+                or not all(isinstance(m, str) for m in modules)
+            ):
+                raise ContractError(
+                    f"layer contract {rel}: layer {name!r} needs a non-empty "
+                    "string list of modules"
+                )
+            for module in modules:
+                if not _MODULE_RE.match(module):
+                    raise ContractError(
+                        f"layer contract {rel}: bad module prefix {module!r} "
+                        f"in layer {name!r}"
+                    )
+                if module in seen_prefixes:
+                    raise ContractError(
+                        f"layer contract {rel}: module prefix {module!r} "
+                        "assigned twice"
+                    )
+                seen_prefixes.add(module)
+            layers.append(
+                Layer(
+                    name=name,
+                    kind=kind,
+                    rank=rank if kind == LAYER_KIND else -1,
+                    modules=tuple(modules),
+                )
+            )
+            if kind == LAYER_KIND:
+                rank += 1
+    if not any(l.kind == LAYER_KIND for l in layers):
+        raise ContractError(
+            f"layer contract {rel}: at least one [[layer]] required"
+        )
+    return LayerContract(path=rel, layers=tuple(layers))
+
+
+# -- mini-TOML fallback (py3.10, no tomllib) -----------------------------------------
+#
+# Covers exactly the grammar layers.toml uses: `key = value` pairs,
+# [[table]] array headers, strings, integers, and possibly-multiline
+# string arrays.  Anything else is a hard ContractError — better to
+# fail loudly than to misread a contract.
+
+_HEADER_RE = re.compile(r"^\[\[([A-Za-z0-9_-]+)\]\]$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_-]+)\s*=\s*(.*)$")
+_STRING_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"$')
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+def _strip_comment(line: str) -> str:
+    out: List[str] = []
+    in_string = False
+    escaped = False
+    for ch in line:
+        if escaped:
+            out.append(ch)
+            escaped = False
+            continue
+        if ch == "\\" and in_string:
+            out.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_scalar(token: str, rel: str):
+    token = token.strip()
+    match = _STRING_RE.match(token)
+    if match:
+        return match.group(1).replace('\\"', '"').replace("\\\\", "\\")
+    if _INT_RE.match(token):
+        return int(token)
+    raise ContractError(f"layer contract {rel}: unsupported value {token!r}")
+
+
+def _parse_array(body: str, rel: str) -> list:
+    body = body.strip()
+    if not body:
+        return []
+    items: List[str] = []
+    depth_guard = 0
+    current: List[str] = []
+    in_string = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\" and in_string:
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_string = not in_string
+            current.append(ch)
+            continue
+        if ch == "[" and not in_string:
+            depth_guard += 1
+            raise ContractError(
+                f"layer contract {rel}: nested arrays unsupported"
+            )
+        if ch == "," and not in_string:
+            items.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if "".join(current).strip():
+        items.append("".join(current))
+    return [_parse_scalar(item, rel) for item in items if item.strip()]
+
+
+def _parse_mini_toml(text: str, rel: str) -> dict:
+    root: dict = {}
+    target: dict = root
+    lines = text.split("\n")
+    index = 0
+    while index < len(lines):
+        line = _strip_comment(lines[index])
+        index += 1
+        if not line:
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            table: dict = {}
+            root.setdefault(header.group(1), []).append(table)
+            target = table
+            continue
+        pair = _KEY_RE.match(line)
+        if not pair:
+            raise ContractError(
+                f"layer contract {rel}: cannot parse line {index}: {line!r}"
+            )
+        key, value = pair.group(1), pair.group(2).strip()
+        if value.startswith("["):
+            buffer = value[1:]
+            while "]" not in buffer:
+                if index >= len(lines):
+                    raise ContractError(
+                        f"layer contract {rel}: unterminated array for "
+                        f"{key!r}"
+                    )
+                buffer += " " + _strip_comment(lines[index])
+                index += 1
+            body, _, trailer = buffer.rpartition("]")
+            if trailer.strip():
+                raise ContractError(
+                    f"layer contract {rel}: trailing content after array "
+                    f"for {key!r}"
+                )
+            target[key] = _parse_array(body, rel)
+        else:
+            target[key] = _parse_scalar(value, rel)
+    return root

@@ -1,0 +1,180 @@
+"""Pass 3: error-envelope flow — every kind used is registered, every
+kind registered is used.
+
+The service's error contract is one dict, ``ERROR_STATUS`` in
+``repro.service.errors``: clients branch on its keys, the loadgen
+audits them, ``docs/api.md`` tables them.  ``ApiError`` validates its
+kind at *raise* time, but that only catches the typo when the branch
+executes — a rarely-taken error path can ship a bogus kind and sit
+there until production finds it.  This pass closes the loop
+statically, in both directions:
+
+* every error-kind literal used under the service tree (``ApiError(
+  "kind", ...)``, ``error_envelope("kind", ...)``, ``kind = "..."``
+  assignments, tuple assigns pairing a ``kind`` target with a string)
+  must be a registered key;
+* every registered key must be used somewhere — a dead kind is a
+  contract entry clients are told to handle that the server can never
+  send.
+
+The registry is located by parsing the configured errors module's AST
+for the ``ERROR_STATUS = {...}`` literal; if that assignment
+disappears or stops being a literal dict, the pass reports the rot
+instead of silently passing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import program_rule
+from repro.analysis.source import SourceModule, dotted_name
+
+ENVELOPE_RULE_ID = "error-envelope"
+
+_REGISTRY_NAME = "ERROR_STATUS"
+_CONSTRUCTORS = frozenset({"ApiError", "error_envelope"})
+_KIND_TARGET = "kind"
+
+
+def _registry_kinds(
+    module: SourceModule,
+) -> Optional[Dict[str, int]]:
+    """Parse ``ERROR_STATUS = {...}`` out of the errors module.
+
+    Returns kind -> declaration line, or None if the literal is gone.
+    """
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == _REGISTRY_NAME
+            for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        kinds: Dict[str, int] = {}
+        for key in value.keys:
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                return None
+            kinds[key.value] = key.lineno
+        return kinds
+    return None
+
+
+def _kind_uses(module: SourceModule) -> Iterator[Tuple[str, int, int, str]]:
+    """Yield ``(kind, line, col, how)`` for every kind literal used."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            parts = dotted_name(node.func)
+            if (
+                parts is not None
+                and parts[-1] in _CONSTRUCTORS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                arg = node.args[0]
+                yield arg.value, arg.lineno, arg.col_offset, parts[-1]
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == _KIND_TARGET
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    yield (
+                        node.value.value,
+                        node.value.lineno,
+                        node.value.col_offset,
+                        "kind assignment",
+                    )
+                elif isinstance(target, ast.Tuple) and isinstance(
+                    node.value, ast.Tuple
+                ):
+                    for name, value in zip(target.elts, node.value.elts):
+                        if (
+                            isinstance(name, ast.Name)
+                            and name.id == _KIND_TARGET
+                            and isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                        ):
+                            yield (
+                                value.value,
+                                value.lineno,
+                                value.col_offset,
+                                "kind assignment",
+                            )
+
+
+def _under_roots(rel: str, roots: Tuple[str, ...]) -> bool:
+    return any(rel == root or rel.startswith(root + "/") for root in roots)
+
+
+@program_rule(
+    ENVELOPE_RULE_ID,
+    "every error kind constructed under the service tree must be "
+    "registered in ERROR_STATUS, and every registered kind must be "
+    "reachable from some construction site",
+)
+def check_envelopes(context, config) -> Iterator[Finding]:
+    registry_module = context.modules.get(config.envelope_registry)
+    if registry_module is None:
+        return  # service tree not under analysis (fixture/partial run)
+    kinds = _registry_kinds(registry_module)
+    if kinds is None:
+        yield Finding(
+            path=config.envelope_registry,
+            line=1,
+            col=0,
+            rule=ENVELOPE_RULE_ID,
+            message=(
+                f"{_REGISTRY_NAME} literal dict not found in "
+                f"{config.envelope_registry}; the envelope flow check "
+                "cannot see the registry — restore the literal or move "
+                "the check"
+            ),
+        )
+        return
+    used: set = set()
+    for rel in sorted(context.modules):
+        if not _under_roots(rel, config.envelope_roots):
+            continue
+        module = context.modules[rel]
+        for kind, line, col, how in _kind_uses(module):
+            used.add(kind)
+            if kind not in kinds:
+                yield Finding(
+                    path=rel,
+                    line=line,
+                    col=col,
+                    rule=ENVELOPE_RULE_ID,
+                    message=(
+                        f"error kind {kind!r} ({how}) is not registered "
+                        f"in {_REGISTRY_NAME}; clients cannot map it to a "
+                        "status"
+                    ),
+                )
+    for kind in sorted(kinds):
+        if kind not in used:
+            yield Finding(
+                path=config.envelope_registry,
+                line=kinds[kind],
+                col=0,
+                rule=ENVELOPE_RULE_ID,
+                message=(
+                    f"registered error kind {kind!r} is never constructed "
+                    "under the service tree; dead contract entry — delete "
+                    "it or wire it up"
+                ),
+            )

@@ -71,6 +71,10 @@ class ServiceApp:
         # Service-local acked-revocation feed served by /deltas.
         self._deltas: List[Dict[str, Any]] = []
         self._bloom_cache: Optional[Tuple[str, bytes, Dict[str, str]]] = None
+        # Single-flight guard for the Bloom export: the full-record
+        # scan runs off-loop in an executor, and only one request per
+        # chain head pays for it.
+        self._bloom_lock = asyncio.Lock()
         self._inflight = 0
 
     # -- population helpers -----------------------------------------------------------
@@ -344,14 +348,32 @@ class ServiceApp:
     async def handle_bloom(
         self, request: HttpRequest, params: Dict[str, str]
     ) -> Tuple[int, Any, Dict[str, str]]:
+        # export_bloom scans every record to rebuild the filter — real
+        # CPU work that must not run on the event loop (it would stall
+        # every in-flight request; the blocking-in-async lint pass
+        # exists for exactly this shape). It runs in the default
+        # executor, bounded by the request deadline, and the lock makes
+        # it single-flight: one scan per chain head no matter how many
+        # clients ask at once.
+        deadline = self._deadline_from(request)
         etag = self.cluster.chain_head()
         quoted = f'"{etag}"'
         if request.headers.get("if-none-match") == quoted:
             return 304, b"", {"etag": quoted}
-        if self._bloom_cache is None or self._bloom_cache[0] != etag:
-            data, extra = self.cluster.export_bloom()
-            self._bloom_cache = (etag, data, extra)
-        _, data, extra = self._bloom_cache
+        cache = self._bloom_cache
+        if cache is None or cache[0] != etag:
+            async with self._bloom_lock:
+                cache = self._bloom_cache
+                if cache is None or cache[0] != etag:
+                    data, extra = await self._bounded(
+                        self._loop.run_in_executor(
+                            None, self.cluster.export_bloom
+                        ),
+                        deadline,
+                    )
+                    cache = (etag, data, extra)
+                    self._bloom_cache = cache
+        _, data, extra = cache
         headers = {
             "etag": quoted,
             "content-type": "application/octet-stream",

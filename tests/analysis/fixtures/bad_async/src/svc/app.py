@@ -1,0 +1,37 @@
+"""Seeded async-safety violations, one per detection shape."""
+
+import asyncio
+import time
+
+
+async def fetch(key):
+    await asyncio.sleep(0)
+    return key
+
+
+async def handle_slow(request):
+    time.sleep(0.1)  # seeded: blocking-in-async
+    data = open("cache.json").read()  # seeded: blocking-in-async (sync open)
+    fetch(request)  # seeded: unawaited-coroutine (local async def)
+    asyncio.sleep(0.5)  # seeded: unawaited-coroutine (asyncio factory)
+    return await fetch(data)  # handler awaits, never mentions a deadline
+
+
+async def handle_fast(request):
+    return {"status": "ok"}  # no await: exempt from handler-deadline
+
+
+async def handle_good(request, deadline=None):
+    return await asyncio.wait_for(fetch(request), timeout=deadline)
+
+
+class Worker:
+    async def step(self):
+        return 1
+
+    async def run(self):
+        self.step()  # seeded: unawaited-coroutine (self.<async method>)
+        await self.step()
+
+    def sync_helper(self):
+        time.sleep(0.1)  # nearest function is sync: not flagged here

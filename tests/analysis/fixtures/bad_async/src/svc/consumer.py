@@ -1,0 +1,15 @@
+"""Cross-module unawaited coroutine: resolved via the program context."""
+
+from svc.app import fetch
+
+
+async def drive():
+    fetch("k")  # seeded: unawaited-coroutine (cross-module async def)
+    writer = Stream()
+    writer.close()  # attribute call on an unknown object: never guessed at
+    return await fetch("k")
+
+
+class Stream:
+    def close(self):
+        return None

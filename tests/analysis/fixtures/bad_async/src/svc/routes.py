@@ -1,0 +1,11 @@
+"""Fixture route registry: names the handlers the deadline pass audits."""
+
+from collections import namedtuple
+
+Route = namedtuple("Route", "method path handler summary")
+
+ROUTES = (
+    Route("GET", "/slow", "handle_slow", "awaits without a deadline"),
+    Route("GET", "/fast", "handle_fast", "no awaits, exempt"),
+    Route("GET", "/good", "handle_good", "threads the deadline"),
+)

@@ -1,0 +1,15 @@
+"""Seeded envelope-flow violations: an unregistered kind, three ways."""
+
+from svc.errors import ApiError, error_envelope
+
+
+def reject(reason):
+    raise ApiError("nope", reason)  # seeded: unregistered kind (constructor)
+
+
+def classify(answer):
+    kind = "also-nope"  # seeded: unregistered kind (assignment)
+    if answer:
+        kind, detail = "ok", answer  # registered: keeps "ok" live
+        return error_envelope(kind, detail)
+    return error_envelope(kind, None)

@@ -1,0 +1,16 @@
+"""Fixture envelope registry: one live kind, one dead kind (seeded)."""
+
+ERROR_STATUS = {
+    "ok": 200,
+    "ghost": 500,  # seeded: registered but never constructed
+}
+
+
+class ApiError(Exception):
+    def __init__(self, kind, detail):
+        super().__init__(detail)
+        self.kind = kind
+
+
+def error_envelope(kind, detail):
+    return {"error": {"kind": kind, "detail": detail}}

@@ -1,0 +1,4 @@
+"""Seeded violations: one half of a cycle, plus an upward import."""
+
+from pkg.alpha import b  # noqa: F401  - cycle a -> b
+import pkg.beta.top  # noqa: F401  - upward edge low -> high

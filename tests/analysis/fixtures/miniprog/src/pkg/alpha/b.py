@@ -1,0 +1,3 @@
+"""The other half of the seeded cycle."""
+
+import pkg.alpha.a  # noqa: F401  - cycle b -> a

@@ -1,0 +1,3 @@
+"""Top layer module; imported from below (a seeded violation)."""
+
+VALUE = 1

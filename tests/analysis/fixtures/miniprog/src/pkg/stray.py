@@ -1,0 +1,3 @@
+"""Matches no layer prefix in the fixture contract (seeded)."""
+
+STRAY = True

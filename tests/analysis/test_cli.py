@@ -175,6 +175,10 @@ class TestConfig:
             tuple(section["obs_exempt_segments"])
             == defaults.obs_exempt_segments
         )
+        assert section["contract_path"] == defaults.contract_path
+        assert section["envelope_registry"] == defaults.envelope_registry
+        assert tuple(section["envelope_roots"]) == defaults.envelope_roots
+        assert section["routes_module"] == defaults.routes_module
 
 
 class TestEntryPoints:

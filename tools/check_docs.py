@@ -5,7 +5,7 @@ Run from anywhere inside the repository:
 
     python tools/check_docs.py
 
-Two checks, both exact:
+Six checks, all exact:
 
 1. **Links** — every relative markdown link in the repo's ``*.md``
    files must resolve to a file (or directory) that exists. External
@@ -32,6 +32,12 @@ Two checks, both exact:
    fails: a served-but-undocumented endpoint is an API nobody can
    call responsibly, a documented-but-unrouted one is a 404 promised
    as a feature.
+6. **Layer drift** — the layer table in ``docs/architecture.md`` must
+   equal the committed contract in ``tools/layers.toml``: same layers,
+   same order (order *is* rank), same kinds, same module prefixes.
+   Either direction fails: the rendered contract is what reviewers
+   read, the TOML is what the lint gate enforces, and they must be
+   the same document.
 
 Exit status 0 on success, 1 with a per-problem report otherwise.
 """
@@ -60,11 +66,14 @@ EMIT_RE = re.compile(r"\.(?:counter|gauge|histogram)\(\s*\"([a-z_]+)\"")
 #: ``| `frontend_queries_total` | counter | ...`` (labels stripped).
 DOC_METRIC_RE = re.compile(r"^\|\s*`([a-z_]+)(?:\{[^}]*\})?`\s*\|")
 
-#: A lint-rule registration: ``@rule(<first-arg>,`` in the analysis
-#: package (matched textually, so this script needs no PYTHONPATH).
-#: The first argument is either a string literal or a module constant
-#: (``RULE_ID``, ``PARSE_ERROR``) resolved via RULE_CONST_RE below.
-RULE_REG_RE = re.compile(r"@rule\(\s*(\"[a-z][a-z0-9-]*\"|[A-Z_]+)\s*,")
+#: A lint-rule registration: ``@rule(<first-arg>,`` or
+#: ``@program_rule(<first-arg>,`` in the analysis package (matched
+#: textually, so this script needs no PYTHONPATH).  The first argument
+#: is either a string literal or a module constant (``RULE_ID``,
+#: ``PARSE_ERROR``, ``CYCLE_RULE_ID``) resolved via RULE_CONST_RE.
+RULE_REG_RE = re.compile(
+    r"@(?:program_)?rule\(\s*(\"[a-z][a-z0-9-]*\"|[A-Z_]+)\s*,"
+)
 
 #: A rule-id constant: ``RULE_ID = "no-wall-clock"`` and friends.
 RULE_CONST_RE = re.compile(r"^([A-Z_]+)\s*=\s*\"([a-z][a-z0-9-]*)\"", re.M)
@@ -84,6 +93,27 @@ ROUTE_REG_RE = re.compile(r"Route\(\s*\"([A-Z]+)\",\s*\"(/[^\"]*)\"")
 #: A documented endpoint: a table row opening with the backticked
 #: method then the backticked path, e.g. ``| `GET` | `/bloom` | ...``.
 DOC_ROUTE_RE = re.compile(r"^\|\s*`([A-Z]+)`\s*\|\s*`(/[^`]*)`\s*\|")
+
+#: A contract block in ``tools/layers.toml``: the ``[[layer]]`` /
+#: ``[[side]]`` / ``[[entry]]`` header, its ``name``, and its
+#: ``modules`` array (matched textually, so this script needs no
+#: tomllib — the lint gate itself validates the TOML properly).
+CONTRACT_BLOCK_RE = re.compile(
+    r"\[\[(layer|side|entry)\]\]\s*\n"
+    r"name\s*=\s*\"([a-z][a-z0-9_-]*)\"\s*\n"
+    r"modules\s*=\s*\[([^\]]*)\]"
+)
+
+#: A quoted module prefix inside a contract ``modules`` array.
+CONTRACT_MODULE_RE = re.compile(r"\"([A-Za-z_][A-Za-z0-9_.]*)\"")
+
+#: A documented layer: a table row in ``docs/architecture.md``'s layer
+#: table, e.g. ``| 0 | `base` | layer | `repro.crypto`, `repro.filters` |``
+#: (side/entry rows use ``–`` in the rank column).
+DOC_LAYER_RE = re.compile(
+    r"^\|\s*(?:[0-9]+|–)\s*\|\s*`([a-z][a-z0-9_-]*)`\s*"
+    r"\|\s*(layer|side|entry)\s*\|\s*(.*?)\s*\|$"
+)
 
 
 def _doc_files() -> list[Path]:
@@ -282,6 +312,70 @@ def check_route_drift() -> list[str]:
     return problems
 
 
+def contract_layers() -> list[tuple[str, str, tuple[str, ...]]]:
+    """``(kind, name, prefixes)`` per block, in file (= rank) order."""
+    contract = REPO / "tools" / "layers.toml"
+    if not contract.exists():
+        return []
+    text = contract.read_text(encoding="utf-8")
+    return [
+        (
+            kind,
+            name,
+            tuple(CONTRACT_MODULE_RE.findall(modules)),
+        )
+        for kind, name, modules in CONTRACT_BLOCK_RE.findall(text)
+    ]
+
+
+def documented_layers() -> list[tuple[str, str, tuple[str, ...]]]:
+    doc = REPO / "docs" / "architecture.md"
+    if not doc.exists():
+        return []
+    rows: list[tuple[str, str, tuple[str, ...]]] = []
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = DOC_LAYER_RE.match(line.strip())
+        if match:
+            name, kind, cell = match.groups()
+            prefixes = tuple(
+                re.findall(r"`([A-Za-z_][A-Za-z0-9_.]*)`", cell)
+            )
+            rows.append((kind, name, prefixes))
+    return rows
+
+
+def check_layer_drift() -> list[str]:
+    contract = contract_layers()
+    documented = documented_layers()
+    problems: list[str] = []
+    if not contract:
+        return ["found no [[layer]] blocks in tools/layers.toml (regex rot?)"]
+    if not documented:
+        return [
+            "docs/architecture.md: no layer-contract table rows "
+            "(expected one per tools/layers.toml block)"
+        ]
+    # Order matters: position in layers.toml is the rank the lint gate
+    # enforces, so the rendered table must list blocks in the same order.
+    for index, (want, got) in enumerate(zip(contract, documented)):
+        if want != got:
+            problems.append(
+                f"docs/architecture.md: layer table row {index} is "
+                f"{got!r} but tools/layers.toml says {want!r}"
+            )
+    for kind, name, _ in contract[len(documented):]:
+        problems.append(
+            f"docs/architecture.md: [[{kind}]] {name!r} from "
+            "tools/layers.toml is missing from the layer table"
+        )
+    for kind, name, _ in documented[len(contract):]:
+        problems.append(
+            f"docs/architecture.md: layer table row [[{kind}]] {name!r} "
+            "has no matching block in tools/layers.toml"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_links()
@@ -289,6 +383,7 @@ def main() -> int:
         + check_rule_drift()
         + check_perf_case_drift()
         + check_route_drift()
+        + check_layer_drift()
     )
     for problem in problems:
         print(f"FAIL {problem}")
@@ -300,8 +395,9 @@ def main() -> int:
         f"docs check: OK — {docs} markdown files, "
         f"{len(documented_metrics())} metrics, "
         f"{len(documented_rules())} lint rules, "
-        f"{len(documented_cases())} perf cases and "
-        f"{len(documented_routes())} API routes in sync"
+        f"{len(documented_cases())} perf cases, "
+        f"{len(documented_routes())} API routes and "
+        f"{len(documented_layers())} contract layers in sync"
     )
     return 0
 
